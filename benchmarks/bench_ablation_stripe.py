@@ -1,0 +1,51 @@
+"""Ablation: LVM stripe size (a design knob DESIGN.md calls out).
+
+The stripe size controls how much of a sequential run lands on one
+target before moving to the next (the Figure-7 run-count cases) and the
+placement granularity.  This bench sweeps the stripe size for a
+two-scan workload on two disks and reports measured times: very small
+stripes fragment per-target runs and hurt; around the megabyte range
+the curve flattens — which is why the library (like the paper's LVM)
+defaults to 1 MiB.
+"""
+
+from benchmarks.conftest import report
+from repro import units
+from repro.db.engine import run_olap
+from repro.db.profiles import QueryProfile, phase, seq
+from repro.db.schema import Database, DatabaseObject, TABLE
+from repro.experiments.reporting import format_table
+from repro.storage.disk import DiskDrive
+
+
+def test_ablation_stripe_size(benchmark):
+    def run():
+        database = Database("mini", [
+            DatabaseObject("A", TABLE, units.mib(48)),
+            DatabaseObject("B", TABLE, units.mib(48)),
+        ])
+        see = {"A": [0.5, 0.5], "B": [0.5, 0.5]}
+        query = QueryProfile("q", (phase(seq("A", 1.0), seq("B", 1.0)),))
+        times = {}
+        for stripe_kib in (16, 64, 256, 1024):
+            devices = [DiskDrive("d%d" % j, units.mib(256))
+                       for j in range(2)]
+            result = run_olap(
+                database, [query] * 4, see, devices,
+                stripe_size=stripe_kib * units.KIB, seed=5,
+            )
+            times[stripe_kib] = result.elapsed_s
+        return times
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    report("ablation_stripe_size", format_table(
+        ["Stripe (KiB)", "Elapsed (sim s)"],
+        [[k, "%.2f" % v] for k, v in times.items()],
+        title="Ablation — stripe size under two concurrent striped scans",
+    ))
+
+    # Large stripes must not be worse than the smallest stripe, and the
+    # curve flattens: 256 KiB is within 25% of 1 MiB.
+    assert times[1024] <= times[16] * 1.05
+    assert abs(times[256] - times[1024]) <= 0.35 * times[1024]

@@ -1,0 +1,59 @@
+"""Paper Figure 1: SEE vs. advisor-recommended layout, OLAP1-63.
+
+Reproduces the motivating example of Section 2: the TPC-H objects laid
+out on four identical disks, showing the stripe-everything-everywhere
+baseline next to the workload-aware layout.  The paper's optimized
+layout isolates LINEITEM (on more targets than ORDERS), separates
+ORDERS and I_L_ORDERKEY from it, and co-locates TEMP SPACE with ORDERS
+because the two rarely overlap.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import report
+from repro.core.layout import Layout
+from repro.db.workloads import OLAP1_63
+from repro.experiments.reporting import format_layout
+from repro.experiments.scenarios import four_disks
+
+
+def test_fig01_see_vs_optimized_layout(benchmark, lab):
+    def run():
+        database = lab.tpch()
+        specs = four_disks(lab.scale)
+        profiles = lab.olap_profiles(OLAP1_63)
+        result = lab.advised("OLAP1-63/1-1-1-1", database, profiles, specs,
+                             concurrency=OLAP1_63.concurrency)
+        fitted = lab.fitted("OLAP1-63/1-1-1-1", database, profiles, specs,
+                            concurrency=OLAP1_63.concurrency)
+        return result, fitted, database
+
+    result, fitted, database = benchmark.pedantic(run, rounds=1, iterations=1)
+    layout = result.recommended
+
+    see_text = format_layout(
+        Layout.see(layout.object_names, layout.target_names), fitted, top=8,
+    )
+    optimized_text = format_layout(layout, fitted, top=8)
+    report(
+        "fig01_layouts",
+        "Figure 1 — layouts of the 8 hottest TPC-H objects (OLAP1-63)\n\n"
+        "Baseline: Stripe-Everything-Everywhere\n%s\n\n"
+        "Advisor Recommended Layout\n%s" % (see_text, optimized_text),
+    )
+
+    # Shape checks from the paper's discussion of Figure 1:
+    lineitem = layout.row("LINEITEM")
+    orders = layout.row("ORDERS")
+    # LINEITEM and ORDERS are isolated from one another...
+    assert set(np.nonzero(lineitem > 0.01)[0]).isdisjoint(
+        np.nonzero(orders > 0.01)[0]
+    )
+    # ...and LINEITEM, with the greater load, occupies at least as many
+    # targets as ORDERS.
+    assert (lineitem > 0.01).sum() >= (orders > 0.01).sum()
+    # I_L_ORDERKEY avoids LINEITEM's targets.
+    index_row = layout.row("I_L_ORDERKEY")
+    assert set(np.nonzero(index_row > 0.01)[0]).isdisjoint(
+        np.nonzero(lineitem > 0.01)[0]
+    )

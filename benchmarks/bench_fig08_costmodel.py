@@ -1,0 +1,53 @@
+"""Paper Figure 8: cost-model slice for 8 KByte read requests.
+
+Regenerates the calibrated read-cost curves of one disk target: request
+cost as a function of the contention factor, one curve per run count.
+The paper's qualitative features: sequential requests are far cheaper
+than random at low contention, the advantage survives a small amount of
+contention (the drive tracks and prefetches a few streams), collapses
+once the contention factor reaches about two, and purely random costs
+*decline* gently as deeper queues shorten seeks.
+"""
+
+from benchmarks.conftest import report
+from repro import units
+from repro.experiments.runner import get_target_model
+from repro.experiments.scenarios import disk_spec
+
+
+def test_fig08_read_cost_slice(benchmark, lab):
+    spec = disk_spec("disk0", lab.scale)
+
+    def run():
+        return get_target_model(spec)
+
+    model = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = model.read_model
+
+    chis = [0.0, 0.5, 1.0, 2.0, 4.0, 8.0]
+    lines = [
+        "Figure 8 — cost model for 8 KByte read requests "
+        "(per-request service cost, ms)",
+        "",
+        "run count " + "".join("  chi=%-5.1f" % c for c in chis),
+    ]
+    curves = {}
+    for run_count in (1, 4, 16, 64):
+        _, costs = table.slice_by_contention(units.kib(8), run_count, chis)
+        curves[run_count] = [float(c) for c in costs]
+        lines.append(
+            "Q=%-7d " % run_count
+            + "".join("  %8.3f" % (1000 * c) for c in costs)
+        )
+    report("fig08_costmodel", "\n".join(lines))
+
+    random_curve = curves[1]
+    sequential_curve = curves[64]
+    # Sequential is much cheaper than random when uncontended.
+    assert sequential_curve[0] < random_curve[0] / 5
+    # The advantage survives chi=1...
+    assert sequential_curve[2] < random_curve[0] / 5
+    # ...and collapses by chi=2 (within 2x of the random cost).
+    assert sequential_curve[3] > random_curve[3] / 2
+    # Random costs decline with contention (elevator effect).
+    assert random_curve[-1] < random_curve[0]

@@ -1,0 +1,62 @@
+"""Paper Figure 13: estimated target utilizations per advisor stage.
+
+For OLAP1-63 and OLAP8-63 on four disks, the advisor's own estimated
+utilizations µ_j at the four stages of Figure 4: the SEE baseline, the
+greedy initial layout, the NLP solver's layout, and the regularized
+layout.  The paper's shape: SEE is balanced but high, the initial layout
+is unbalanced, the solver's layout is both balanced and lower, and
+regularization stays close to the solver's quality.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import report
+from repro.db.workloads import OLAP1_63, OLAP8_63
+from repro.experiments.reporting import format_table
+from repro.experiments.scenarios import four_disks
+
+
+def test_fig13_stage_utilizations(benchmark, lab):
+    def run():
+        database = lab.tpch()
+        specs = four_disks(lab.scale)
+        out = {}
+        for workload in (OLAP1_63, OLAP8_63):
+            key = "%s/1-1-1-1" % workload.name
+            advised = lab.advised(key, database,
+                                  lab.olap_profiles(workload), specs,
+                                  concurrency=workload.concurrency)
+            out[workload.name] = advised.utilizations
+        return out
+
+    stage_utilizations = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    for name, stages in stage_utilizations.items():
+        rows = []
+        for stage in ("see", "initial", "solver", "regular"):
+            values = stages[stage]
+            rows.append(
+                [stage]
+                + ["%.3f" % v for v in values]
+                + ["%.3f" % values.max()]
+            )
+        report("fig13_utilizations_%s" % name.lower(), format_table(
+            ["Stage", "disk0", "disk1", "disk2", "disk3", "max"],
+            rows,
+            title="Figure 13 — estimated utilizations, %s" % name,
+        ))
+
+    for name, stages in stage_utilizations.items():
+        see = stages["see"]
+        initial = stages["initial"]
+        solver = stages["solver"]
+        regular = stages["regular"]
+        # SEE is perfectly balanced on identical disks.
+        assert see.max() - see.min() < 0.05 * see.max()
+        # The greedy initial layout is unbalanced (the paper's point).
+        assert initial.max() - initial.min() > 0.2 * initial.max()
+        # The solver improves on both SEE and the initial layout.
+        assert solver.max() <= see.max() * 1.001
+        assert solver.max() <= initial.max() * 1.001
+        # Regularization stays within a reasonable factor of the solver.
+        assert regular.max() <= solver.max() * 1.8

@@ -1,0 +1,51 @@
+"""Paper Figure 14: the (non-regular) layouts produced by the NLP solver.
+
+The solver's fractional layouts for OLAP1-63 and OLAP8-63 before
+regularization.  The paper shows them to be very balanced; the
+regularized OLAP8-63 layout is close to the solver's because the
+solver's is almost regular.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import report
+from repro.db.workloads import OLAP1_63, OLAP8_63
+from repro.experiments.reporting import format_layout
+from repro.experiments.scenarios import four_disks
+
+
+def test_fig14_solver_layouts(benchmark, lab):
+    def run():
+        database = lab.tpch()
+        specs = four_disks(lab.scale)
+        out = {}
+        for workload in (OLAP1_63, OLAP8_63):
+            key = "%s/1-1-1-1" % workload.name
+            advised = lab.advised(key, database,
+                                  lab.olap_profiles(workload), specs,
+                                  concurrency=workload.concurrency)
+            fitted = lab.fitted(key, database,
+                                lab.olap_profiles(workload), specs,
+                                concurrency=workload.concurrency)
+            out[workload.name] = (advised, fitted)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    sections = ["Figure 14 — layouts produced by the NLP solver"]
+    for name, (advised, fitted) in results.items():
+        sections.append("\n(%s)\n%s" % (
+            name, format_layout(advised.solver, fitted, top=8)
+        ))
+    report("fig14_solver_layouts", "\n".join(sections))
+
+    for name, (advised, fitted) in results.items():
+        solver_util = advised.utilizations["solver"]
+        see_util = advised.utilizations["see"]
+        # Balanced: max within 30% of mean.
+        assert solver_util.max() <= 1.3 * solver_util.mean() + 1e-9
+        # Reduced relative to SEE.
+        assert solver_util.max() <= see_util.max() * 1.001
+        # Every object's row still sums to one (validity).
+        assert np.allclose(advised.solver.matrix.sum(axis=1), 1.0,
+                           atol=1e-4)

@@ -1,0 +1,44 @@
+"""Paper Figure 15: the consolidation scenario, SEE vs. optimized.
+
+Two database instances share the four disks: one runs OLAP1-21 against
+TPC-H, the other runs the TPC-C OLTP terminals; 40 objects total.  The
+paper reports OLAP1-21 improving 24416 s → 17005 s (1.43x) and OLTP
+improving 304 → 360 tpmC (1.18x) under the optimized layout.  Shape:
+*both* workloads improve at once.
+"""
+
+from benchmarks.conftest import report
+from repro.experiments.reporting import format_table
+from repro.experiments.scenarios import four_disks
+
+PAPER = {"olap_speedup": 24416 / 17005, "oltp_speedup": 360 / 304}
+
+
+def test_fig15_consolidation(benchmark, lab):
+    def run():
+        specs = four_disks(lab.scale)
+        see = lab.traced_consolidation_see(specs)
+        advised = lab.advised_consolidation(specs)
+        optimized = lab.measure_consolidated(
+            advised.recommended.fractions_by_name(), specs, name="optimized"
+        )
+        return see, optimized
+
+    see, optimized = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        ["OLAP1-21 (elapsed s)", "%.0f" % see.elapsed_s,
+         "%.0f" % optimized.elapsed_s,
+         "%.2fx" % (see.elapsed_s / optimized.elapsed_s), "1.43x"],
+        ["OLTP (tpmC)", "%.0f" % see.tpm, "%.0f" % optimized.tpm,
+         "%.2fx" % (optimized.tpm / see.tpm), "1.18x"],
+    ]
+    report("fig15_consolidation", format_table(
+        ["Metric", "SEE", "Optimized", "Improvement", "Paper"],
+        rows,
+        title="Figure 15 — consolidation scenario (OLAP1-21 + OLTP)",
+    ))
+
+    # Shape: both sides improve under the optimized layout.
+    assert optimized.elapsed_s < see.elapsed_s
+    assert optimized.tpm > see.tpm * 0.95

@@ -1,0 +1,97 @@
+"""Paper Figure 17: heterogeneous disk targets, OLAP8-63.
+
+Three target configurations built from the same four disks — "3-1"
+(3-disk RAID0 + one disk), "2-1-1" (2-disk RAID0 + two disks), and the
+homogeneous "1-1-1-1" — compared across SEE, the administrator
+isolation heuristics, and the advisor's optimized layout.  The paper's
+shape: SEE degrades as target disparity grows; isolating tables helps
+on 3-1 but *isolating tables and indexes hurts* on 2-1-1; the optimized
+layout wins every configuration.
+"""
+
+from benchmarks.conftest import report
+from repro.baselines.heuristics import (
+    isolate_tables_indexes_layout,
+    isolate_tables_layout,
+)
+from repro.db.workloads import OLAP8_63
+from repro.experiments.reporting import format_table
+from repro.experiments.scenarios import config_2_1_1, config_3_1, four_disks
+
+PAPER_SPEEDUPS = {"3-1": "1.36x", "2-1-1": "1.29x", "1-1-1-1": "1.19x"}
+
+
+def test_fig17_heterogeneous_targets(benchmark, lab):
+    def run():
+        database = lab.tpch()
+        profiles = lab.olap_profiles(OLAP8_63)
+        configs = {
+            "3-1": config_3_1(lab.scale),
+            "2-1-1": config_2_1_1(lab.scale),
+            "1-1-1-1": four_disks(lab.scale),
+        }
+        out = {}
+        for config_name, specs in configs.items():
+            key = "OLAP8-63/%s" % config_name
+            see = lab.traced_see(key, database, profiles, specs,
+                                 concurrency=OLAP8_63.concurrency)
+            advised = lab.advised(key, database, profiles, specs,
+                                  concurrency=OLAP8_63.concurrency)
+            optimized = lab.measure(
+                database, profiles,
+                advised.recommended.fractions_by_name(), specs,
+                concurrency=OLAP8_63.concurrency, name="optimized",
+            )
+            row = {"see": see.elapsed_s, "optimized": optimized.elapsed_s}
+            target_names = [s.name for s in specs]
+            if config_name == "3-1":
+                isolate = isolate_tables_layout(database, target_names,
+                                                table_target=0)
+                row["isolate"] = lab.measure(
+                    database, profiles, isolate.fractions_by_name(), specs,
+                    concurrency=OLAP8_63.concurrency, name="isolate-tables",
+                ).elapsed_s
+            if config_name == "2-1-1":
+                isolate = isolate_tables_indexes_layout(
+                    database, target_names, table_target=0, index_target=1,
+                    temp_target=2,
+                )
+                row["isolate"] = lab.measure(
+                    database, profiles, isolate.fractions_by_name(), specs,
+                    concurrency=OLAP8_63.concurrency,
+                    name="isolate-tables-indexes",
+                ).elapsed_s
+            out[config_name] = row
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for config_name in ("3-1", "2-1-1", "1-1-1-1"):
+        row = results[config_name]
+        rows.append([
+            config_name,
+            "%.0f" % row["see"],
+            "%.0f" % row["isolate"] if "isolate" in row else "n/a",
+            "%.0f" % row["optimized"],
+            "%.2fx" % (row["see"] / row["optimized"]),
+            PAPER_SPEEDUPS[config_name],
+        ])
+    report("fig17_heterogeneous", format_table(
+        ["Config", "SEE (s)", "Isolation baseline (s)", "Optimized (s)",
+         "Speedup vs SEE", "Paper"],
+        rows,
+        title="Figure 17 — heterogeneous storage targets, OLAP8-63",
+    ))
+
+    # Shape: optimized beats SEE in every configuration...
+    for config_name, row in results.items():
+        assert row["optimized"] < row["see"], config_name
+    # ...and beats (or at worst ties) the isolation heuristics too.
+    assert results["3-1"]["optimized"] <= results["3-1"]["isolate"] * 1.05
+    assert results["2-1-1"]["optimized"] <= results["2-1-1"]["isolate"] * 1.05
+    # SEE's penalty grows with target disparity (paper: 18103 > 16922 >
+    # 16201 in absolute terms; we check the speedup ordering instead).
+    s31 = results["3-1"]["see"] / results["3-1"]["optimized"]
+    s1111 = results["1-1-1-1"]["see"] / results["1-1-1-1"]["optimized"]
+    assert s31 >= s1111 * 0.85

@@ -1,0 +1,87 @@
+"""Paper Figure 18: four disks plus an SSD of varying capacity, OLAP8-63.
+
+The advisor lays the TPC-H objects out across the disks and the SSD.
+The paper's shape: SEE performs poorly because of the device disparity;
+putting everything on the SSD (when it fits) is much better; the
+optimized layout beats both by using the SSD for what it is good at
+while still exploiting the disks — and it keeps winning when the SSD is
+far too small to hold the database (down to 4 GB against 9.4 GB of
+objects, where the paper still sees 1.42x over SEE).
+"""
+
+from benchmarks.conftest import report
+from repro.baselines.heuristics import all_on_target_layout
+from repro.db.workloads import OLAP8_63
+from repro.errors import LayoutError
+from repro.experiments.reporting import format_table
+from repro.experiments.scenarios import disks_plus_ssd
+
+PAPER = {32: "1.96x", 10: "1.9x", 6: "1.94x", 4: "1.42x"}
+
+
+def test_fig18_ssd_capacities(benchmark, lab):
+    def run():
+        database = lab.tpch()
+        profiles = lab.olap_profiles(OLAP8_63)
+        out = {}
+        for ssd_gib in (32, 10, 6, 4):
+            specs = disks_plus_ssd(lab.scale, ssd_capacity_gib=ssd_gib)
+            key = "OLAP8-63/ssd-%d" % ssd_gib
+            see = lab.traced_see(key, database, profiles, specs,
+                                 concurrency=OLAP8_63.concurrency)
+            # The capacity-squeezed SSD problems have rough landscapes;
+            # give the solver an extra restart (the paper's Figure 4
+            # repeat loop exists for exactly this).
+            advised = lab.advised(key, database, profiles, specs,
+                                  concurrency=OLAP8_63.concurrency,
+                                  restarts=2)
+            optimized = lab.measure(
+                database, profiles,
+                advised.recommended.fractions_by_name(), specs,
+                concurrency=OLAP8_63.concurrency, name="optimized",
+            )
+            row = {"see": see.elapsed_s, "optimized": optimized.elapsed_s}
+            try:
+                ssd_only = all_on_target_layout(
+                    database, [s.name for s in specs], len(specs) - 1,
+                    capacity=specs[-1].capacity,
+                )
+                row["ssd_only"] = lab.measure(
+                    database, profiles, ssd_only.fractions_by_name(), specs,
+                    concurrency=OLAP8_63.concurrency, name="ssd-only",
+                ).elapsed_s
+            except LayoutError:
+                row["ssd_only"] = None  # SSD too small, as in the paper
+            out[ssd_gib] = row
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for ssd_gib in (32, 10, 6, 4):
+        row = results[ssd_gib]
+        rows.append([
+            "%d GB" % ssd_gib,
+            "%.0f" % row["see"],
+            "%.0f" % row["ssd_only"] if row["ssd_only"] else "n/a",
+            "%.0f" % row["optimized"],
+            "%.2fx" % (row["see"] / row["optimized"]),
+            PAPER[ssd_gib],
+        ])
+    report("fig18_ssd", format_table(
+        ["SSD cap.", "SEE (s)", "All-on-SSD (s)", "Optimized (s)",
+         "Speedup vs SEE", "Paper"],
+        rows,
+        title="Figure 18 — four disks + SSD, OLAP8-63",
+    ))
+
+    for ssd_gib, row in results.items():
+        # Optimized beats SEE at every SSD capacity.
+        assert row["optimized"] < row["see"], ssd_gib
+        # And beats or matches the SSD-only layout where that exists.
+        if row["ssd_only"] is not None:
+            assert row["optimized"] <= row["ssd_only"] * 1.1
+    # A small SSD is too small to hold everything (4 GB vs 9.4 GB data).
+    assert results[4]["ssd_only"] is None
+    # Yet the advisor still extracts a benefit from it relative to the
+    # disk-only optimized result (paper: 13608 s -> 8529 s).

@@ -1,0 +1,104 @@
+"""Paper Figure 20 / §6.6: comparison with the AutoAdmin layout tool.
+
+The AutoAdmin algorithm (Agrawal et al., ICDE 2003) sees only the SQL
+workload, so it recommends the same layout for OLAP1-63 and OLAP8-63.
+The paper finds it roughly matches the advisor on OLAP1-63 (32634 s vs
+31789 s vs 40927 s SEE) but *hurts* on OLAP8-63 (19937 s, worse than
+SEE's 16201 s) because it cannot see the concurrency level.  A
+PostgreSQL cardinality misestimate on Q18's temp spill is emulated so
+the tool overweights separating LINEITEM and TEMP SPACE, as in the
+paper's Figure 20(b).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import report
+from repro.baselines.autoadmin import autoadmin_layout
+from repro.db.workloads import OLAP1_63, OLAP8_63
+from repro.experiments.reporting import format_layout, format_table
+from repro.experiments.scenarios import four_disks
+
+#: Emulated optimizer error: PostgreSQL misestimates Q18's intermediate
+#: sizes "by multiple orders of magnitude" (paper §6.6).
+MISESTIMATES = {("Q18", "TEMP SPACE"): 50.0}
+
+
+def test_fig20_autoadmin_comparison(benchmark, lab):
+    def run():
+        database = lab.tpch()
+        specs = four_disks(lab.scale)
+        target_names = [s.name for s in specs]
+        capacities = [s.capacity for s in specs]
+
+        layout = autoadmin_layout(
+            database, lab.olap_profiles(OLAP1_63), target_names,
+            capacities=capacities, misestimates=MISESTIMATES,
+        )
+        layout8 = autoadmin_layout(
+            database, lab.olap_profiles(OLAP8_63), target_names,
+            capacities=capacities, misestimates=MISESTIMATES,
+        )
+
+        out = {"layout": layout, "same_for_both": bool(
+            np.allclose(layout.matrix, layout8.matrix)
+        )}
+        for workload in (OLAP1_63, OLAP8_63):
+            key = "%s/1-1-1-1" % workload.name
+            profiles = lab.olap_profiles(workload)
+            see = lab.traced_see(key, database, profiles, specs,
+                                 concurrency=workload.concurrency)
+            advised = lab.advised(key, database, profiles, specs,
+                                  concurrency=workload.concurrency)
+            ours = lab.measure(
+                database, profiles,
+                advised.recommended.fractions_by_name(), specs,
+                concurrency=workload.concurrency, name="advisor",
+            )
+            autoadmin = lab.measure(
+                database, profiles, layout.fractions_by_name(), specs,
+                concurrency=workload.concurrency, name="autoadmin",
+            )
+            out[workload.name] = {
+                "see": see.elapsed_s,
+                "advisor": ours.elapsed_s,
+                "autoadmin": autoadmin.elapsed_s,
+            }
+        fitted = lab.fitted("OLAP1-63/1-1-1-1", database,
+                            lab.olap_profiles(OLAP1_63), specs,
+                            concurrency=1)
+        return out, fitted
+
+    results, fitted = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for name in ("OLAP1-63", "OLAP8-63"):
+        row = results[name]
+        rows.append([
+            name, "%.0f" % row["see"], "%.0f" % row["autoadmin"],
+            "%.0f" % row["advisor"],
+            "%.2fx" % (row["see"] / row["autoadmin"]),
+            "%.2fx" % (row["see"] / row["advisor"]),
+        ])
+    report("fig20_autoadmin", (
+        format_table(
+            ["Workload", "SEE (s)", "AutoAdmin (s)", "Advisor (s)",
+             "AutoAdmin speedup", "Advisor speedup"],
+            rows,
+            title="Figure 20 / §6.6 — AutoAdmin comparison",
+        )
+        + "\n\nAutoAdmin layout (identical for both workloads):\n"
+        + format_layout(results["layout"], fitted, top=8)
+    ))
+
+    # AutoAdmin is concurrency-oblivious: one layout for both mixes.
+    assert results["same_for_both"]
+    # On OLAP1-63 AutoAdmin is competitive: clearly better than SEE.
+    olap1 = results["OLAP1-63"]
+    assert olap1["autoadmin"] < olap1["see"]
+    # Our advisor is at least as good there.
+    assert olap1["advisor"] <= olap1["autoadmin"] * 1.1
+    # On OLAP8-63 the concurrency-oblivious layout hurts vs SEE...
+    olap8 = results["OLAP8-63"]
+    assert olap8["autoadmin"] > olap8["see"]
+    # ...while the advisor still beats SEE.
+    assert olap8["advisor"] < olap8["see"]

@@ -1,0 +1,59 @@
+"""Solver portfolio comparison (paper §4.1 / §7).
+
+The paper solves the layout NLP with MINOS and sketches randomized
+search (DAD-style) as an alternative.  This bench compares our three
+methods — SLSQP (the NLP path), block-coordinate descent, and simulated
+annealing — on the real OLAP8-63 problem: solution quality (max
+estimated utilization) and wall-clock time.
+"""
+
+import time
+
+from benchmarks.conftest import STRIPE, report
+from repro.core import initial_layout, solve
+from repro.db.workloads import OLAP8_63
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import build_problem
+from repro.experiments.scenarios import four_disks
+
+
+def test_solver_method_comparison(benchmark, lab):
+    def run():
+        database = lab.tpch()
+        specs = four_disks(lab.scale)
+        fitted = lab.fitted(
+            "OLAP8-63/1-1-1-1", database, lab.olap_profiles(OLAP8_63),
+            specs, concurrency=OLAP8_63.concurrency,
+        )
+        problem = build_problem(database, specs, fitted,
+                                stripe_size=STRIPE)
+        rows = []
+        see_value = problem.evaluator().objective(
+            problem.see_layout().matrix
+        )
+        for method in ("slsqp", "coordinate", "anneal"):
+            started = time.perf_counter()
+            result = solve(problem, initial=initial_layout(problem),
+                           method=method, seed=4)
+            rows.append({
+                "method": method,
+                "objective": result.objective,
+                "seconds": time.perf_counter() - started,
+            })
+        return rows, see_value
+
+    rows, see_value = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    report("solver_methods", format_table(
+        ["Method", "max utilization", "solve time (s)"],
+        [[r["method"], "%.4f" % r["objective"], "%.2f" % r["seconds"]]
+         for r in rows] + [["(SEE reference)", "%.4f" % see_value, ""]],
+        title="Solver comparison — OLAP8-63 problem (N=20, M=4)",
+    ))
+
+    # Every method must at least match SEE.
+    for row in rows:
+        assert row["objective"] <= see_value * 1.001, row["method"]
+    # The portfolio keeps methods within a reasonable band of each other.
+    objectives = [r["objective"] for r in rows]
+    assert max(objectives) <= min(objectives) * 2.0

@@ -1,0 +1,76 @@
+"""Trace-based vs. estimator-based workload descriptions.
+
+The paper's §5.1 names two input paths for the advisor: fitting
+workload descriptions from traces of the running system (their primary
+path, via Rubicon) or deriving them directly from knowledge of the
+database workload with a storage workload estimator [19], which "may be
+less accurate".  This example runs both paths on the same scenario and
+compares the layouts and the measured workload times they lead to.
+
+Run with::
+
+    python examples/estimator_vs_trace.py
+"""
+
+from repro.core import LayoutAdvisor
+from repro.db import tpch_database
+from repro.db.workloads import OLAP1_63
+from repro.experiments.reporting import format_layout
+from repro.experiments.runner import (
+    build_problem,
+    fit_workloads_from_run,
+    measure_olap,
+    see_fractions,
+)
+from repro.experiments.scenarios import four_disks, scaled_stripe
+from repro.workload.estimator import estimate_workloads
+
+SCALE = 1 / 128
+STRIPE = scaled_stripe(SCALE)
+
+
+def advise_and_measure(database, specs, profiles, workloads, label):
+    problem = build_problem(database, specs, workloads, stripe_size=STRIPE)
+    result = LayoutAdvisor(problem, regular=True).recommend()
+    measured = measure_olap(
+        database, profiles, result.recommended.fractions_by_name(), specs,
+        concurrency=OLAP1_63.concurrency, stripe_size=STRIPE,
+    )
+    print("%s layout (6 hottest):" % label)
+    print(format_layout(result.recommended, workloads, top=6))
+    print("%s measured time: %.0f simulated seconds\n" % (label,
+                                                          measured.elapsed_s))
+    return measured.elapsed_s
+
+
+def main():
+    database = tpch_database(SCALE)
+    specs = four_disks(SCALE)
+    profiles = OLAP1_63.profiles()
+
+    print("running SEE once (the trace-based path needs a trace)...")
+    see_run = measure_olap(
+        database, profiles, see_fractions(database, len(specs)), specs,
+        concurrency=OLAP1_63.concurrency, collect_trace=True,
+        stripe_size=STRIPE,
+    )
+    print("SEE: %.0f simulated seconds\n" % see_run.elapsed_s)
+
+    fitted = fit_workloads_from_run(see_run, database)
+    traced_time = advise_and_measure(database, specs, profiles, fitted,
+                                     "trace-based")
+
+    estimated = estimate_workloads(database, profiles,
+                                   concurrency=OLAP1_63.concurrency)
+    estimated_time = advise_and_measure(database, specs, profiles, estimated,
+                                        "estimator-based")
+
+    print("speedup vs SEE:  trace-based %.2fx,  estimator-based %.2fx"
+          % (see_run.elapsed_s / traced_time,
+             see_run.elapsed_s / estimated_time))
+    print("(the paper expects the estimator path to be usable but "
+          "somewhat less accurate)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""From characterization to a migration plan.
+
+The DBA-facing workflow around the advisor: characterize the observed
+I/O (the report a Rubicon-style tool produces), get a recommendation,
+and — before acting — see exactly how much data would move, where, and
+roughly how long the migration would take.
+
+Run with::
+
+    python examples/migration_plan.py
+"""
+
+from repro.core import LayoutAdvisor, migration_cost_seconds, plan_migration
+from repro.db import tpch_database
+from repro.db.workloads import OLAP1_63
+from repro.experiments.characterize import characterize
+from repro.experiments.runner import (
+    build_problem,
+    fit_workloads_from_run,
+    measure_olap,
+    see_fractions,
+)
+from repro.experiments.scenarios import four_disks, scaled_stripe
+
+SCALE = 1 / 128
+STRIPE = scaled_stripe(SCALE)
+
+
+def main():
+    database = tpch_database(SCALE)
+    specs = four_disks(SCALE)
+    profiles = OLAP1_63.profiles()
+
+    see_run = measure_olap(
+        database, profiles, see_fractions(database, len(specs)), specs,
+        concurrency=OLAP1_63.concurrency, collect_trace=True,
+        stripe_size=STRIPE,
+    )
+
+    print(characterize(see_run.trace, duration=see_run.elapsed_s, top=6))
+    print()
+
+    fitted = fit_workloads_from_run(see_run, database)
+    problem = build_problem(database, specs, fitted, stripe_size=STRIPE)
+    result = LayoutAdvisor(problem, regular=True).recommend()
+
+    sizes = database.sizes()
+    plan = plan_migration(problem.see_layout(), result.recommended, sizes)
+    print(plan.describe(top=8))
+    print()
+    print("moved fraction of database: %.0f%%"
+          % (100 * plan.moved_fraction(database.total_size)))
+    print("migration time lower bound: %.1f s at 80 MiB/s per target"
+          % migration_cost_seconds(plan))
+    print()
+    print("estimated max utilization: SEE %.2f -> optimized %.2f"
+          % (result.max_utilization("see"),
+             result.max_utilization("regular")))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""repro — workload-aware storage layout for database systems.
+
+A faithful, from-scratch reproduction of Ozmen, Salem, Schindler and
+Daniel, "Workload-Aware Storage Layout for Database Systems"
+(SIGMOD 2010): a layout advisor that maps database objects onto storage
+targets by solving a non-linear minimax utilization program over
+Rome-style workload descriptions and calibrated black-box target cost
+models, plus the full evaluation substrate (storage simulator, TPC-H/
+TPC-C-shaped workload generators, baselines including the AutoAdmin
+layout algorithm).
+
+Quickstart::
+
+    from repro import LayoutAdvisor, LayoutProblem, TargetSpec, ObjectWorkload
+    from repro.models.analytic import analytic_disk_target_model
+
+    targets = [
+        TargetSpec("disk%d" % j, capacity=18 << 30,
+                   model=analytic_disk_target_model("disk%d" % j))
+        for j in range(4)
+    ]
+    workloads = [
+        ObjectWorkload("lineitem", read_rate=800, run_count=64,
+                       overlap={"orders": 0.9}),
+        ObjectWorkload("orders", read_rate=300, run_count=64,
+                       overlap={"lineitem": 0.9}),
+    ]
+    problem = LayoutProblem({"lineitem": 5 << 30, "orders": 1 << 30},
+                            targets, workloads)
+    result = LayoutAdvisor(problem).recommend()
+    print(result.recommended.describe())
+"""
+
+from repro.core import (
+    AdvisorResult,
+    Layout,
+    LayoutAdvisor,
+    LayoutProblem,
+    PinningConstraints,
+    SolveResult,
+    TargetSpec,
+    initial_layout,
+    regularize,
+    solve,
+)
+from repro.workload import ObjectWorkload
+from repro.models import TableCostModel, TargetModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdvisorResult",
+    "Layout",
+    "LayoutAdvisor",
+    "LayoutProblem",
+    "PinningConstraints",
+    "SolveResult",
+    "TargetSpec",
+    "initial_layout",
+    "regularize",
+    "solve",
+    "ObjectWorkload",
+    "TableCostModel",
+    "TargetModel",
+    "__version__",
+]

@@ -1,0 +1,67 @@
+"""Classic file-assignment baselines (paper §7 related work).
+
+"File assignment problems involve assigning each of N files to one of M
+identical storage devices, usually with the objective of balancing the
+load across the devices ... each file might be associated with a
+numeric request rate.  Issues like interference between co-located
+objects are not considered."
+
+Two representative strategies:
+
+* :func:`greedy_rate_layout` — files in decreasing request-rate order,
+  each placed whole on the device with the lowest assigned rate (the
+  longest-processing-time rule for makespan balancing);
+* :func:`round_robin_layout` — files dealt to devices in catalog order,
+  the naive default.
+
+Both are rate-only and interference-blind, which is exactly what the
+workload-aware advisor improves on.
+"""
+
+import numpy as np
+
+from repro.core.layout import Layout
+from repro.errors import CapacityError
+
+
+def greedy_rate_layout(database, workloads, target_names, capacities=None):
+    """Rate-balancing greedy assignment (one target per object)."""
+    by_name = {w.name: w for w in workloads}
+    names = database.object_names
+    m = len(target_names)
+    sizes = np.array([database[n].size for n in names], dtype=float)
+    if capacities is None:
+        capacities = np.full(m, sizes.sum())
+    capacities = np.asarray(capacities, dtype=float)
+
+    order = sorted(
+        range(len(names)),
+        key=lambda i: -(by_name[names[i]].total_rate if names[i] in by_name
+                        else 0.0),
+    )
+    matrix = np.zeros((len(names), m))
+    load = np.zeros(m)
+    used = np.zeros(m)
+    for i in order:
+        rate = by_name[names[i]].total_rate if names[i] in by_name else 0.0
+        candidates = [j for j in range(m) if used[j] + sizes[i] <= capacities[j]]
+        if not candidates:
+            raise CapacityError(
+                "no device has room for %s in the file-assignment baseline"
+                % names[i]
+            )
+        j = min(candidates, key=lambda j: (load[j], j))
+        matrix[i, j] = 1.0
+        load[j] += rate
+        used[j] += sizes[i]
+    return Layout(matrix, names, list(target_names))
+
+
+def round_robin_layout(database, target_names):
+    """Deal objects to devices in catalog order (naive default)."""
+    names = database.object_names
+    m = len(target_names)
+    matrix = np.zeros((len(names), m))
+    for i in range(len(names)):
+        matrix[i, i % m] = 1.0
+    return Layout(matrix, names, list(target_names))

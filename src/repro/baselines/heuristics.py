@@ -1,0 +1,82 @@
+"""Rule-of-thumb layout heuristics (paper §6.4's baselines).
+
+For the heterogeneous "3-1" configuration the paper considers isolating
+all tables on the large target with everything else on the small one;
+for "2-1-1" it isolates tables on the large target, indexes on one small
+target, and the temporary tablespace (plus logs) on the other.  For the
+SSD experiments it considers placing every object on the SSD when
+capacity allows.
+"""
+
+from repro.core.layout import Layout
+from repro.db.schema import INDEX, LOG, TABLE, TEMP
+from repro.errors import LayoutError
+
+
+def _assignment_layout(database, target_names, group_of):
+    """Build a layout from a function mapping object kind to a target."""
+    assignment = {}
+    for obj in database.objects:
+        assignment[obj.name] = group_of(obj)
+    return Layout.from_assignment(assignment, database.object_names,
+                                  list(target_names))
+
+
+def isolate_tables_layout(database, target_names, table_target=0):
+    """Tables on one target, everything else striped over the rest.
+
+    The paper's second baseline for the "3-1" configuration places the
+    tables on the 3-disk RAID0 target and the remaining objects on the
+    standalone disk.
+    """
+    others = [j for j in range(len(target_names)) if j != table_target]
+    if not others:
+        raise LayoutError("need at least two targets to isolate tables")
+
+    def group_of(obj):
+        if obj.kind == TABLE:
+            return [table_target]
+        return others
+
+    return _assignment_layout(database, target_names, group_of)
+
+
+def isolate_tables_indexes_layout(database, target_names, table_target=0,
+                                  index_target=1, temp_target=2):
+    """Tables / indexes / temp+log each isolated (paper's 2-1-1 baseline)."""
+    if len(target_names) < 3:
+        raise LayoutError(
+            "isolating tables, indexes, and temp needs at least 3 targets"
+        )
+
+    def group_of(obj):
+        if obj.kind == TABLE:
+            return [table_target]
+        if obj.kind == INDEX:
+            return [index_target]
+        if obj.kind in (TEMP, LOG):
+            return [temp_target]
+        return [temp_target]
+
+    return _assignment_layout(database, target_names, group_of)
+
+
+def all_on_target_layout(database, target_names, target_index,
+                         capacity=None):
+    """Every object on a single target (the paper's SSD-only baseline).
+
+    Raises:
+        LayoutError: If ``capacity`` is given and the database does not
+            fit — the paper only reports the SSD-only baseline "in those
+            scenarios for which the SSD capacity was sufficient".
+    """
+    if capacity is not None and database.total_size > capacity:
+        raise LayoutError(
+            "database (%d bytes) does not fit on target %s (%d bytes)"
+            % (database.total_size, target_names[target_index], capacity)
+        )
+
+    def group_of(_obj):
+        return [target_index]
+
+    return _assignment_layout(database, target_names, group_of)

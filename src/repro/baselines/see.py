@@ -1,0 +1,14 @@
+"""Stripe-everything-everywhere (SEE).
+
+The default practice the paper measures against: every object is
+distributed evenly across all available storage targets [18, 22].  Good
+load balance on homogeneous targets, but oblivious to interference and
+to target heterogeneity.
+"""
+
+from repro.core.layout import Layout
+
+
+def see_layout(object_names, target_names):
+    """The SEE layout over the given objects and targets."""
+    return Layout.see(list(object_names), list(target_names))

@@ -1,0 +1,132 @@
+"""The layout advisor: the full Figure-4 pipeline in one call.
+
+``LayoutAdvisor.recommend()`` runs initial-layout construction, the NLP
+solve (optionally from several starting points), and — when a regular
+layout is requested — the regularization step, and returns every
+intermediate stage with its estimated utilizations so callers can
+reproduce the paper's Figure 13 stage-by-stage comparison and the
+Figure 19 timing breakdown.
+"""
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.initial import initial_layout
+from repro.core.layout import Layout
+from repro.core.regularize import regularize
+from repro.core.solver import solve
+
+
+@dataclass
+class AdvisorResult:
+    """All stages of one advisor run.
+
+    Attributes:
+        initial: The Section-4.2 greedy starting layout.
+        solver: The (possibly non-regular) NLP solution.
+        regular: The regularized layout, or None when regularization was
+            not requested.
+        utilizations: Estimated µ_j per stage, keyed by stage name
+            (``"see"`` is included for comparison, as in Figure 13).
+        solver_time_s / regularization_time_s / initial_time_s: Wall
+            clock per stage (the paper's Figure 19 columns).
+        method: The solve method that produced ``solver``.
+    """
+
+    initial: Layout
+    solver: Layout
+    regular: Optional[Layout]
+    utilizations: Dict[str, np.ndarray] = field(default_factory=dict)
+    initial_time_s: float = 0.0
+    solver_time_s: float = 0.0
+    regularization_time_s: float = 0.0
+    method: str = ""
+
+    @property
+    def recommended(self):
+        """The layout a caller should implement."""
+        return self.regular if self.regular is not None else self.solver
+
+    @property
+    def total_time_s(self):
+        return self.initial_time_s + self.solver_time_s + self.regularization_time_s
+
+    def max_utilization(self, stage):
+        return float(np.max(self.utilizations[stage]))
+
+
+class LayoutAdvisor:
+    """Standalone database storage layout advisor.
+
+    Args:
+        problem: The :class:`~repro.core.problem.LayoutProblem` to solve.
+        regular: Whether the final layout must be regular (needed when
+            the layout mechanism round-robin stripes; see Definition 2).
+        restarts: Number of solver starting points (Figure 4 repeat loop).
+        method: Solve method, ``"auto"`` / ``"slsqp"`` / ``"coordinate"``
+            / ``"anneal"``.
+        seed: RNG seed for restart jitter.
+        expert_layouts: Optional domain-expert starting layouts, used as
+            extra solver restarts (paper §4.1).
+    """
+
+    def __init__(self, problem, regular=True, restarts=1, method="auto",
+                 seed=0, expert_layouts=()):
+        self.problem = problem
+        self.regular = regular
+        self.restarts = restarts
+        self.method = method
+        self.seed = seed
+        self.expert_layouts = tuple(expert_layouts)
+
+    def recommend(self):
+        """Run the pipeline and return an :class:`AdvisorResult`."""
+        problem = self.problem
+        evaluator = problem.evaluator()
+        utilizations = {
+            "see": evaluator.utilizations(problem.see_layout().matrix)
+        }
+
+        start = time.perf_counter()
+        start_layout = initial_layout(problem)
+        initial_time = time.perf_counter() - start
+        utilizations["initial"] = evaluator.utilizations(start_layout.matrix)
+
+        solve_started = time.perf_counter()
+        solve_result = solve(
+            problem,
+            initial=start_layout,
+            method=self.method,
+            restarts=self.restarts,
+            seed=self.seed,
+            evaluator=evaluator,
+            expert_layouts=self.expert_layouts,
+        )
+        # Wall time of the whole solve step (all portfolio starts), the
+        # quantity the paper's Figure 19 reports — not just the winning
+        # attempt's share.
+        solve_wall_time = time.perf_counter() - solve_started
+        utilizations["solver"] = solve_result.utilizations
+
+        regular_layout = None
+        regularization_time = 0.0
+        if self.regular:
+            start = time.perf_counter()
+            regular_layout = regularize(problem, solve_result.layout,
+                                        evaluator=evaluator)
+            regularization_time = time.perf_counter() - start
+            utilizations["regular"] = evaluator.utilizations(regular_layout.matrix)
+
+        return AdvisorResult(
+            initial=start_layout,
+            solver=solve_result.layout,
+            regular=regular_layout,
+            utilizations=utilizations,
+            initial_time_s=initial_time,
+            solver_time_s=solve_wall_time,
+            regularization_time_s=regularization_time,
+            method=solve_result.method,
+        )

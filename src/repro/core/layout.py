@@ -1,0 +1,179 @@
+"""Layout matrices (paper Section 3).
+
+A layout ``L`` is an N×M matrix where ``L_ij ∈ [0, 1]`` is the fraction
+of object *i* assigned to target *j*.  Valid layouts satisfy the
+integrity constraint (each row sums to one) and the capacity constraint.
+A *regular* layout additionally has every row composed of equal shares
+over a subset of targets — the only layouts a round-robin striping
+mechanism can implement.
+"""
+
+import numpy as np
+
+from repro.errors import LayoutError
+
+#: Numeric tolerance for integrity/regularity checks.
+TOLERANCE = 1e-6
+
+
+class Layout:
+    """An immutable-ish layout matrix with object/target names attached."""
+
+    def __init__(self, matrix, object_names, target_names):
+        self.matrix = np.asarray(matrix, dtype=float)
+        self.object_names = list(object_names)
+        self.target_names = list(target_names)
+        if self.matrix.shape != (len(self.object_names), len(self.target_names)):
+            raise LayoutError(
+                "layout shape %s does not match %d objects x %d targets"
+                % (self.matrix.shape, len(self.object_names), len(self.target_names))
+            )
+
+    @property
+    def n_objects(self):
+        return self.matrix.shape[0]
+
+    @property
+    def n_targets(self):
+        return self.matrix.shape[1]
+
+    def row(self, obj):
+        """The per-target fractions of one object, by name or index."""
+        if isinstance(obj, str):
+            obj = self.object_names.index(obj)
+        return self.matrix[obj]
+
+    def fraction(self, obj, target):
+        if isinstance(obj, str):
+            obj = self.object_names.index(obj)
+        if isinstance(target, str):
+            target = self.target_names.index(target)
+        return float(self.matrix[obj, target])
+
+    def fractions_by_name(self):
+        """Mapping of object name → list of fractions (placement-map input)."""
+        return {
+            name: self.matrix[i].tolist()
+            for i, name in enumerate(self.object_names)
+        }
+
+    # ------------------------------------------------------------------
+    # Validity predicates
+    # ------------------------------------------------------------------
+
+    def check_integrity(self):
+        """Raise unless every row sums to one and entries are in [0, 1]."""
+        if np.any(self.matrix < -TOLERANCE) or np.any(self.matrix > 1 + TOLERANCE):
+            raise LayoutError("layout entries must lie in [0, 1]")
+        sums = self.matrix.sum(axis=1)
+        bad = np.where(np.abs(sums - 1.0) > 1e-4)[0]
+        if bad.size:
+            raise LayoutError(
+                "integrity constraint violated for objects %s (row sums %s)"
+                % ([self.object_names[i] for i in bad], sums[bad])
+            )
+
+    def check_capacity(self, sizes, capacities):
+        """Raise unless per-target assigned bytes fit within capacities."""
+        sizes = np.asarray(sizes, dtype=float)
+        assigned = sizes @ self.matrix
+        for j, capacity in enumerate(capacities):
+            if assigned[j] > capacity * (1 + TOLERANCE):
+                raise LayoutError(
+                    "capacity constraint violated on target %s: %d > %d"
+                    % (self.target_names[j], assigned[j], capacity)
+                )
+
+    def is_valid(self, sizes, capacities):
+        """True when both validity constraints of Definition 1 hold."""
+        try:
+            self.check_integrity()
+            self.check_capacity(sizes, capacities)
+        except LayoutError:
+            return False
+        return True
+
+    def is_regular(self, tolerance=1e-4):
+        """True when every row is equal shares over a subset (Definition 2)."""
+        for row in self.matrix:
+            positive = row[row > tolerance]
+            if positive.size == 0:
+                return False
+            if np.any(np.abs(positive - positive[0]) > tolerance):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def see(cls, object_names, target_names):
+        """Stripe-everything-everywhere: every object even over all targets."""
+        n, m = len(object_names), len(target_names)
+        return cls(np.full((n, m), 1.0 / m), object_names, target_names)
+
+    @classmethod
+    def from_assignment(cls, assignment, object_names, target_names):
+        """Build a layout from ``{object: target or [targets]}``.
+
+        Each object is spread evenly over the listed target(s).
+        """
+        n, m = len(object_names), len(target_names)
+        matrix = np.zeros((n, m))
+        index = {name: j for j, name in enumerate(target_names)}
+        for i, obj in enumerate(object_names):
+            spec = assignment[obj]
+            if isinstance(spec, (str, int)):
+                spec = [spec]
+            columns = [index[t] if isinstance(t, str) else int(t) for t in spec]
+            if not columns:
+                raise LayoutError("object %s assigned to no target" % obj)
+            for j in columns:
+                matrix[i, j] = 1.0 / len(columns)
+        return cls(matrix, object_names, target_names)
+
+    @classmethod
+    def regular_row(cls, targets, n_targets):
+        """An equal-share row vector over the given target indices."""
+        row = np.zeros(n_targets)
+        for j in targets:
+            row[j] = 1.0 / len(targets)
+        return row
+
+    def with_row(self, index, row):
+        """Return a copy with one object's row replaced."""
+        matrix = self.matrix.copy()
+        matrix[index] = row
+        return Layout(matrix, self.object_names, self.target_names)
+
+    def copy(self):
+        return Layout(self.matrix.copy(), self.object_names, self.target_names)
+
+    # ------------------------------------------------------------------
+    # Presentation
+    # ------------------------------------------------------------------
+
+    def describe(self, min_fraction=0.005, order=None):
+        """Human-readable per-object layout, one line per object.
+
+        Args:
+            min_fraction: Hide shares below this threshold.
+            order: Optional list of object names controlling line order
+                (the paper's figures list objects by decreasing request
+                rate).
+        """
+        names = order if order is not None else self.object_names
+        lines = []
+        for name in names:
+            row = self.row(name)
+            parts = [
+                "%s:%.0f%%" % (self.target_names[j], 100 * row[j])
+                for j in range(self.n_targets)
+                if row[j] >= min_fraction
+            ]
+            lines.append("%-22s %s" % (name, "  ".join(parts)))
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "Layout(%d objects x %d targets)" % (self.n_objects, self.n_targets)

@@ -1,0 +1,82 @@
+"""Administrative layout constraints.
+
+The paper notes that formulating layout as an explicit NLP "makes it easy
+to incorporate additional constraints", e.g. when administrators require
+certain objects on particular targets.  :class:`PinningConstraints`
+captures the two common cases: restricting an object to a subset of
+allowed targets, and fixing an object's layout row entirely.
+"""
+
+import numpy as np
+
+from repro.errors import LayoutError
+
+
+class PinningConstraints:
+    """Per-object placement restrictions.
+
+    Args:
+        allowed: Mapping from object name to an iterable of target names
+            or indices the object may occupy.  Objects not mentioned may
+            go anywhere.
+        fixed: Mapping from object name to a full fractions row (list of
+            M floats summing to 1); these objects are excluded from
+            optimization entirely.
+    """
+
+    def __init__(self, allowed=None, fixed=None):
+        self.allowed = dict(allowed or {})
+        self.fixed = dict(fixed or {})
+
+    def is_empty(self):
+        return not self.allowed and not self.fixed
+
+    def resolve(self, object_names, target_names):
+        """Compile to numeric form for a specific problem instance.
+
+        Returns:
+            (upper_bounds, fixed_rows): ``upper_bounds`` is an (N, M)
+            array of per-entry upper bounds (0 where a target is
+            disallowed, 1 elsewhere); ``fixed_rows`` maps object index to
+            its fixed row.
+        """
+        n, m = len(object_names), len(target_names)
+        target_index = {name: j for j, name in enumerate(target_names)}
+        upper = np.ones((n, m))
+
+        for obj, targets in self.allowed.items():
+            if obj not in object_names:
+                raise LayoutError("pinned object %s is not in the problem" % obj)
+            i = object_names.index(obj)
+            allowed_columns = set()
+            for t in targets:
+                j = target_index[t] if isinstance(t, str) else int(t)
+                allowed_columns.add(j)
+            if not allowed_columns:
+                raise LayoutError("object %s has an empty allowed set" % obj)
+            for j in range(m):
+                if j not in allowed_columns:
+                    upper[i, j] = 0.0
+
+        fixed_rows = {}
+        for obj, row in self.fixed.items():
+            if obj not in object_names:
+                raise LayoutError("fixed object %s is not in the problem" % obj)
+            row = np.asarray(row, dtype=float)
+            if row.shape != (m,):
+                raise LayoutError(
+                    "fixed row for %s has wrong length %d" % (obj, row.size)
+                )
+            if abs(row.sum() - 1.0) > 1e-6 or np.any(row < 0):
+                raise LayoutError("fixed row for %s is not a valid layout row" % obj)
+            fixed_rows[object_names.index(obj)] = row
+
+        return upper, fixed_rows
+
+    def permits(self, object_name, target_index, object_names, target_names):
+        """True when the object may place a positive share on the target."""
+        upper, fixed = self.resolve(object_names, target_names)
+        i = object_names.index(object_name)
+        if i in fixed:
+            return fixed[i][target_index] > 0
+        return upper[i, target_index] > 0

@@ -1,0 +1,117 @@
+"""Layout problem definition (paper Definition 1 and Figure 3)."""
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro import units
+from repro.errors import CapacityError, LayoutError, WorkloadError
+from repro.core.layout import Layout
+from repro.core.pinning import PinningConstraints
+
+
+@dataclass
+class TargetSpec:
+    """One storage target as the advisor sees it.
+
+    Attributes:
+        name: Target name.
+        capacity: Capacity in bytes (``c_j``).
+        model: A :class:`~repro.models.target_model.TargetModel` used to
+            predict per-request costs on this target.  Different targets
+            may carry different models — that is how heterogeneity enters
+            the optimization.
+    """
+
+    name: str
+    capacity: int
+    model: object
+
+
+class LayoutProblem:
+    """N objects, M targets, and a workload description per object.
+
+    Args:
+        object_sizes: Mapping of object name to size in bytes (``s_i``).
+            Iteration order fixes the object index order.
+        targets: Sequence of :class:`TargetSpec`.
+        workloads: Sequence of
+            :class:`~repro.workload.spec.ObjectWorkload`, one per object
+            (any order; matched by name).
+        stripe_size: LVM stripe size used by the Figure-7 layout model.
+        pinning: Optional administrative constraints.
+
+    Raises:
+        WorkloadError: If workloads and objects do not match up.
+        CapacityError: If the objects cannot fit on the targets at all.
+    """
+
+    def __init__(self, object_sizes, targets, workloads,
+                 stripe_size=units.DEFAULT_STRIPE_SIZE, pinning=None):
+        self.object_names = list(object_sizes)
+        self.sizes = np.array([object_sizes[n] for n in self.object_names],
+                              dtype=float)
+        self.targets = list(targets)
+        self.target_names = [t.name for t in self.targets]
+        self.capacities = np.array([t.capacity for t in self.targets],
+                                   dtype=float)
+        self.models = [t.model for t in self.targets]
+        self.stripe_size = int(stripe_size)
+        self.pinning = pinning or PinningConstraints()
+
+        if not self.object_names:
+            raise LayoutError("a layout problem needs at least one object")
+        if not self.targets:
+            raise LayoutError("a layout problem needs at least one target")
+
+        by_name = {w.name: w for w in workloads}
+        missing = [n for n in self.object_names if n not in by_name]
+        if missing:
+            raise WorkloadError("no workload description for objects %s" % missing)
+        extra = [n for n in by_name if n not in self.object_names]
+        if extra:
+            raise WorkloadError("workloads for unknown objects %s" % extra)
+        self.workloads = [by_name[n] for n in self.object_names]
+
+        if self.sizes.sum() > self.capacities.sum():
+            raise CapacityError(
+                "total object size %d exceeds total capacity %d"
+                % (self.sizes.sum(), self.capacities.sum())
+            )
+        if np.any(self.sizes <= 0):
+            raise LayoutError("object sizes must be positive")
+        if np.any(self.capacities <= 0):
+            raise LayoutError("target capacities must be positive")
+
+    @property
+    def n_objects(self):
+        return len(self.object_names)
+
+    @property
+    def n_targets(self):
+        return len(self.targets)
+
+    def make_layout(self, matrix):
+        """Wrap a raw matrix in a named :class:`Layout`."""
+        return Layout(matrix, self.object_names, self.target_names)
+
+    def see_layout(self):
+        """The stripe-everything-everywhere baseline layout."""
+        return Layout.see(self.object_names, self.target_names)
+
+    def validate_layout(self, layout):
+        """Raise :class:`LayoutError` unless the layout is valid here."""
+        layout.check_integrity()
+        layout.check_capacity(self.sizes, self.capacities)
+
+    def objects_by_rate(self):
+        """Object indices in decreasing total-request-rate order."""
+        rates = np.array([w.total_rate for w in self.workloads])
+        return list(np.argsort(-rates, kind="stable"))
+
+    def evaluator(self):
+        """An :class:`ObjectiveEvaluator` bound to this problem."""
+        from repro.core.objective import ObjectiveEvaluator
+
+        return ObjectiveEvaluator(self)

@@ -1,0 +1,134 @@
+"""Regularization post-processing (paper Section 4.3).
+
+Layout mechanisms that round-robin stripes can only implement *regular*
+layouts (equal shares over a subset of targets).  Adding regularity
+constraints to the NLP would turn it combinatorial (up to ``2^M - 1``
+layouts per object), so the paper instead regularizes the solver's
+fractional layout object by object:
+
+* objects are processed in decreasing order of the total storage load
+  ``Σ_j µ_ij`` they impose — early mistakes can still be corrected by
+  later objects, late mistakes are small;
+* for each object, 2M candidates are generated — M *consistent* layouts
+  (equal shares over the top-k targets in the solver's own weight order,
+  ties broken by target id) and M *balancing* layouts (equal shares over
+  the k currently least-utilized targets);
+* capacity-violating candidates are discarded and the survivor
+  minimizing the maximum target utilization wins.
+"""
+
+import numpy as np
+
+from repro.errors import RegularizationError
+from repro.core.layout import Layout
+
+
+def consistent_candidates(row, n_targets):
+    """The M consistent regular candidates for a solver row.
+
+    For a solver row like (47%, 35%, 18%) these are (100%, 0%, 0%),
+    (50%, 50%, 0%), and (33%, 33%, 33%): equal shares over the top-k
+    targets in decreasing solver-weight order (ties by target id).
+    """
+    order = sorted(range(n_targets), key=lambda j: (-row[j], j))
+    return [Layout.regular_row(order[:k], n_targets) for k in range(1, n_targets + 1)]
+
+
+def balancing_candidates(utilizations, n_targets):
+    """The M balancing candidates: equal shares over k least-loaded targets."""
+    order = sorted(range(n_targets), key=lambda j: (utilizations[j], j))
+    return [Layout.regular_row(order[:k], n_targets) for k in range(1, n_targets + 1)]
+
+
+def feasibility_candidates(size, free, n_targets):
+    """Fallback candidates when every paper candidate violates capacity.
+
+    Both paper candidate classes order targets by solver weight or by
+    utilization, so a small, attractive, but *full* target (a nearly
+    full SSD, say) can appear in every prefix and rule out all 2M
+    candidates even though plenty of space exists elsewhere.  These
+    candidates order targets by remaining free space instead: equal
+    shares over the k roomiest targets, keeping only k where each share
+    fits.
+    """
+    order = sorted(range(n_targets), key=lambda j: (-free[j], j))
+    rows = []
+    for k in range(1, n_targets + 1):
+        share = size / k
+        if all(free[j] >= share for j in order[:k]):
+            rows.append(Layout.regular_row(order[:k], n_targets))
+    return rows
+
+
+def regularize(problem, solved_layout, evaluator=None):
+    """Regularize a solver layout (paper Figure 4's final step).
+
+    Args:
+        problem: The layout problem.
+        solved_layout: The (possibly non-regular) solver layout.
+        evaluator: Optional shared objective evaluator.
+
+    Returns:
+        A regular, valid :class:`Layout`.
+
+    Raises:
+        RegularizationError: When every candidate for some object
+            violates capacity — possible under very tight space
+            constraints, as the paper notes.
+    """
+    if evaluator is None:
+        evaluator = problem.evaluator()
+    n, m = problem.n_objects, problem.n_targets
+    upper, fixed_rows = problem.pinning.resolve(
+        problem.object_names, problem.target_names
+    )
+
+    matrix = solved_layout.matrix.copy()
+    loads = evaluator.object_loads(matrix)
+    order = list(np.argsort(-loads, kind="stable"))
+
+    # Bytes already committed by regularized (and fixed) objects.
+    committed = np.zeros(m)
+    for i, row in fixed_rows.items():
+        committed += problem.sizes[i] * row
+        matrix[i] = row
+    processed = set(fixed_rows)
+
+    for i in order:
+        if i in processed:
+            continue
+        utilizations = evaluator.utilizations(matrix)
+        candidates = consistent_candidates(matrix[i], m)
+        candidates += balancing_candidates(utilizations, m)
+        free = problem.capacities - committed
+        candidates += feasibility_candidates(problem.sizes[i], free, m)
+
+        best_row = None
+        best_value = np.inf
+        for row in candidates:
+            if np.any((row > 0) & (upper[i] <= 0)):
+                continue
+            assigned = committed + problem.sizes[i] * row
+            if np.any(assigned > problem.capacities * (1 + 1e-9)):
+                continue
+            old_row = matrix[i].copy()
+            matrix[i] = row
+            value = evaluator.objective(matrix)
+            matrix[i] = old_row
+            if value < best_value - 1e-12:
+                best_value = value
+                best_row = row
+        if best_row is None:
+            raise RegularizationError(
+                "no valid regular candidate for object %s; space constraints "
+                "are too tight" % problem.object_names[i]
+            )
+        matrix[i] = best_row
+        committed += problem.sizes[i] * best_row
+        processed.add(i)
+
+    layout = problem.make_layout(matrix)
+    problem.validate_layout(layout)
+    if not layout.is_regular():
+        raise RegularizationError("regularization produced a non-regular layout")
+    return layout

@@ -1,0 +1,339 @@
+"""NLP solve step (paper Section 4.1).
+
+The paper formulates layout as a non-convex NLP in AMPL and solves it
+with MINOS, whose external-function facility hosts the black-box target
+cost models.  Here the same program — minimize ``t`` subject to
+``µ_j(L) ≤ t``, capacity, integrity, and box constraints — is solved
+with SciPy's SLSQP, with the cost-model lookups inside the constraint
+functions playing the external-function role.  Because local NLP methods
+need tractable dimensionality, large instances (the Figure 19 scaling
+workloads) fall back to a block-coordinate search over per-object row
+candidates, which the paper's related-work section sketches as the
+randomized-search alternative to an NLP solver.
+"""
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import minimize
+
+from repro.errors import SolverError
+from repro.core.initial import initial_layout
+from repro.core.layout import Layout
+
+#: Instances with more than this many layout variables use the
+#: coordinate method under ``method="auto"``.
+SLSQP_VARIABLE_LIMIT = 600
+
+#: Entries below this are snapped to zero after the continuous solve.
+SNAP_THRESHOLD = 1e-4
+
+
+@dataclass
+class SolveResult:
+    """Outcome of a solve: the layout plus diagnostics."""
+
+    layout: Layout
+    objective: float
+    utilizations: np.ndarray
+    method: str
+    evaluations: int
+    elapsed_s: float
+    success: bool
+
+
+def _snap(matrix, upper):
+    """Zero out dust entries and renormalize rows within pin bounds."""
+    matrix = np.where(matrix < SNAP_THRESHOLD, 0.0, matrix)
+    matrix = np.minimum(matrix, upper)
+    sums = matrix.sum(axis=1, keepdims=True)
+    degenerate = sums[:, 0] <= 0
+    if degenerate.any():
+        # A fully-zero row can only appear from pathological inputs;
+        # spread it over the allowed targets.
+        for i in np.where(degenerate)[0]:
+            allowed = upper[i] > 0
+            matrix[i, allowed] = 1.0 / allowed.sum()
+        sums = matrix.sum(axis=1, keepdims=True)
+    return matrix / sums
+
+
+def solve_slsqp(problem, initial, evaluator=None, max_iter=150):
+    """Solve the continuous layout NLP with SLSQP.
+
+    Args:
+        problem: The layout problem.
+        initial: Starting :class:`Layout` (must be valid).
+        evaluator: Optional shared
+            :class:`~repro.core.objective.ObjectiveEvaluator`.
+        max_iter: SLSQP iteration cap.
+    """
+    start = time.perf_counter()
+    if evaluator is None:
+        evaluator = problem.evaluator()
+    n, m = problem.n_objects, problem.n_targets
+    nm = n * m
+
+    upper, fixed_rows = problem.pinning.resolve(
+        problem.object_names, problem.target_names
+    )
+
+    x0 = np.concatenate([initial.matrix.ravel(), [0.0]])
+    x0[-1] = evaluator.objective(initial.matrix) * 1.05 + 1e-6
+
+    bounds = []
+    for i in range(n):
+        for j in range(m):
+            if i in fixed_rows:
+                value = fixed_rows[i][j]
+                bounds.append((value, value))
+            else:
+                bounds.append((0.0, upper[i, j]))
+    bounds.append((0.0, None))
+
+    # Integrity: row sums equal one (linear).
+    integrity_jac = np.zeros((n, nm + 1))
+    for i in range(n):
+        integrity_jac[i, i * m:(i + 1) * m] = 1.0
+
+    def integrity_fun(x):
+        return x[:nm].reshape(n, m).sum(axis=1) - 1.0
+
+    # Capacity: c_j - Σ_i s_i L_ij >= 0 (linear).
+    capacity_jac = np.zeros((m, nm + 1))
+    for j in range(m):
+        capacity_jac[j, j:nm:m] = -problem.sizes
+
+    def capacity_fun(x):
+        layout = x[:nm].reshape(n, m)
+        return problem.capacities - problem.sizes @ layout
+
+    # Utilization epigraph: t - µ_j(L) >= 0 (nonlinear, FD jacobian).
+    def utilization_fun(x):
+        layout = x[:nm].reshape(n, m)
+        return x[-1] - evaluator.utilizations(layout)
+
+    constraints = [
+        {"type": "eq", "fun": integrity_fun, "jac": lambda x: integrity_jac},
+        {"type": "ineq", "fun": capacity_fun, "jac": lambda x: capacity_jac},
+        {"type": "ineq", "fun": utilization_fun},
+    ]
+
+    objective_jac = np.zeros(nm + 1)
+    objective_jac[-1] = 1.0
+
+    result = minimize(
+        lambda x: x[-1],
+        x0,
+        jac=lambda x: objective_jac,
+        bounds=bounds,
+        constraints=constraints,
+        method="SLSQP",
+        options={"maxiter": max_iter, "ftol": 1e-6},
+    )
+
+    matrix = _snap(result.x[:nm].reshape(n, m), upper)
+    layout = problem.make_layout(matrix)
+    try:
+        problem.validate_layout(layout)
+        valid = True
+    except Exception:
+        valid = False
+    if not valid:
+        # Fall back to the feasible starting point rather than returning
+        # an unusable layout.
+        layout = initial.copy()
+
+    utilizations = evaluator.utilizations(layout.matrix)
+    return SolveResult(
+        layout=layout,
+        objective=float(utilizations.max()),
+        utilizations=utilizations,
+        method="slsqp",
+        evaluations=evaluator.evaluations,
+        elapsed_s=time.perf_counter() - start,
+        success=bool(result.success) and valid,
+    )
+
+
+def _row_candidates(problem, matrix, i, utilizations, upper):
+    """Candidate replacement rows for object *i* in coordinate search."""
+    m = problem.n_targets
+    allowed = [j for j in range(m) if upper[i, j] > 0]
+    if not allowed:
+        return []
+
+    candidates = []
+    # Equal shares over the k least-utilized allowed targets.
+    by_load = sorted(allowed, key=lambda j: (utilizations[j], j))
+    for k in range(1, len(by_load) + 1):
+        candidates.append(Layout.regular_row(by_load[:k], m))
+
+    # Shift part of the row's mass from its most-loaded used target to
+    # the least-loaded allowed target.
+    row = matrix[i]
+    used = [j for j in allowed if row[j] > 0]
+    if used:
+        worst = max(used, key=lambda j: utilizations[j])
+        best = by_load[0]
+        if worst != best:
+            for delta in (0.25, 0.5, 1.0):
+                shifted = row.copy()
+                moved = shifted[worst] * delta
+                shifted[worst] -= moved
+                shifted[best] += moved
+                candidates.append(shifted)
+    return candidates
+
+
+def solve_coordinate(problem, initial, evaluator=None, max_rounds=25):
+    """Block-coordinate descent over per-object row candidates.
+
+    Scales to instances where SLSQP's dense quadratic subproblems become
+    impractical; used for the paper's Figure 19 large synthetic
+    workloads.
+    """
+    start = time.perf_counter()
+    if evaluator is None:
+        evaluator = problem.evaluator()
+    upper, fixed_rows = problem.pinning.resolve(
+        problem.object_names, problem.target_names
+    )
+
+    matrix = initial.matrix.copy()
+    for i, row in fixed_rows.items():
+        matrix[i] = row
+
+    current = evaluator.objective(matrix)
+    for _ in range(max_rounds):
+        improved = False
+        loads = evaluator.object_loads(matrix)
+        order = list(np.argsort(-loads, kind="stable"))
+        for i in order:
+            if i in fixed_rows:
+                continue
+            utilizations = evaluator.utilizations(matrix)
+            other_bytes = problem.sizes @ matrix - problem.sizes[i] * matrix[i]
+            best_row = None
+            for row in _row_candidates(problem, matrix, i, utilizations, upper):
+                assigned = other_bytes + problem.sizes[i] * row
+                if np.any(assigned > problem.capacities * (1 + 1e-9)):
+                    continue
+                old_row = matrix[i].copy()
+                matrix[i] = row
+                value = evaluator.objective(matrix)
+                matrix[i] = old_row
+                if value < current - 1e-9:
+                    current = value
+                    best_row = row
+            if best_row is not None:
+                matrix[i] = best_row
+                improved = True
+        if not improved:
+            break
+
+    layout = problem.make_layout(matrix)
+    problem.validate_layout(layout)
+    utilizations = evaluator.utilizations(matrix)
+    return SolveResult(
+        layout=layout,
+        objective=float(utilizations.max()),
+        utilizations=utilizations,
+        method="coordinate",
+        evaluations=evaluator.evaluations,
+        elapsed_s=time.perf_counter() - start,
+        success=True,
+    )
+
+
+def solve(problem, initial=None, method="auto", restarts=1, seed=0,
+          evaluator=None, max_iter=150, expert_layouts=()):
+    """Solve the layout NLP, optionally from multiple starting points.
+
+    Args:
+        problem: The layout problem.
+        initial: Starting layout; the Section 4.2 greedy layout when
+            omitted.  Extra restarts perturb the greedy construction.
+        method: ``"slsqp"``, ``"coordinate"``, ``"anneal"``, or
+            ``"auto"`` (pick by problem size).
+        restarts: Number of starting points (Figure 4's repeat loop).
+        seed: RNG seed for restart jitter.
+        expert_layouts: Extra starting layouts supplied by a domain
+            expert — the paper notes multiple initial layouts "offer a
+            convenient way of introducing the knowledge of domain
+            experts into the optimization process".  Each is used as an
+            additional restart.
+
+    Returns:
+        The best :class:`SolveResult` across all starting points.
+
+    Raises:
+        SolverError: If no restart produced a valid layout.
+    """
+    if evaluator is None:
+        evaluator = problem.evaluator()
+    if method == "auto":
+        method = (
+            "slsqp"
+            if problem.n_objects * problem.n_targets <= SLSQP_VARIABLE_LIMIT
+            else "coordinate"
+        )
+
+    def run(start_layout, attempt_seed):
+        if method == "slsqp":
+            return solve_slsqp(problem, start_layout, evaluator=evaluator,
+                               max_iter=max_iter)
+        if method == "anneal":
+            from repro.core.anneal import solve_anneal
+
+            return solve_anneal(problem, start_layout, evaluator=evaluator,
+                                seed=attempt_seed)
+        return solve_coordinate(problem, start_layout, evaluator=evaluator)
+
+    rng = np.random.default_rng(seed)
+    starts = []
+    for attempt in range(max(1, restarts)):
+        if attempt == 0 and initial is not None:
+            starts.append(initial)
+        else:
+            jitter = 0.0 if attempt == 0 else 0.3
+            starts.append(initial_layout(problem, rng=rng, jitter=jitter))
+    # Local NLP methods get stuck in starting-point-dependent local
+    # minima (the paper reports the same of MINOS and repeats the solve
+    # from different initial layouts).  SEE, although often itself a
+    # local minimum, is a cheap structurally different second start.
+    try:
+        see = problem.see_layout()
+        problem.validate_layout(see)
+        starts.append(see)
+    except Exception:
+        pass
+    for expert in expert_layouts:
+        problem.validate_layout(expert)
+        starts.append(expert)
+
+    best = None
+    for attempt, start_layout in enumerate(starts):
+        result = run(start_layout, seed + attempt)
+        if best is None or result.objective < best.objective:
+            best = result
+    if best is None:
+        raise SolverError("no solve attempt produced a layout")
+
+    # Cheap block-coordinate polish: escapes the vertex local optima
+    # the continuous method can converge into.
+    if method != "coordinate":
+        polished = solve_coordinate(problem, best.layout,
+                                    evaluator=evaluator, max_rounds=5)
+        if polished.objective < best.objective - 1e-12:
+            best = SolveResult(
+                layout=polished.layout,
+                objective=polished.objective,
+                utilizations=polished.utilizations,
+                method=best.method + "+polish",
+                evaluations=evaluator.evaluations,
+                elapsed_s=best.elapsed_s + polished.elapsed_s,
+                success=best.success,
+            )
+    return best

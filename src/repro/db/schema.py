@@ -1,0 +1,111 @@
+"""Database object catalogs.
+
+A :class:`Database` is a named set of :class:`DatabaseObject` — tables,
+indexes, temporary tablespaces, and logs — with sizes.  The advisor and
+the simulator both consume catalogs; per-database builders live in
+:mod:`repro.db.tpch` and :mod:`repro.db.tpcc`.
+"""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro import units
+
+TABLE = "table"
+INDEX = "index"
+TEMP = "temp"
+LOG = "log"
+
+KINDS = (TABLE, INDEX, TEMP, LOG)
+
+
+@dataclass(frozen=True)
+class DatabaseObject:
+    """One layout-able database object.
+
+    Attributes:
+        name: Unique object name within its database.
+        kind: One of ``table``, ``index``, ``temp``, ``log`` — used by
+            the heuristic baselines that isolate object categories.
+        size: Size in bytes.
+    """
+
+    name: str
+    kind: str
+    size: int
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ValueError("unknown object kind %r" % self.kind)
+        if self.size <= 0:
+            raise ValueError("object %s must have positive size" % self.name)
+
+    def scaled(self, factor, minimum=units.DEFAULT_STRIPE_SIZE):
+        """Return a copy with size scaled down (never below one stripe)."""
+        return DatabaseObject(self.name, self.kind, max(int(minimum), int(self.size * factor)))
+
+
+class Database:
+    """A named collection of database objects."""
+
+    def __init__(self, name, objects):
+        self.name = name
+        self.objects = tuple(objects)
+        names = [o.name for o in self.objects]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate object names in database %s" % name)
+        self._by_name = {o.name: o for o in self.objects}
+
+    def __getitem__(self, name):
+        return self._by_name[name]
+
+    def __contains__(self, name):
+        return name in self._by_name
+
+    def __len__(self):
+        return len(self.objects)
+
+    @property
+    def object_names(self):
+        return [o.name for o in self.objects]
+
+    @property
+    def total_size(self):
+        return sum(o.size for o in self.objects)
+
+    def sizes(self):
+        """Mapping of object name to size (layout-problem input)."""
+        return {o.name: o.size for o in self.objects}
+
+    def of_kind(self, kind):
+        """Object names of one kind, in catalog order."""
+        return [o.name for o in self.objects if o.kind == kind]
+
+    def scaled(self, factor, minimum=units.DEFAULT_STRIPE_SIZE):
+        """A proportionally smaller copy of the database.
+
+        The simulator runs scaled-down databases so experiments complete
+        in seconds; layout decisions depend on relative sizes and rates,
+        which scaling preserves.
+        """
+        return Database(
+            self.name, [o.scaled(factor, minimum) for o in self.objects]
+        )
+
+    def merged_with(self, other, prefix_self="", prefix_other=""):
+        """Union of two databases (the paper's consolidation scenario).
+
+        Name prefixes disambiguate collisions (e.g. both TPC-H and TPC-C
+        have a CUSTOMER table).
+        """
+        renamed_self = [
+            DatabaseObject(prefix_self + o.name, o.kind, o.size)
+            for o in self.objects
+        ]
+        renamed_other = [
+            DatabaseObject(prefix_other + o.name, o.kind, o.size)
+            for o in other.objects
+        ]
+        return Database(
+            "%s+%s" % (self.name, other.name), renamed_self + renamed_other
+        )

@@ -1,0 +1,204 @@
+"""TPC-H catalog and per-query I/O profiles.
+
+The catalog mirrors the paper's scale-factor-5 TPC-H database: 9.4 GB in
+20 objects — 8 tables, 11 indexes, and one temporary tablespace (paper
+Figure 9).  Relative sizes follow standard TPC-H proportions.
+
+The query profiles abstract PostgreSQL execution plans down to storage
+behaviour: which objects each of the 22 benchmark queries scans
+sequentially, which indexes it reads, how much temporary spill it does,
+and which accesses proceed concurrently (hash-join build/probe pairs).
+The profiles were written so the *workload-level* object statistics match
+what the paper reports: LINEITEM and ORDERS are the two hottest objects
+with sequential patterns and high overlap, I_L_ORDERKEY is the hottest
+index, TEMP SPACE sees sequential bursts that rarely coincide with
+ORDERS, and Q18 is the heaviest temp user (the query the paper notes
+PostgreSQL misestimates by orders of magnitude).
+"""
+
+from repro import units
+from repro.db.profiles import QueryProfile, phase, rand, seq
+from repro.db.schema import Database, DatabaseObject, INDEX, TABLE, TEMP
+
+_M = units.MIB
+
+#: Scale-factor-5 object sizes (bytes).  Tables follow TPC-H row-count
+#: proportions; index sizes are typical PostgreSQL b-tree footprints.
+_TPCH_OBJECTS = (
+    DatabaseObject("LINEITEM", TABLE, 4600 * _M),
+    DatabaseObject("ORDERS", TABLE, 1050 * _M),
+    DatabaseObject("PARTSUPP", TABLE, 720 * _M),
+    DatabaseObject("PART", TABLE, 160 * _M),
+    DatabaseObject("CUSTOMER", TABLE, 145 * _M),
+    DatabaseObject("SUPPLIER", TABLE, 9 * _M),
+    DatabaseObject("NATION", TABLE, 1 * _M),
+    DatabaseObject("REGION", TABLE, 1 * _M),
+    DatabaseObject("I_L_ORDERKEY", INDEX, 700 * _M),
+    DatabaseObject("I_L_SUPPK_PARTK", INDEX, 650 * _M),
+    DatabaseObject("I_L_SHIPDATE", INDEX, 450 * _M),
+    DatabaseObject("ORDERS_PKEY", INDEX, 110 * _M),
+    DatabaseObject("I_O_CUSTKEY", INDEX, 110 * _M),
+    DatabaseObject("PARTSUPP_PKEY", INDEX, 75 * _M),
+    DatabaseObject("PART_PKEY", INDEX, 11 * _M),
+    DatabaseObject("CUSTOMER_PKEY", INDEX, 8 * _M),
+    DatabaseObject("SUPPLIER_PKEY", INDEX, 1 * _M),
+    DatabaseObject("NATION_PKEY", INDEX, 1 * _M),
+    DatabaseObject("REGION_PKEY", INDEX, 1 * _M),
+    DatabaseObject("TEMP SPACE", TEMP, 800 * _M),
+)
+
+
+def tpch_database(scale=1.0):
+    """The TPC-H SF5-shaped catalog, optionally scaled down.
+
+    Args:
+        scale: Multiplier on every object size (1.0 = the paper's 9.4 GB
+            database; experiments typically use 1/64 so runs complete in
+            seconds).
+    """
+    db = Database("tpch", _TPCH_OBJECTS)
+    if scale != 1.0:
+        db = db.scaled(scale)
+    return db
+
+
+#: Per-query I/O profiles.  Accesses inside one ``phase(...)`` run
+#: concurrently (hash join sides, bitmap-and index reads); phases run in
+#: sequence (build temp, then consume it).
+_PROFILES = {
+    # Q1: full LINEITEM scan, tiny aggregation state.
+    "Q1": QueryProfile("Q1", (
+        phase(seq("LINEITEM", 1.0)),
+    )),
+    # Q2: min-cost supplier; PART/PARTSUPP/SUPPLIER joins with the
+    # region/nation dimension tables, partsupp pkey re-probes.
+    "Q2": QueryProfile("Q2", (
+        phase(seq("PART", 0.5), seq("PARTSUPP", 0.6), seq("SUPPLIER", 1.0),
+              seq("NATION", 1.0), seq("REGION", 1.0)),
+        phase(rand("PARTSUPP_PKEY", fraction=0.3), rand("PARTSUPP", fraction=0.05)),
+    )),
+    # Q3: shipping priority; customer/orders/lineitem hash joins.
+    "Q3": QueryProfile("Q3", (
+        phase(seq("CUSTOMER", 1.0), seq("ORDERS", 1.0)),
+        phase(seq("LINEITEM", 0.85), seq("TEMP SPACE", 0.15, kind="write")),
+    )),
+    # Q4: order priority check: orders scan + lineitem existence via the
+    # orderkey index.
+    "Q4": QueryProfile("Q4", (
+        phase(seq("ORDERS", 1.0), seq("I_L_ORDERKEY", 0.8)),
+    )),
+    # Q5: local supplier volume: 6-way join.
+    "Q5": QueryProfile("Q5", (
+        phase(seq("CUSTOMER", 1.0), seq("SUPPLIER", 1.0), seq("NATION", 1.0),
+              seq("REGION", 1.0)),
+        phase(seq("ORDERS", 1.0), seq("LINEITEM", 0.9)),
+    )),
+    # Q6: forecasting revenue change: lineitem scan with tight filter.
+    "Q6": QueryProfile("Q6", (
+        phase(seq("LINEITEM", 1.0)),
+    )),
+    # Q7: volume shipping: lineitem/orders/customer/supplier joins with
+    # a temp-side sort.
+    "Q7": QueryProfile("Q7", (
+        phase(seq("SUPPLIER", 1.0), seq("NATION", 1.0), seq("CUSTOMER", 1.0)),
+        phase(seq("LINEITEM", 1.0), seq("ORDERS", 0.9)),
+        phase(seq("TEMP SPACE", 0.2, kind="write")),
+        phase(seq("TEMP SPACE", 0.2)),
+    )),
+    # Q8: national market share: widest join fan-in.
+    "Q8": QueryProfile("Q8", (
+        phase(seq("PART", 1.0), seq("REGION", 1.0), seq("NATION", 1.0)),
+        phase(seq("LINEITEM", 0.8), seq("ORDERS", 1.0), seq("CUSTOMER", 1.0),
+              seq("SUPPLIER", 1.0)),
+    )),
+    # Q9: product type profit.  Heaviest query; excluded from the OLAP
+    # mixes as in the paper ("excessive run-time"), but profiled for
+    # completeness.
+    "Q9": QueryProfile("Q9", (
+        phase(seq("PART", 1.0), seq("SUPPLIER", 1.0), seq("NATION", 1.0)),
+        phase(seq("LINEITEM", 1.0), seq("ORDERS", 1.0), seq("PARTSUPP", 1.0),
+              seq("TEMP SPACE", 1.0, kind="write")),
+        phase(seq("TEMP SPACE", 1.0)),
+    )),
+    # Q10: returned item reporting.
+    "Q10": QueryProfile("Q10", (
+        phase(seq("CUSTOMER", 1.0), seq("ORDERS", 1.0), seq("NATION", 1.0)),
+        phase(seq("LINEITEM", 0.75), seq("TEMP SPACE", 0.2, kind="write")),
+        phase(seq("TEMP SPACE", 0.2)),
+    )),
+    # Q11: important stock identification (partsupp-only).
+    "Q11": QueryProfile("Q11", (
+        phase(seq("PARTSUPP", 1.0), seq("SUPPLIER", 1.0), seq("NATION", 1.0)),
+        phase(seq("PARTSUPP", 1.0)),
+    )),
+    # Q12: shipping modes: orders joined to filtered lineitem.
+    "Q12": QueryProfile("Q12", (
+        phase(seq("ORDERS", 1.0), seq("LINEITEM", 1.0)),
+    )),
+    # Q13: customer distribution: left join spills groups to temp.
+    "Q13": QueryProfile("Q13", (
+        phase(seq("CUSTOMER", 1.0), seq("ORDERS", 1.0),
+              seq("TEMP SPACE", 0.35, kind="write")),
+        phase(seq("TEMP SPACE", 0.35)),
+    )),
+    # Q14: promotion effect.
+    "Q14": QueryProfile("Q14", (
+        phase(seq("PART", 1.0), seq("LINEITEM", 0.85)),
+    )),
+    # Q15: top supplier; the revenue view is evaluated twice.
+    "Q15": QueryProfile("Q15", (
+        phase(seq("LINEITEM", 1.0)),
+        phase(seq("LINEITEM", 1.0), seq("SUPPLIER", 1.0)),
+    )),
+    # Q16: parts/supplier relationship.
+    "Q16": QueryProfile("Q16", (
+        phase(seq("PARTSUPP", 1.0), seq("PART", 1.0), seq("SUPPLIER", 1.0)),
+    )),
+    # Q17: small-quantity-order revenue: per-part average over lineitem
+    # via the (suppkey, partkey) index.
+    "Q17": QueryProfile("Q17", (
+        phase(seq("PART", 1.0)),
+        phase(seq("I_L_SUPPK_PARTK", 1.0), rand("LINEITEM", fraction=0.08)),
+    )),
+    # Q18: large volume customer: the big group-by subquery on lineitem
+    # spills heavily to temp (the paper's cardinality-misestimate
+    # example), then joins orders/customer/lineitem.
+    "Q18": QueryProfile("Q18", (
+        phase(seq("LINEITEM", 1.0), seq("TEMP SPACE", 0.9, kind="write")),
+        phase(seq("TEMP SPACE", 0.9), seq("ORDERS", 1.0), seq("CUSTOMER", 1.0)),
+        phase(seq("I_L_ORDERKEY", 0.5), rand("LINEITEM", fraction=0.05)),
+    )),
+    # Q19: discounted revenue: lineitem/part with OR-of-ANDs filter.
+    "Q19": QueryProfile("Q19", (
+        phase(seq("LINEITEM", 1.0), seq("PART", 1.0)),
+    )),
+    # Q20: potential part promotion: partsupp filtered through the
+    # lineitem (suppkey, partkey) index aggregate.
+    "Q20": QueryProfile("Q20", (
+        phase(seq("PART", 1.0), seq("PARTSUPP", 1.0)),
+        phase(seq("I_L_SUPPK_PARTK", 1.0), seq("SUPPLIER", 1.0),
+              seq("NATION", 1.0)),
+    )),
+    # Q21: suppliers who kept orders waiting: lineitem referenced three
+    # times (self joins via the orderkey index).
+    "Q21": QueryProfile("Q21", (
+        phase(seq("SUPPLIER", 1.0), seq("NATION", 1.0), seq("ORDERS", 1.0)),
+        phase(seq("LINEITEM", 1.0), seq("I_L_ORDERKEY", 1.0)),
+        phase(seq("I_L_ORDERKEY", 1.0), rand("LINEITEM", fraction=0.06)),
+    )),
+    # Q22: global sales opportunity: customer aggregated twice, orders
+    # anti-joined via the customer-key index.
+    "Q22": QueryProfile("Q22", (
+        phase(seq("CUSTOMER", 1.0)),
+        phase(seq("CUSTOMER", 1.0), seq("I_O_CUSTKEY", 1.0),
+              rand("ORDERS", fraction=0.05)),
+    )),
+}
+
+#: All 22 query names, in benchmark order.
+TPCH_QUERY_NAMES = tuple("Q%d" % n for n in range(1, 23))
+
+
+def tpch_query_profile(name):
+    """The I/O profile for one TPC-H query (``"Q1"`` .. ``"Q22"``)."""
+    return _PROFILES[name]

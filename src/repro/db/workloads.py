@@ -1,0 +1,71 @@
+"""The four SQL workloads of the paper's Figure 10.
+
+* **OLAP1-21** — 21 of the 22 TPC-H queries (Q9 excluded for excessive
+  run time), executed sequentially in a randomly selected order.
+* **OLAP1-63** — each of the 21 queries three times, randomly permuted,
+  concurrency one.
+* **OLAP8-63** — the same 63-query mix at a concurrency level of eight.
+* **OLTP** — nine simulated TPC-C terminals with no think/keying time.
+"""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.db.tpch import TPCH_QUERY_NAMES, tpch_query_profile
+
+
+@dataclass(frozen=True)
+class OlapWorkload:
+    """An OLAP query mix: a query-name sequence plus a concurrency level."""
+
+    name: str
+    queries: Tuple[str, ...]
+    concurrency: int
+
+    def profiles(self, rename=None):
+        """Resolved query profiles, optionally renamed (consolidation)."""
+        profiles = [tpch_query_profile(q) for q in self.queries]
+        if rename:
+            profiles = [p.renamed(rename) for p in profiles]
+        return profiles
+
+
+@dataclass(frozen=True)
+class OltpWorkload:
+    """A TPC-C terminal workload."""
+
+    name: str
+    terminals: int
+
+
+#: Queries eligible for the OLAP mixes: all but Q9, as in the paper.
+OLAP_QUERY_POOL = tuple(q for q in TPCH_QUERY_NAMES if q != "Q9")
+
+
+def olap_workload(name, repetitions=1, concurrency=1, seed=42):
+    """Build an OLAP mix: the 21-query pool repeated and permuted.
+
+    The permutation is seeded so every run of the library sees the same
+    "randomly selected order" the paper fixes per workload.
+    """
+    rng = np.random.default_rng(seed)
+    mix = list(OLAP_QUERY_POOL) * repetitions
+    order = rng.permutation(len(mix))
+    return OlapWorkload(
+        name=name,
+        queries=tuple(mix[i] for i in order),
+        concurrency=concurrency,
+    )
+
+
+def oltp_workload(name="OLTP", terminals=9):
+    """The paper's OLTP workload: nine terminals, no think time."""
+    return OltpWorkload(name=name, terminals=terminals)
+
+
+OLAP1_21 = olap_workload("OLAP1-21", repetitions=1, concurrency=1, seed=21)
+OLAP1_63 = olap_workload("OLAP1-63", repetitions=3, concurrency=1, seed=63)
+OLAP8_63 = olap_workload("OLAP8-63", repetitions=3, concurrency=8, seed=63)
+OLTP = oltp_workload()

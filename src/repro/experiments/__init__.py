@@ -1,0 +1,50 @@
+"""End-to-end experiment harness.
+
+Glues the substrate together the way the paper's methodology does:
+run the workload once under a baseline layout collecting an I/O trace,
+fit Rome-style workload descriptions from the trace, calibrate cost
+models for each device type, hand everything to the layout advisor, and
+measure each candidate layout by replaying the workload on the
+simulator.
+"""
+
+from repro.experiments.scenarios import (
+    DeviceSpec,
+    disk_spec,
+    raid0_spec,
+    ssd_spec,
+    four_disks,
+    config_3_1,
+    config_2_1_1,
+    disks_plus_ssd,
+)
+from repro.experiments.runner import (
+    build_problem,
+    fit_workloads_from_run,
+    get_target_model,
+    measure_olap,
+    measure_consolidation,
+    clear_model_cache,
+)
+from repro.experiments.reporting import format_table, format_layout
+from repro.experiments.characterize import characterize
+
+__all__ = [
+    "DeviceSpec",
+    "disk_spec",
+    "raid0_spec",
+    "ssd_spec",
+    "four_disks",
+    "config_3_1",
+    "config_2_1_1",
+    "disks_plus_ssd",
+    "build_problem",
+    "fit_workloads_from_run",
+    "get_target_model",
+    "measure_olap",
+    "measure_consolidation",
+    "clear_model_cache",
+    "format_table",
+    "format_layout",
+    "characterize",
+]

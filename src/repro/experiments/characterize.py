@@ -1,0 +1,86 @@
+"""Rubicon-style workload characterization reports.
+
+The paper's pipeline starts by characterizing a block-I/O trace; this
+module renders that characterization for humans: a per-object table of
+fitted workload parameters (the exact inputs the advisor will see), the
+overlap matrix of the hottest objects, and per-target busy timelines —
+everything a storage administrator would want to inspect before trusting
+a recommendation.
+"""
+
+from repro.experiments.reporting import format_table
+from repro.workload.analyzer import TraceAnalyzer
+from repro.workload.trace_io import target_busy_series
+
+
+def characterize(trace, duration=None, window_s=1.0, top=10):
+    """Render a full characterization report for a trace.
+
+    Args:
+        trace: Completion records (e.g. ``result.trace``).
+        duration: Observation duration; inferred when omitted.
+        window_s: Window used for overlap estimation and busy series.
+        top: How many of the hottest objects to show in detail.
+
+    Returns:
+        The report as a string.
+    """
+    analyzer = TraceAnalyzer(trace, duration=duration, window_s=window_s)
+    specs = sorted(
+        (analyzer.fit(obj) for obj in analyzer.objects),
+        key=lambda spec: -spec.total_rate,
+    )
+    hottest = specs[:top]
+
+    sections = []
+
+    rows = [
+        [
+            spec.name,
+            "%.1f" % spec.read_rate,
+            "%.1f" % spec.write_rate,
+            "%.0f" % spec.read_size,
+            "%.1f" % spec.run_count,
+        ]
+        for spec in hottest
+    ]
+    sections.append(format_table(
+        ["Object", "reads/s", "writes/s", "req size (B)", "run count"],
+        rows,
+        title="Workload characterization — %d objects, %.1f s observed"
+              % (len(specs), analyzer.duration),
+    ))
+
+    names = [spec.name for spec in hottest]
+    overlap_rows = []
+    for spec in hottest:
+        overlap_rows.append(
+            [spec.name]
+            + ["%.2f" % spec.overlap_with(other) for other in names]
+        )
+    sections.append(format_table(
+        ["O_i[k]"] + names, overlap_rows,
+        title="Overlap matrix (hottest %d objects)" % len(hottest),
+    ))
+
+    busy = target_busy_series(trace, window_s=window_s)
+    busy_rows = []
+    for target in sorted(busy):
+        series = [fraction for _, fraction in busy[target]]
+        mean = sum(series) / len(series)
+        peak = max(series)
+        bar = _bar(mean)
+        busy_rows.append([target, "%.2f" % mean, "%.2f" % peak, bar])
+    sections.append(format_table(
+        ["Target", "mean busy", "peak busy", ""],
+        busy_rows,
+        title="Per-target busy fraction",
+    ))
+
+    return "\n\n".join(sections)
+
+
+def _bar(fraction, width=24):
+    """A small ASCII intensity bar."""
+    filled = int(round(min(1.0, max(0.0, fraction)) * width))
+    return "#" * filled + "." * (width - filled)

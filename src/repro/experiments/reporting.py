@@ -1,0 +1,55 @@
+"""Fixed-width report formatting for experiment output.
+
+The benchmark harness prints tables shaped like the paper's figures;
+these helpers keep the formatting consistent.
+"""
+
+
+def format_table(headers, rows, title=None):
+    """Render a list-of-rows table with right-aligned numeric columns."""
+    columns = len(headers)
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([
+            ("%.2f" % value) if isinstance(value, float) else str(value)
+            for value in row
+        ])
+    widths = [
+        max(len(cells[r][c]) for r in range(len(cells)))
+        for c in range(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[c]) for c, h in enumerate(cells[0])))
+    lines.append("  ".join("-" * widths[c] for c in range(columns)))
+    for row in cells[1:]:
+        lines.append("  ".join(
+            row[c].rjust(widths[c]) if _numeric(row[c]) else row[c].ljust(widths[c])
+            for c in range(columns)
+        ))
+    return "\n".join(lines)
+
+
+def _numeric(text):
+    try:
+        float(text.rstrip("x%"))
+        return True
+    except ValueError:
+        return False
+
+
+def format_layout(layout, workloads=None, top=None, min_fraction=0.005):
+    """Layout listing ordered by request rate, like the paper's figures."""
+    order = None
+    if workloads is not None:
+        ranked = sorted(workloads, key=lambda w: -w.total_rate)
+        order = [w.name for w in ranked]
+        if top is not None:
+            order = order[:top]
+    return layout.describe(min_fraction=min_fraction, order=order)
+
+
+def speedup(baseline, optimized):
+    """Paper-style speedup factor string, e.g. ``1.28x``."""
+    return "%.2fx" % (baseline / optimized)

@@ -1,0 +1,170 @@
+"""End-to-end pipeline: trace → fit → calibrate → advise → measure.
+
+The paper's methodology, step by step:
+
+1. Run the workload on the operational system (here: the simulator under
+   a baseline SEE layout) and record an I/O trace.
+2. Fit a Rome-style workload description per object from the trace
+   (:mod:`repro.workload.analyzer`, standing in for Rubicon).
+3. Calibrate read/write cost models per device type
+   (:mod:`repro.models.calibration`); models are cached in memory and on
+   disk because calibration depends only on the device type.
+4. Build the layout problem and run the advisor.
+5. Measure candidate layouts by replaying the workload on the simulator.
+"""
+
+import json
+import os
+
+from repro import units
+from repro.core.problem import LayoutProblem, TargetSpec
+from repro.db.engine import run_consolidation, run_olap
+from repro.models.calibration import CalibrationConfig, calibrate_device
+from repro.models.table_model import TableCostModel
+from repro.models.target_model import TargetModel
+from repro.workload.analyzer import fit_workloads
+
+#: In-memory cost-model cache, keyed by (device model_key, read/write).
+_MODEL_CACHE = {}
+
+#: Bump when device or calibration behaviour changes, so stale on-disk
+#: calibration caches are not reused.
+MODEL_VERSION = 4
+
+#: Default on-disk cache directory (set to None to disable).
+CACHE_DIR = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
+
+#: Calibration grid used by the experiment pipeline.  A single request
+#: size is enough because the database substrate issues uniform 8 KiB
+#: pages; run counts and contention levels span the Figure 8 surface.
+DEFAULT_CALIBRATION = CalibrationConfig(
+    sizes=(units.kib(8),),
+    run_counts=(1, 4, 16, 64),
+    competitor_counts=(0, 1, 2, 4, 8),
+    n_requests=500,
+)
+
+
+def clear_model_cache():
+    """Drop all cached cost models (tests use this for isolation)."""
+    _MODEL_CACHE.clear()
+
+
+def _cache_path(key, kind):
+    safe = "v%d_" % MODEL_VERSION + "_".join(
+        str(part) for part in key
+    ) + "_" + kind + ".json"
+    return os.path.join(CACHE_DIR, safe.replace("/", "-"))
+
+
+def _load_cached(key, kind):
+    if (key, kind) in _MODEL_CACHE:
+        return _MODEL_CACHE[(key, kind)]
+    if CACHE_DIR:
+        path = _cache_path(key, kind)
+        if os.path.exists(path):
+            with open(path) as handle:
+                model = TableCostModel.from_dict(json.load(handle))
+            _MODEL_CACHE[(key, kind)] = model
+            return model
+    return None
+
+
+def _store_cached(key, kind, model):
+    _MODEL_CACHE[(key, kind)] = model
+    if CACHE_DIR:
+        os.makedirs(CACHE_DIR, exist_ok=True)
+        with open(_cache_path(key, kind), "w") as handle:
+            json.dump(model.to_dict(), handle)
+
+
+def get_target_model(spec, config=None):
+    """Calibrated :class:`TargetModel` for a device spec (cached)."""
+    if config is None:
+        config = DEFAULT_CALIBRATION
+    models = {}
+    for kind in ("read", "write"):
+        model = _load_cached(spec.model_key, kind)
+        if model is None:
+            model = calibrate_device(spec.build, config=config, kind=kind)
+            _store_cached(spec.model_key, kind, model)
+        models[kind] = model
+    return TargetModel(name=spec.name, read_model=models["read"],
+                       write_model=models["write"])
+
+
+def see_fractions(database, n_targets):
+    """Stripe-everything-everywhere fractions for a catalog."""
+    return {
+        name: [1.0 / n_targets] * n_targets
+        for name in database.object_names
+    }
+
+
+def fit_workloads_from_run(result, database, window_s=1.0):
+    """Fit per-object workload specs from a traced workload run.
+
+    Objects that saw no I/O during the run still get (zero-rate) specs so
+    the advisor lays them out.
+    """
+    if result.trace is None:
+        raise ValueError("the run was not traced; pass collect_trace=True")
+    return fit_workloads(
+        result.trace,
+        duration=result.elapsed_s,
+        window_s=window_s,
+        include_idle=database.object_names,
+    )
+
+
+def build_problem(database, device_specs, workloads,
+                  stripe_size=units.DEFAULT_STRIPE_SIZE, pinning=None,
+                  calibration=None, placement_slack=True):
+    """Assemble a :class:`LayoutProblem` with calibrated target models.
+
+    Args:
+        placement_slack: Reserve one stripe per object of capacity on
+            every target.  A striping placement mechanism rounds each
+            object's per-target share up to whole stripes, so a layout
+            that fills a target to the byte may physically overflow it;
+            the slack guarantees every layout the advisor emits is
+            implementable.
+    """
+    slack = len(database.sizes()) * stripe_size if placement_slack else 0
+    targets = [
+        TargetSpec(
+            name=spec.name,
+            capacity=max(stripe_size, spec.capacity - slack),
+            model=get_target_model(spec, config=calibration),
+        )
+        for spec in device_specs
+    ]
+    return LayoutProblem(
+        database.sizes(), targets, workloads,
+        stripe_size=stripe_size, pinning=pinning,
+    )
+
+
+def measure_olap(database, profiles, fractions, device_specs, concurrency=1,
+                 seed=1, collect_trace=False, name="olap",
+                 stripe_size=units.DEFAULT_STRIPE_SIZE):
+    """Measure one OLAP workload run under a layout."""
+    devices = [spec.build() for spec in device_specs]
+    return run_olap(
+        database, profiles, fractions, devices, concurrency=concurrency,
+        seed=seed, collect_trace=collect_trace, name=name,
+        stripe_size=stripe_size,
+    )
+
+
+def measure_consolidation(database, olap_profiles, sample_profile, fractions,
+                          device_specs, olap_concurrency=1, terminals=9,
+                          seed=1, collect_trace=False, name="consolidation",
+                          stripe_size=units.DEFAULT_STRIPE_SIZE):
+    """Measure one consolidation run (OLAP + OLTP) under a layout."""
+    devices = [spec.build() for spec in device_specs]
+    return run_consolidation(
+        database, olap_profiles, sample_profile, fractions, devices,
+        olap_concurrency=olap_concurrency, terminals=terminals, seed=seed,
+        collect_trace=collect_trace, name=name, stripe_size=stripe_size,
+    )

@@ -1,0 +1,23 @@
+"""Extensions beyond the paper's §6 evaluation.
+
+The paper's conclusion sketches two directions: using layout
+recommendations to steer *dynamic* placement (FlexVol-style growth) and
+extending the advisor to recommend **storage configurations** — how to
+group raw devices into RAID targets — in addition to layouts, moving it
+toward tools like Minerva and DAD.  This subpackage implements both as
+thin layers over the core advisor.
+"""
+
+from repro.extensions.config_advisor import (
+    ConfigurationAdvisor,
+    ConfigurationResult,
+    enumerate_configurations,
+)
+from repro.extensions.dynamic import DynamicPlacer
+
+__all__ = [
+    "ConfigurationAdvisor",
+    "ConfigurationResult",
+    "enumerate_configurations",
+    "DynamicPlacer",
+]

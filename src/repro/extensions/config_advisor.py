@@ -1,0 +1,147 @@
+"""Storage configuration advisor (the paper's §8 future work).
+
+"Instead of taking a set of storage targets as input, the advisor would
+instead take a description of the available unconfigured storage
+resources ... recommend how to configure specific storage targets, e.g.
+RAID groups, from the available resources, as well as how to lay out
+objects onto the targets."
+
+Given a pool of identical raw disks (plus optional fixed targets such
+as an SSD), the :class:`ConfigurationAdvisor` enumerates the ways to
+partition the disks into RAID0 groups, runs the layout advisor on each
+candidate configuration, and returns the configuration + layout pair
+with the lowest maximum estimated utilization — the same objective the
+layout advisor minimizes, now searched over configurations too.
+"""
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.advisor import LayoutAdvisor
+from repro.core.problem import LayoutProblem, TargetSpec
+from repro.errors import SolverError
+
+
+def _partitions(n):
+    """All multisets of positive integers summing to ``n``, descending.
+
+    These are the ways to group ``n`` identical disks into RAID0 sets:
+    for n=4 → [4], [3,1], [2,2], [2,1,1], [1,1,1,1] — exactly the
+    configuration space of the paper's §6.4 experiments.
+    """
+    def generate(remaining, maximum):
+        if remaining == 0:
+            yield []
+            return
+        for first in range(min(remaining, maximum), 0, -1):
+            for rest in generate(remaining - first, first):
+                yield [first] + rest
+
+    return list(generate(n, n))
+
+
+def enumerate_configurations(n_disks, max_groups=None):
+    """The candidate RAID0 groupings of ``n_disks`` identical disks."""
+    candidates = _partitions(n_disks)
+    if max_groups is not None:
+        candidates = [c for c in candidates if len(c) <= max_groups]
+    return candidates
+
+
+@dataclass
+class ConfigurationResult:
+    """Best configuration found, with per-candidate diagnostics.
+
+    Attributes:
+        grouping: Disk counts per RAID0 group, e.g. ``[3, 1]``.
+        advisor_result: The winning configuration's AdvisorResult.
+        objective: Its maximum estimated utilization.
+        candidates: ``(grouping, objective)`` for every evaluated
+            configuration, for reporting.
+    """
+
+    grouping: List[int]
+    advisor_result: object
+    objective: float
+    candidates: List[tuple] = field(default_factory=list)
+
+
+class ConfigurationAdvisor:
+    """Searches RAID groupings with the layout advisor as the oracle.
+
+    Args:
+        object_sizes: Mapping of object name to size in bytes.
+        workloads: Per-object workload descriptions.
+        disk_capacity: Capacity of each raw disk.
+        n_disks: Number of identical raw disks in the pool.
+        target_model_factory: Callable ``(name, n_members) ->
+            TargetModel`` producing a cost model for a RAID0 group of
+            that width (1 = a plain disk).  Calibrated or analytic
+            models both work.
+        fixed_targets: Extra pre-configured targets (e.g. an SSD) that
+            participate in every candidate configuration.
+        stripe_size: LVM stripe size for the layout model.
+        max_groups: Optional cap on the number of targets.
+    """
+
+    def __init__(self, object_sizes, workloads, disk_capacity, n_disks,
+                 target_model_factory, fixed_targets=(), stripe_size=None,
+                 max_groups=None):
+        self.object_sizes = dict(object_sizes)
+        self.workloads = list(workloads)
+        self.disk_capacity = int(disk_capacity)
+        self.n_disks = int(n_disks)
+        self.target_model_factory = target_model_factory
+        self.fixed_targets = list(fixed_targets)
+        self.stripe_size = stripe_size
+        self.max_groups = max_groups
+
+    def _targets_for(self, grouping):
+        targets = []
+        for index, members in enumerate(grouping):
+            name = "raid%dx%d" % (index, members) if members > 1 \
+                else "disk%d" % index
+            targets.append(TargetSpec(
+                name=name,
+                capacity=self.disk_capacity * members,
+                model=self.target_model_factory(name, members),
+            ))
+        return targets + list(self.fixed_targets)
+
+    def recommend(self, regular=True, restarts=1):
+        """Evaluate every candidate grouping; return the best.
+
+        Raises:
+            SolverError: If no candidate configuration admits a layout.
+        """
+        best = None
+        candidates = []
+        for grouping in enumerate_configurations(self.n_disks,
+                                                 self.max_groups):
+            targets = self._targets_for(grouping)
+            kwargs = {}
+            if self.stripe_size is not None:
+                kwargs["stripe_size"] = self.stripe_size
+            try:
+                problem = LayoutProblem(
+                    self.object_sizes, targets, self.workloads, **kwargs
+                )
+                outcome = LayoutAdvisor(
+                    problem, regular=regular, restarts=restarts
+                ).recommend()
+            except Exception:
+                continue
+            objective = outcome.max_utilization(
+                "regular" if regular else "solver"
+            )
+            candidates.append((grouping, objective))
+            if best is None or objective < best.objective:
+                best = ConfigurationResult(
+                    grouping=grouping,
+                    advisor_result=outcome,
+                    objective=objective,
+                )
+        if best is None:
+            raise SolverError("no disk grouping admitted a valid layout")
+        best.candidates = candidates
+        return best

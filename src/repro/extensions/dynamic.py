@@ -1,0 +1,154 @@
+"""Dynamic placement guidance (the paper's FlexVol discussion, §8).
+
+"Instead of statically assigning disks and fixed capacity to volumes
+during an initial configuration step, capacity is assigned dynamically
+as the system runs ... the layout techniques described in this paper
+could be used to guide the storage system's dynamic allocation
+decisions as FlexVols grow."
+
+:class:`DynamicPlacer` keeps a live layout for a growing set of
+objects.  When an object grows (or a new object appears), the placer
+decides where the *new* capacity goes by evaluating the advisor's
+objective over candidate targets — without relocating existing data,
+which is the operational constraint FlexVol-style allocation lives
+under.  Periodically calling :meth:`reoptimize` runs the full advisor
+to see how far the incrementally grown layout has drifted from the
+optimum (the relocation payoff).
+"""
+
+import numpy as np
+
+from repro.core.advisor import LayoutAdvisor
+from repro.core.problem import LayoutProblem
+from repro.errors import CapacityError
+from repro.workload.spec import ObjectWorkload
+
+
+class DynamicPlacer:
+    """Incremental, no-relocation layout maintenance.
+
+    Args:
+        targets: Sequence of :class:`~repro.core.problem.TargetSpec`.
+        stripe_size: Granularity of placement decisions; each growth
+            increment is placed wholly on one target.
+    """
+
+    def __init__(self, targets, stripe_size=None):
+        self.targets = list(targets)
+        self.capacities = np.array([t.capacity for t in self.targets],
+                                   dtype=float)
+        self.models = [t.model for t in self.targets]
+        self.stripe_size = stripe_size
+        self._sizes = {}           # object -> total bytes
+        self._placed = {}          # object -> per-target bytes array
+        self._workloads = {}       # object -> ObjectWorkload
+
+    @property
+    def object_names(self):
+        return list(self._sizes)
+
+    def set_workload(self, workload):
+        """Install or update an object's workload description."""
+        self._workloads[workload.name] = workload
+        if workload.name not in self._sizes:
+            self._sizes[workload.name] = 0
+            self._placed[workload.name] = np.zeros(len(self.targets))
+
+    def _used(self):
+        used = np.zeros(len(self.targets))
+        for placed in self._placed.values():
+            used += placed
+        return used
+
+    def _problem(self):
+        sizes = {
+            name: max(1, int(size))
+            for name, size in self._sizes.items()
+            if size > 0
+        }
+        workloads = [
+            self._workloads.get(name, ObjectWorkload(name))
+            for name in sizes
+        ]
+        kwargs = {}
+        if self.stripe_size is not None:
+            kwargs["stripe_size"] = self.stripe_size
+        return LayoutProblem(sizes, self.targets, workloads, **kwargs)
+
+    def current_layout(self):
+        """The live layout implied by the placements so far."""
+        problem = self._problem()
+        matrix = np.zeros((problem.n_objects, problem.n_targets))
+        for i, name in enumerate(problem.object_names):
+            placed = self._placed[name]
+            total = placed.sum()
+            matrix[i] = placed / total if total > 0 else 0.0
+        return problem.make_layout(matrix)
+
+    def grow(self, name, delta_bytes):
+        """Place ``delta_bytes`` of new capacity for object ``name``.
+
+        The increment goes to the target that minimizes the estimated
+        maximum utilization of the resulting layout, among targets with
+        free space.  Returns the chosen target index.
+
+        Raises:
+            CapacityError: If no target has room for the increment.
+        """
+        if name not in self._sizes:
+            self.set_workload(self._workloads.get(name, ObjectWorkload(name)))
+
+        used = self._used()
+        if used.sum() + delta_bytes > self.capacities.sum():
+            raise CapacityError(
+                "no target has %d bytes free for %s" % (delta_bytes, name)
+            )
+        self._sizes[name] += int(delta_bytes)
+        problem = self._problem()
+        evaluator = problem.evaluator()
+        index = problem.object_names.index(name)
+
+        base = np.zeros((problem.n_objects, problem.n_targets))
+        for i, obj in enumerate(problem.object_names):
+            placed = self._placed[obj]
+            if obj == name:
+                placed = placed.copy()
+            total = placed.sum()
+            if total > 0:
+                base[i] = placed / total
+
+        best_j, best_value = None, None
+        for j in range(problem.n_targets):
+            if used[j] + delta_bytes > self.capacities[j]:
+                continue
+            trial_placed = self._placed[name].copy()
+            trial_placed[j] += delta_bytes
+            trial = base.copy()
+            trial[index] = trial_placed / trial_placed.sum()
+            value = evaluator.objective(trial)
+            if best_value is None or value < best_value:
+                best_value = value
+                best_j = j
+        if best_j is None:
+            self._sizes[name] -= int(delta_bytes)
+            raise CapacityError(
+                "no target has %d bytes free for %s" % (delta_bytes, name)
+            )
+        self._placed[name][best_j] += delta_bytes
+        return best_j
+
+    def drift(self):
+        """How far the grown layout is from the advisor's optimum.
+
+        Returns ``(current_max_utilization, optimal_max_utilization)``;
+        their ratio is the payoff a relocation pass would buy.
+        """
+        problem = self._problem()
+        evaluator = problem.evaluator()
+        current = evaluator.objective(self.current_layout().matrix)
+        optimal = LayoutAdvisor(problem, regular=False).recommend()
+        return current, float(optimal.utilizations["solver"].max())
+
+    def reoptimize(self, regular=True):
+        """Full advisor pass over the current objects (relocation plan)."""
+        return LayoutAdvisor(self._problem(), regular=regular).recommend()

@@ -1,0 +1,36 @@
+"""Storage target performance models (paper Section 5.2.2).
+
+The advisor never reasons about device internals; it consumes *black-box*
+cost models built by calibration: the device is subjected to workloads
+with known request sizes, run counts, and degrees of contention, the
+measured request service times are tabulated, and lookups interpolate
+among nearby calibration points.  An analytic closed-form model is also
+provided as a fast sanity baseline.
+"""
+
+from repro.models.table_model import TableCostModel
+from repro.models.calibration import (
+    CalibrationConfig,
+    calibrate_device,
+    calibrate_target_model,
+)
+from repro.models.target_model import (
+    TargetModel,
+    estimate_utilization_matrix,
+    estimate_utilizations,
+    workload_arrays,
+)
+from repro.models.analytic import AnalyticDiskCostModel, AnalyticSsdCostModel
+
+__all__ = [
+    "TableCostModel",
+    "CalibrationConfig",
+    "calibrate_device",
+    "calibrate_target_model",
+    "TargetModel",
+    "estimate_utilization_matrix",
+    "estimate_utilizations",
+    "workload_arrays",
+    "AnalyticDiskCostModel",
+    "AnalyticSsdCostModel",
+]

@@ -1,0 +1,151 @@
+"""Calibration harness: measure a device to build its cost models.
+
+Mirrors the paper's methodology: "we construct the models by subjecting
+the storage targets to calibration workloads with known request sizes,
+run counts, and degrees of contention and measuring the request service
+times, which are then tabulated."
+
+Contention is produced by running competitor streams (uniform random
+page reads) alongside the measured stream; because everything is
+closed-loop the *realised* contention factor is measured from the trace
+rather than assumed, and the scattered (chi, cost) samples are regridded
+by :meth:`TableCostModel.from_samples`.
+"""
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+from repro import units
+from repro.errors import CalibrationError
+from repro.models.table_model import TableCostModel
+from repro.storage.engine import SimulationEngine
+from repro.storage.mapping import PlacementMap
+from repro.storage.streams import RunStream, SimContext, SteadyStream
+from repro.storage.target import StorageTarget
+
+
+@dataclass(frozen=True)
+class CalibrationConfig:
+    """Grid and measurement parameters for device calibration.
+
+    Attributes:
+        sizes: Request sizes to calibrate (bytes).
+        run_counts: Sequential run counts to calibrate.
+        competitor_counts: Number of concurrent competitor streams per
+            measurement; each count yields one realised contention level.
+        n_requests: Measured requests per cell (more = less noise).
+        warmup_fraction: Leading fraction of measured requests discarded.
+        region_fraction: Fraction of device capacity the calibration
+            object spans (seek distances scale with it).
+        seed: RNG seed for reproducible request offsets.
+    """
+
+    sizes: Tuple[int, ...] = (units.kib(8), units.kib(64))
+    run_counts: Tuple[int, ...] = (1, 4, 16, 64)
+    competitor_counts: Tuple[int, ...] = (0, 1, 2, 4, 8)
+    n_requests: int = 600
+    warmup_fraction: float = 0.1
+    region_fraction: float = 0.8
+    seed: int = 7
+    chi_grid: Tuple[float, ...] = (0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0)
+
+
+def _measure_cell(device_factory, size, run_count, n_competitors, kind, config):
+    """Run one calibration cell; return (realised_chi, mean_cost)."""
+    engine = SimulationEngine()
+    device = device_factory()
+    trace = []
+    target = StorageTarget(device, engine=engine, trace=trace)
+
+    region = int(device.capacity * config.region_fraction)
+    stripe = units.DEFAULT_STRIPE_SIZE
+    region = max(stripe, (region // stripe) * stripe)
+    placement = PlacementMap(
+        {"calib": region}, {"calib": [1.0]}, [device.capacity], stripe_size=stripe
+    )
+    ctx = SimContext(engine, placement, [target])
+
+    rng = np.random.default_rng(config.seed)
+    competitors = [
+        SteadyStream(ctx, "calib", run_count=1, rng=np.random.default_rng(
+            config.seed + 100 + c), page=units.kib(8), window=1, kind="read")
+        for c in range(n_competitors)
+    ]
+
+    def measured_done(_stream):
+        for competitor in competitors:
+            competitor.stop()
+
+    measured = RunStream(
+        ctx, "calib", n_requests=config.n_requests, run_count=run_count,
+        rng=rng, page=size, window=1, kind=kind, on_done=measured_done,
+    )
+
+    for competitor in competitors:
+        competitor.start()
+    measured.start()
+    engine.run()
+
+    mine = [r for r in trace if r.stream_id == measured.stream_id]
+    if len(mine) < config.n_requests:
+        raise CalibrationError(
+            "calibration cell lost requests (%d of %d completed)"
+            % (len(mine), config.n_requests)
+        )
+    skip = int(len(mine) * config.warmup_fraction)
+    costs = [r.service_time for r in mine[skip:]]
+    mean_cost = float(np.mean(costs))
+
+    # Report a *utilization-equivalent* cost: a target with internal
+    # parallelism (RAID members, SSD channels) serves that many
+    # requests concurrently, so each request occupies 1/parallelism of
+    # the target.  Without this, the advisor would model a 3-disk RAID0
+    # as a single serial server and underestimate its throughput.
+    parallel_capacity = sum(unit.parallelism for unit in device.units)
+    mean_cost /= max(1, parallel_capacity)
+
+    window_start = mine[skip].submit_time
+    window_end = mine[-1].finish_time
+    competing = sum(
+        1
+        for r in trace
+        if r.stream_id != measured.stream_id
+        and window_start <= r.finish_time <= window_end
+    )
+    own = len(mine) - skip
+    chi = competing / own if own else 0.0
+    return chi, mean_cost
+
+
+def calibrate_device(device_factory, config=None, kind="read"):
+    """Calibrate one device type into a :class:`TableCostModel`.
+
+    Args:
+        device_factory: Zero-argument callable returning a *fresh*
+            :class:`~repro.storage.device.Device` each call (state from
+            one cell must not leak into the next).
+        config: Calibration grid; defaults to :class:`CalibrationConfig`.
+        kind: ``"read"`` or ``"write"`` — which cost model to build.
+    """
+    if config is None:
+        config = CalibrationConfig()
+    samples = []
+    for size in config.sizes:
+        for run_count in config.run_counts:
+            for n_competitors in config.competitor_counts:
+                chi, cost = _measure_cell(
+                    device_factory, size, run_count, n_competitors, kind, config
+                )
+                samples.append((float(size), float(run_count), chi, cost))
+    return TableCostModel.from_samples(samples, chi_grid=config.chi_grid)
+
+
+def calibrate_target_model(device_factory, name, config=None):
+    """Calibrate both read and write models and wrap them in a TargetModel."""
+    from repro.models.target_model import TargetModel
+
+    read_model = calibrate_device(device_factory, config=config, kind="read")
+    write_model = calibrate_device(device_factory, config=config, kind="write")
+    return TargetModel(name=name, read_model=read_model, write_model=write_model)

@@ -1,0 +1,180 @@
+"""Tabulated, interpolating request-cost model.
+
+A :class:`TableCostModel` stores measured per-request service costs on a
+three-dimensional grid — request size × run count × contention factor —
+and answers lookups by trilinear interpolation (log-spaced in size and
+run count, log1p-spaced in contention).  "Although the behavior of
+storage devices can be complex and highly non-linear, the generality of
+the tabulation/interpolation approach allows us to model them accurately"
+(paper §5.2.2); the same generality lets one model serve disks, SSDs, and
+RAID groups without code changes.
+"""
+
+import numpy as np
+
+from repro.errors import CalibrationError
+
+
+def _axis_coordinates(values, transform):
+    array = np.asarray(values, dtype=float)
+    if array.ndim != 1 or array.size == 0:
+        raise CalibrationError("grid axes must be non-empty 1-D sequences")
+    if np.any(np.diff(array) <= 0):
+        raise CalibrationError("grid axes must be strictly increasing")
+    return transform(array)
+
+
+def _bracket(coords, queries):
+    """Return (lower index, interpolation weight) clamped to the grid."""
+    idx = np.searchsorted(coords, queries, side="right") - 1
+    idx = np.clip(idx, 0, max(0, len(coords) - 2))
+    if len(coords) == 1:
+        return idx, np.zeros_like(queries, dtype=float)
+    lo = coords[idx]
+    hi = coords[idx + 1]
+    weight = np.clip((queries - lo) / np.maximum(hi - lo, 1e-12), 0.0, 1.0)
+    return idx, weight
+
+
+class TableCostModel:
+    """Interpolated per-request cost table.
+
+    Args:
+        sizes: Grid of request sizes (bytes), strictly increasing.
+        run_counts: Grid of run counts, strictly increasing, >= 1.
+        contentions: Grid of contention factors, strictly increasing, >= 0.
+        costs: Array of shape (len(sizes), len(run_counts),
+            len(contentions)) of per-request service costs in seconds.
+    """
+
+    def __init__(self, sizes, run_counts, contentions, costs):
+        self.sizes = np.asarray(sizes, dtype=float)
+        self.run_counts = np.asarray(run_counts, dtype=float)
+        self.contentions = np.asarray(contentions, dtype=float)
+        self.costs = np.asarray(costs, dtype=float)
+        expected = (len(self.sizes), len(self.run_counts), len(self.contentions))
+        if self.costs.shape != expected:
+            raise CalibrationError(
+                "cost table shape %s does not match grid %s"
+                % (self.costs.shape, expected)
+            )
+        if np.any(~np.isfinite(self.costs)) or np.any(self.costs < 0):
+            raise CalibrationError("cost table contains invalid entries")
+        self._size_coords = _axis_coordinates(self.sizes, np.log)
+        self._run_coords = _axis_coordinates(self.run_counts, np.log)
+        self._chi_coords = _axis_coordinates(self.contentions, np.log1p)
+
+    def lookup(self, sizes, run_counts, chis):
+        """Interpolated per-request cost; fully vectorized.
+
+        Inputs broadcast together; values outside the calibrated grid are
+        clamped to the nearest edge, as the paper's model does when asked
+        about uncalibrated operating points.
+        """
+        size_q = np.log(np.maximum(np.asarray(sizes, dtype=float), 1.0))
+        run_q = np.log(np.maximum(np.asarray(run_counts, dtype=float), 1.0))
+        chi_q = np.log1p(np.maximum(np.asarray(chis, dtype=float), 0.0))
+        size_q, run_q, chi_q = np.broadcast_arrays(size_q, run_q, chi_q)
+
+        si, sw = _bracket(self._size_coords, size_q)
+        qi, qw = _bracket(self._run_coords, run_q)
+        ci, cw = _bracket(self._chi_coords, chi_q)
+
+        s_hi = np.minimum(si + 1, len(self.sizes) - 1)
+        q_hi = np.minimum(qi + 1, len(self.run_counts) - 1)
+        c_hi = np.minimum(ci + 1, len(self.contentions) - 1)
+
+        def corner(a, b, c):
+            return self.costs[a, b, c]
+
+        c000 = corner(si, qi, ci)
+        c001 = corner(si, qi, c_hi)
+        c010 = corner(si, q_hi, ci)
+        c011 = corner(si, q_hi, c_hi)
+        c100 = corner(s_hi, qi, ci)
+        c101 = corner(s_hi, qi, c_hi)
+        c110 = corner(s_hi, q_hi, ci)
+        c111 = corner(s_hi, q_hi, c_hi)
+
+        c00 = c000 * (1 - cw) + c001 * cw
+        c01 = c010 * (1 - cw) + c011 * cw
+        c10 = c100 * (1 - cw) + c101 * cw
+        c11 = c110 * (1 - cw) + c111 * cw
+
+        c0 = c00 * (1 - qw) + c01 * qw
+        c1 = c10 * (1 - qw) + c11 * qw
+
+        return c0 * (1 - sw) + c1 * sw
+
+    @classmethod
+    def from_samples(cls, samples, chi_grid=None):
+        """Build a table from scattered calibration samples.
+
+        Args:
+            samples: Iterable of ``(size, run_count, chi, cost)`` tuples.
+                Sizes and run counts must come from a grid (each distinct
+                value becomes an axis point); chi values may be scattered
+                (closed-loop calibration cannot pin them exactly) and are
+                resampled onto ``chi_grid`` by 1-D interpolation.
+            chi_grid: Contention axis; defaults to (0, 0.5, 1, 2, 4, 8, 16).
+        """
+        samples = list(samples)
+        if not samples:
+            raise CalibrationError("no calibration samples provided")
+        if chi_grid is None:
+            chi_grid = (0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0)
+        chi_grid = np.asarray(chi_grid, dtype=float)
+
+        sizes = np.array(sorted({s for s, _, _, _ in samples}), dtype=float)
+        runs = np.array(sorted({q for _, q, _, _ in samples}), dtype=float)
+        costs = np.zeros((len(sizes), len(runs), len(chi_grid)))
+
+        for i, size in enumerate(sizes):
+            for j, run in enumerate(runs):
+                points = sorted(
+                    (chi, cost)
+                    for s, q, chi, cost in samples
+                    if s == size and q == run
+                )
+                if not points:
+                    raise CalibrationError(
+                        "missing calibration cell size=%g run=%g" % (size, run)
+                    )
+                chis = np.array([p[0] for p in points])
+                vals = np.array([p[1] for p in points])
+                # Collapse duplicate chi values by averaging.
+                unique_chis, inverse = np.unique(chis, return_inverse=True)
+                averaged = np.zeros(len(unique_chis))
+                counts = np.zeros(len(unique_chis))
+                np.add.at(averaged, inverse, vals)
+                np.add.at(counts, inverse, 1)
+                averaged /= counts
+                costs[i, j, :] = np.interp(chi_grid, unique_chis, averaged)
+
+        return cls(sizes, runs, chi_grid, costs)
+
+    def to_dict(self):
+        """JSON-serializable representation (for on-disk caching)."""
+        return {
+            "sizes": self.sizes.tolist(),
+            "run_counts": self.run_counts.tolist(),
+            "contentions": self.contentions.tolist(),
+            "costs": self.costs.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(
+            data["sizes"], data["run_counts"], data["contentions"], data["costs"]
+        )
+
+    def slice_by_contention(self, size, run_count, chis=None):
+        """One Figure-8-style curve: cost vs contention for fixed size/Q."""
+        if chis is None:
+            chis = self.contentions
+        chis = np.asarray(chis, dtype=float)
+        return chis, self.lookup(
+            np.full_like(chis, float(size)),
+            np.full_like(chis, float(run_count)),
+            chis,
+        )

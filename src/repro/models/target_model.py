@@ -1,0 +1,121 @@
+"""Per-target utilization estimation (paper Eq. 1 and Figure 6).
+
+A :class:`TargetModel` pairs a read and a write cost model for one
+storage target.  :func:`estimate_utilization_matrix` is the full Figure-6
+pipeline: apply the layout model to every object workload, compute
+contention factors, look up per-request costs, and combine them into the
+per-object-per-target utilizations
+
+    µ_ij = λ^R_ij · CostR_j(B^R_i, Q_ij, χ_ij)
+         + λ^W_ij · CostW_j(B^W_i, Q_ij, χ_ij)
+
+whose column sums are the target utilizations µ_j the solver minimizes
+the maximum of.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import units
+from repro.workload.contention import contention_factors
+from repro.workload.layout_model import (
+    overlap_matrix,
+    per_target_run_counts,
+)
+
+
+@dataclass
+class TargetModel:
+    """Read/write cost models for one storage target.
+
+    The cost models only need a vectorized
+    ``lookup(sizes, run_counts, chis) -> costs`` method, so calibrated
+    :class:`~repro.models.table_model.TableCostModel` instances and the
+    analytic models are interchangeable — the "plug in models for
+    different targets" property the paper gets from MINOS external
+    functions.
+    """
+
+    name: str
+    read_model: object
+    write_model: object
+
+    def request_cost(self, kind, size, run_count, chi):
+        model = self.read_model if kind == "read" else self.write_model
+        return model.lookup(size, run_count, chi)
+
+
+def workload_arrays(workloads):
+    """Extract numpy arrays from a list of workload specs.
+
+    Returns a dict with keys ``read_rate``, ``write_rate``, ``read_size``,
+    ``write_size``, ``total_rate``, ``mean_size``, ``run_count`` (each of
+    shape (N,)) and ``overlap`` of shape (N, N) with a zero diagonal.
+    """
+    return {
+        "read_rate": np.array([w.read_rate for w in workloads]),
+        "write_rate": np.array([w.write_rate for w in workloads]),
+        "read_size": np.array([w.read_size for w in workloads]),
+        "write_size": np.array([w.write_size for w in workloads]),
+        "total_rate": np.array([w.total_rate for w in workloads]),
+        "mean_size": np.array([w.mean_size for w in workloads]),
+        "run_count": np.array([w.run_count for w in workloads]),
+        "overlap": overlap_matrix(workloads),
+    }
+
+
+def estimate_utilization_matrix(workloads, layout, models,
+                                stripe_size=units.DEFAULT_STRIPE_SIZE,
+                                arrays=None):
+    """Estimate the (N, M) matrix of utilizations µ_ij.
+
+    Args:
+        workloads: List of N :class:`ObjectWorkload`.
+        layout: Layout matrix, shape (N, M).
+        models: Sequence of M :class:`TargetModel` (one per target).
+        stripe_size: LVM stripe size used by the layout model.
+        arrays: Optional precomputed :func:`workload_arrays` result — the
+            solver calls this function thousands of times on fixed
+            workloads, so extraction is hoisted.
+
+    Returns:
+        µ, an (N, M) numpy array.  ``µ.sum(axis=0)`` gives the target
+        utilizations µ_j.
+    """
+    layout = np.asarray(layout, dtype=float)
+    n_objects, n_targets = layout.shape
+    if len(models) != n_targets:
+        raise ValueError(
+            "%d target models for %d targets" % (len(models), n_targets)
+        )
+    if arrays is None:
+        arrays = workload_arrays(workloads)
+
+    run_counts = per_target_run_counts(
+        arrays["run_count"], arrays["mean_size"], layout, stripe_size
+    )
+    chi = contention_factors(arrays["total_rate"], arrays["overlap"], layout)
+
+    mu = np.zeros((n_objects, n_targets))
+    for j in range(n_targets):
+        read_cost = models[j].read_model.lookup(
+            arrays["read_size"], run_counts[:, j], chi[:, j]
+        )
+        write_cost = models[j].write_model.lookup(
+            arrays["write_size"], run_counts[:, j], chi[:, j]
+        )
+        mu[:, j] = (
+            arrays["read_rate"] * layout[:, j] * read_cost
+            + arrays["write_rate"] * layout[:, j] * write_cost
+        )
+    return mu
+
+
+def estimate_utilizations(workloads, layout, models,
+                          stripe_size=units.DEFAULT_STRIPE_SIZE,
+                          arrays=None):
+    """Target utilizations µ_j (shape (M,)): column sums of µ_ij."""
+    return estimate_utilization_matrix(
+        workloads, layout, models, stripe_size=stripe_size, arrays=arrays
+    ).sum(axis=0)

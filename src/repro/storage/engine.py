@@ -1,0 +1,67 @@
+"""Discrete-event simulation core.
+
+A minimal but fast event loop: a heap of ``(time, sequence, callback,
+args)`` entries.  Targets and streams schedule callbacks against it; the
+simulation runs until the heap drains (all closed-loop streams finished)
+or an explicit horizon is reached.
+"""
+
+import heapq
+
+from repro.errors import SimulationError
+
+
+class SimulationEngine:
+    """The simulation clock and event queue."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._heap = []
+        self._sequence = 0
+
+    @property
+    def now(self):
+        """Current simulated time in seconds."""
+        return self._now
+
+    def schedule(self, delay, callback, *args):
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError("cannot schedule an event in the past")
+        self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time, callback, *args):
+        """Schedule ``callback(*args)`` at an absolute simulated time."""
+        if time < self._now:
+            raise SimulationError("cannot schedule an event in the past")
+        heapq.heappush(self._heap, (time, self._sequence, callback, args))
+        self._sequence += 1
+
+    def step(self):
+        """Run the next event.  Returns False when the queue is empty."""
+        if not self._heap:
+            return False
+        time, _, callback, args = heapq.heappop(self._heap)
+        self._now = time
+        callback(*args)
+        return True
+
+    def run(self, until=None):
+        """Run events until the queue drains or ``until`` is reached.
+
+        Returns the final simulated time.
+        """
+        if until is None:
+            while self.step():
+                pass
+        else:
+            while self._heap and self._heap[0][0] <= until:
+                self.step()
+            if self._now < until:
+                self._now = until
+        return self._now
+
+    @property
+    def pending(self):
+        """Number of events waiting in the queue."""
+        return len(self._heap)

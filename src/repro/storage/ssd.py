@@ -1,0 +1,56 @@
+"""Solid-state drive model.
+
+SSDs have no positioning costs: random and sequential requests cost the
+same, reads are cheap, and writes carry a flash-programming premium.
+Internal channel parallelism lets several requests proceed concurrently.
+Parameters are shaped after the 32 GB SATA-II SSD in the paper's testbed
+(circa 2009 consumer flash).
+"""
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.storage.device import Device, DeviceUnit
+
+
+@dataclass(frozen=True)
+class SsdParameters:
+    """Performance characteristics of a flash SSD.
+
+    Attributes:
+        read_latency_s: Fixed per-request read latency.
+        write_latency_s: Fixed per-request write latency (flash program).
+        read_bps / write_bps: Transfer bandwidth per channel.
+        channels: Number of requests serviceable concurrently.
+    """
+
+    read_latency_s: float = 0.10 * units.MS
+    write_latency_s: float = 0.35 * units.MS
+    read_bps: float = 220 * units.MIB
+    write_bps: float = 90 * units.MIB
+    channels: int = 4
+
+
+SATA_SSD_2010 = SsdParameters()
+
+
+class SsdUnit(DeviceUnit):
+    """One SSD package; ``parallelism`` models its channel count."""
+
+    def __init__(self, params):
+        self.params = params
+        self.parallelism = params.channels
+
+    def service_time(self, request, active_streams=1):
+        p = self.params
+        if request.kind == "write":
+            return p.write_latency_s + request.size / p.write_bps
+        return p.read_latency_s + request.size / p.read_bps
+
+
+class SolidStateDrive(Device):
+    """A flash SSD storage device."""
+
+    def __init__(self, name, capacity, params=SATA_SSD_2010):
+        super().__init__(name, capacity, [SsdUnit(params)])
+        self.params = params

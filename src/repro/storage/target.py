@@ -1,0 +1,212 @@
+"""Storage target: a device plus per-unit queues and accounting.
+
+A target is the unit of layout in the paper — "independent containers into
+which data can be stored".  It owns the device, routes incoming requests
+to device units, queues them when all servers of a unit are busy, applies
+the unit's scheduling policy, and records completions into an optional
+trace for the workload analyzer.  It also accumulates per-unit busy time,
+which gives the *measured* utilization that the advisor's estimated
+utilizations (paper Figure 13) are judged against.
+"""
+
+from repro.errors import SimulationError
+from repro.storage.request import CompletionRecord, IORequest
+
+
+class _UnitServer:
+    """Queue + in-service bookkeeping for one device unit."""
+
+    #: A queued head-of-line request may be bypassed by the scheduling
+    #: policy at most this many times before it is served unconditionally
+    #: (prevents LOOK from starving far-away requests).
+    BYPASS_LIMIT = 2
+
+    def __init__(self, unit):
+        self.unit = unit
+        self.queue = []
+        self.in_service = 0
+        self.busy_time = 0.0
+        self.head_bypassed = 0
+
+    @property
+    def free(self):
+        return self.in_service < self.unit.parallelism
+
+
+class StorageTarget:
+    """A storage target backed by a :class:`~repro.storage.device.Device`.
+
+    Args:
+        device: The backing device; its capacity is the target capacity.
+        engine: The simulation engine; may be attached later via
+            :meth:`bind`.
+        trace: Optional list that receives a
+            :class:`~repro.storage.request.CompletionRecord` per completed
+            request.
+    """
+
+    def __init__(self, device, engine=None, trace=None):
+        self.device = device
+        self.engine = engine
+        self.trace = trace
+        self._servers = [_UnitServer(unit) for unit in device.units]
+        self.completed = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    @property
+    def name(self):
+        return self.device.name
+
+    @property
+    def capacity(self):
+        return self.device.capacity
+
+    def bind(self, engine, trace=None):
+        """Attach the target to a simulation engine (and fresh trace)."""
+        self.engine = engine
+        if trace is not None:
+            self.trace = trace
+        return self
+
+    def submit(self, request):
+        """Submit a request; splits it if it crosses a unit boundary."""
+        if self.engine is None:
+            raise SimulationError("target %s is not bound to an engine" % self.name)
+        if request.lba < 0 or request.lba + request.size > self.capacity:
+            raise SimulationError(
+                "request [%d, %d) outside target %s capacity %d"
+                % (request.lba, request.lba + request.size, self.name, self.capacity)
+            )
+        request.submit_time = self.engine.now
+        limit = self.device.boundary(request.lba)
+        if request.size <= limit:
+            self._enqueue(request)
+        else:
+            self._submit_split(request, limit)
+
+    def _submit_split(self, request, first_limit):
+        """Split a boundary-crossing request into per-unit fragments.
+
+        The original request completes when every fragment has completed.
+        """
+        fragments = []
+        offset = 0
+        limit = first_limit
+        while offset < request.size:
+            size = min(limit, request.size - offset)
+            fragments.append(
+                IORequest(
+                    stream_id=request.stream_id,
+                    kind=request.kind,
+                    lba=request.lba + offset,
+                    size=size,
+                    obj=request.obj,
+                    logical_offset=None,
+                )
+            )
+            offset += size
+            limit = self.device.boundary(request.lba + offset) if offset < request.size else 0
+
+        state = {"remaining": len(fragments)}
+
+        def fragment_done(_fragment):
+            state["remaining"] -= 1
+            if state["remaining"] == 0:
+                request.start_time = request.submit_time
+                request.finish_time = self.engine.now
+                if request.on_complete is not None:
+                    request.on_complete(request)
+
+        for fragment in fragments:
+            fragment.on_complete = fragment_done
+            fragment.submit_time = request.submit_time
+            self._enqueue(fragment)
+
+    def _enqueue(self, request):
+        unit_index, unit_lba = self.device.route(request.lba)
+        request.lba = unit_lba
+        server = self._servers[unit_index]
+        server.queue.append(request)
+        self._dispatch(server)
+
+    def _dispatch(self, server):
+        """Start queued requests while the unit has free service slots.
+
+        New arrivals always pass through the queue, so a stream that
+        reissues synchronously from its completion callback cannot jump
+        ahead of requests that were already waiting.
+        """
+        while server.queue and server.free:
+            if server.head_bypassed >= server.BYPASS_LIMIT:
+                index = 0
+            else:
+                index = server.unit.pick_index(server.queue)
+            if index != 0:
+                server.head_bypassed += 1
+            else:
+                server.head_bypassed = 0
+            self._start(server, server.queue.pop(index))
+
+    def _start(self, server, request):
+        request.start_time = self.engine.now
+        streams = {request.stream_id}
+        streams.update(r.stream_id for r in server.queue)
+        service = server.unit.service_time(request, active_streams=len(streams) + server.in_service)
+        server.in_service += 1
+        server.busy_time += service
+        self.engine.schedule(service, self._complete, server, request)
+
+    def _complete(self, server, request):
+        server.in_service -= 1
+        request.finish_time = self.engine.now
+        self.completed += 1
+        if request.kind == "read":
+            self.bytes_read += request.size
+        else:
+            self.bytes_written += request.size
+        if self.trace is not None:
+            self.trace.append(
+                CompletionRecord(
+                    submit_time=request.submit_time,
+                    finish_time=request.finish_time,
+                    target=self.name,
+                    obj=request.obj,
+                    stream_id=request.stream_id,
+                    kind=request.kind,
+                    lba=request.lba,
+                    logical_offset=request.logical_offset,
+                    size=request.size,
+                    service_time=request.finish_time - request.start_time,
+                )
+            )
+        if request.on_complete is not None:
+            request.on_complete(request)
+        self._dispatch(server)
+
+    def utilization(self, elapsed):
+        """Measured utilization: busy time over available server time."""
+        if elapsed <= 0:
+            return 0.0
+        available = sum(
+            elapsed * server.unit.parallelism for server in self._servers
+        )
+        busy = sum(server.busy_time for server in self._servers)
+        return busy / available
+
+    def busy_time(self):
+        """Total busy time summed over device units."""
+        return sum(server.busy_time for server in self._servers)
+
+    def reset(self):
+        """Reset device state and accounting for a fresh run."""
+        self.device.reset()
+        self._servers = [_UnitServer(unit) for unit in self.device.units]
+        self.completed = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def __repr__(self):
+        return "StorageTarget(name={!r}, capacity={})".format(
+            self.name, self.capacity
+        )

@@ -1,0 +1,50 @@
+"""Shared unit constants and small conversion helpers.
+
+Throughout the library:
+
+* sizes and capacities are in **bytes**,
+* times are in **seconds**,
+* request rates are in **requests per second**,
+* device positions (logical block addresses) are in **bytes** as well, so
+  that request sizes and seek distances share one unit.
+"""
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+MS = 1e-3
+US = 1e-6
+
+#: Default LVM stripe size used by the layout model and the placement
+#: mapper.  The paper's experiments used a host LVM with striping; 1 MiB
+#: is a typical stripe size and is the library default everywhere.  At
+#: this size a scan works one member disk at a time (coarse
+#: time-multiplexing), and objects smaller than a stripe necessarily
+#: land whole on a single target — both properties the experiments
+#: depend on (see PlacementMap's allocation-policy discussion).
+DEFAULT_STRIPE_SIZE = 1 * MIB
+
+#: Default block-I/O request size for database page reads (PostgreSQL uses
+#: 8 KiB pages; the paper's Figure 8 slice is for 8 KiB reads).
+DEFAULT_PAGE_SIZE = 8 * KIB
+
+
+def bytes_to_gib(n):
+    """Return ``n`` bytes expressed in GiB as a float."""
+    return n / GIB
+
+
+def gib(n):
+    """Return ``n`` GiB expressed in bytes as an int."""
+    return int(n * GIB)
+
+
+def mib(n):
+    """Return ``n`` MiB expressed in bytes as an int."""
+    return int(n * MIB)
+
+
+def kib(n):
+    """Return ``n`` KiB expressed in bytes as an int."""
+    return int(n * KIB)

@@ -1,0 +1,44 @@
+"""Rome-style workload modelling (paper Section 5).
+
+An :class:`ObjectWorkload` describes one database object's I/O stream by
+its request sizes, request rates, sequential run count, and temporal
+overlap with other objects' streams.  The layout model (Figure 7)
+transforms an object workload plus a candidate layout into per-target
+workloads; the contention module computes the Eq. 2 interference factor;
+and the analyzer fits workload descriptions from simulator traces the way
+the paper's Rubicon tool fits them from kernel block traces.
+"""
+
+from repro.workload.spec import ObjectWorkload
+from repro.workload.layout_model import (
+    per_target_rates,
+    per_target_run_counts,
+    per_target_workload,
+)
+from repro.workload.contention import contention_factors
+from repro.workload.analyzer import TraceAnalyzer, fit_workloads
+from repro.workload.estimator import WorkloadEstimator, estimate_workloads
+from repro.workload.trace_io import (
+    load_trace,
+    object_totals,
+    rate_series,
+    save_trace,
+    target_busy_series,
+)
+
+__all__ = [
+    "ObjectWorkload",
+    "per_target_rates",
+    "per_target_run_counts",
+    "per_target_workload",
+    "contention_factors",
+    "TraceAnalyzer",
+    "fit_workloads",
+    "WorkloadEstimator",
+    "estimate_workloads",
+    "save_trace",
+    "load_trace",
+    "rate_series",
+    "object_totals",
+    "target_busy_series",
+]

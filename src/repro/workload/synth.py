@@ -1,0 +1,109 @@
+"""Synthetic stream generation from workload descriptions.
+
+Given an :class:`~repro.workload.spec.ObjectWorkload`, spawn open-loop
+request streams against the simulator that realise (approximately) its
+request rates, sizes, and run count.  Used to validate the analyzer
+round-trip (spec → trace → fitted spec) and to build purely synthetic
+experiments without the database substrate.
+"""
+
+import numpy as np
+
+from repro import units
+from repro.storage.streams import next_stream_id
+
+
+class OpenLoopRunStream:
+    """Poisson arrivals with sequential runs, independent of completions.
+
+    Unlike the closed-loop streams in :mod:`repro.storage.streams`, this
+    source issues requests at exponential inter-arrival times regardless
+    of service progress, which is what a fixed request *rate* in a
+    workload description means.  Outstanding requests are capped to keep
+    an overloaded target from accumulating unbounded queues.
+    """
+
+    def __init__(self, ctx, obj, rate, duration, run_count=1, kind="read",
+                 size=units.DEFAULT_PAGE_SIZE, rng=None, max_outstanding=64):
+        if rng is None:
+            rng = np.random.default_rng(0)
+        self.ctx = ctx
+        self.obj = obj
+        self.rate = float(rate)
+        self.duration = float(duration)
+        self.run_count = max(1, int(round(run_count)))
+        self.kind = kind
+        self.size = int(size)
+        self.rng = rng
+        self.max_outstanding = int(max_outstanding)
+        self.stream_id = next_stream_id()
+        self.issued = 0
+        self.completions = 0
+        self.dropped = 0
+        self.outstanding = 0
+        self._run_left = 0
+        self._cursor = 0
+        object_size = ctx.placement.object_size(obj)
+        self._n_pages = max(1, object_size // self.size)
+
+    def start(self):
+        if self.rate > 0:
+            self.ctx.engine.schedule(self._next_gap(), self._arrival)
+        return self
+
+    def _next_gap(self):
+        return float(self.rng.exponential(1.0 / self.rate))
+
+    def _next_offset(self):
+        if self._run_left <= 0 or self._cursor + self.size > self._n_pages * self.size:
+            self._cursor = int(self.rng.integers(0, self._n_pages)) * self.size
+            self._run_left = self.run_count
+        offset = self._cursor
+        self._cursor += self.size
+        self._run_left -= 1
+        return offset
+
+    def _arrival(self):
+        if self.ctx.engine.now >= self.duration:
+            return
+        if self.outstanding < self.max_outstanding:
+            self.outstanding += 1
+            self.issued += 1
+            self.ctx.submit(
+                self.obj, self._next_offset(), self.size, self.kind,
+                self.stream_id, on_complete=self._completed,
+            )
+        else:
+            self.dropped += 1
+        self.ctx.engine.schedule(self._next_gap(), self._arrival)
+
+    def _completed(self, _request):
+        self.outstanding -= 1
+        self.completions += 1
+
+
+def spawn_spec_streams(ctx, spec, duration, rng=None):
+    """Spawn read/write open-loop streams realising a workload spec.
+
+    Returns the list of started streams (empty for zero-rate specs).
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+    streams = []
+    if spec.read_rate > 0:
+        streams.append(
+            OpenLoopRunStream(
+                ctx, spec.name, spec.read_rate, duration,
+                run_count=spec.run_count, kind="read",
+                size=int(spec.read_size), rng=rng,
+            ).start()
+        )
+    if spec.write_rate > 0:
+        streams.append(
+            OpenLoopRunStream(
+                ctx, spec.name, spec.write_rate, duration,
+                run_count=spec.run_count, kind="write",
+                size=int(spec.write_size), rng=rng,
+            ).start()
+        )
+    return streams

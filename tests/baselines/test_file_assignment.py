@@ -1,0 +1,97 @@
+"""Tests for the classic file-assignment baselines."""
+
+import pytest
+
+from repro import units
+from repro.baselines.file_assignment import (
+    greedy_rate_layout,
+    round_robin_layout,
+)
+from repro.db.schema import Database, DatabaseObject, TABLE
+from repro.errors import CapacityError
+from repro.workload.spec import ObjectWorkload
+
+
+@pytest.fixture
+def db():
+    return Database("t", [
+        DatabaseObject("hot", TABLE, units.mib(10)),
+        DatabaseObject("warm", TABLE, units.mib(10)),
+        DatabaseObject("cold", TABLE, units.mib(10)),
+    ])
+
+
+def _workloads():
+    return [
+        ObjectWorkload("hot", read_rate=100),
+        ObjectWorkload("warm", read_rate=60),
+        ObjectWorkload("cold", read_rate=10),
+    ]
+
+
+def test_greedy_balances_rates(db):
+    layout = greedy_rate_layout(db, _workloads(), ["d0", "d1"])
+    # hot -> d0, warm -> d1, cold -> d1 (loads 100 vs 70).
+    assert layout.fraction("hot", "d0") == 1.0
+    assert layout.fraction("warm", "d1") == 1.0
+    assert layout.fraction("cold", "d1") == 1.0
+
+
+def test_greedy_one_target_per_object(db):
+    layout = greedy_rate_layout(db, _workloads(), ["d0", "d1", "d2"])
+    for name in db.object_names:
+        assert sorted(layout.row(name).tolist())[-1] == 1.0
+    assert layout.is_regular()
+
+
+def test_greedy_respects_capacity(db):
+    layout = greedy_rate_layout(
+        db, _workloads(), ["small", "big"],
+        capacities=[units.mib(10), units.mib(30)],
+    )
+    sizes = [db[o].size for o in db.object_names]
+    layout.check_capacity(sizes, [units.mib(10), units.mib(30)])
+
+
+def test_greedy_capacity_exhaustion_raises(db):
+    with pytest.raises(CapacityError):
+        greedy_rate_layout(
+            db, _workloads(), ["d0"], capacities=[units.mib(15)]
+        )
+
+
+def test_greedy_handles_missing_workloads(db):
+    layout = greedy_rate_layout(db, [], ["d0", "d1"])
+    for name in db.object_names:
+        assert layout.row(name).sum() == pytest.approx(1.0)
+
+
+def test_round_robin_deals_in_order(db):
+    layout = round_robin_layout(db, ["d0", "d1"])
+    assert layout.fraction("hot", "d0") == 1.0
+    assert layout.fraction("warm", "d1") == 1.0
+    assert layout.fraction("cold", "d0") == 1.0
+
+
+def test_interference_blindness(db):
+    """The defining limitation: two always-co-accessed objects may land
+
+    on the same device because only rates are considered."""
+    workloads = [
+        ObjectWorkload("hot", read_rate=100, overlap={"warm": 1.0}),
+        ObjectWorkload("warm", read_rate=100, overlap={"hot": 1.0}),
+        ObjectWorkload("cold", read_rate=99),
+    ]
+    layout = greedy_rate_layout(db, workloads, ["d0", "d1"])
+    # hot -> d0 (load 100), warm -> d1 (100), cold -> d0 or d1...
+    # the pair is separated here by accident of rates, so instead check
+    # the algorithm never consults overlap: same result when overlaps
+    # are erased.
+    blind = [
+        ObjectWorkload("hot", read_rate=100),
+        ObjectWorkload("warm", read_rate=100),
+        ObjectWorkload("cold", read_rate=99),
+    ]
+    a = greedy_rate_layout(db, workloads, ["d0", "d1"])
+    b = greedy_rate_layout(db, blind, ["d0", "d1"])
+    assert (a.matrix == b.matrix).all()

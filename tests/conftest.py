@@ -1,0 +1,94 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.core.problem import LayoutProblem, TargetSpec
+from repro.models.analytic import (
+    analytic_disk_target_model,
+    analytic_ssd_target_model,
+)
+from repro.storage.disk import DiskDrive
+from repro.storage.engine import SimulationEngine
+from repro.storage.mapping import PlacementMap
+from repro.storage.streams import SimContext
+from repro.storage.target import StorageTarget
+from repro.workload.spec import ObjectWorkload
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def engine():
+    return SimulationEngine()
+
+
+@pytest.fixture
+def disk_target(engine):
+    """A single bound disk target with a trace."""
+    trace = []
+    disk = DiskDrive("d0", units.gib(0.25))
+    target = StorageTarget(disk, engine=engine, trace=trace)
+    return target
+
+
+@pytest.fixture
+def single_disk_ctx(engine, disk_target):
+    """One object spanning most of one disk, ready for streams."""
+    placement = PlacementMap(
+        {"obj": units.mib(64)}, {"obj": [1.0]}, [disk_target.capacity]
+    )
+    return SimContext(engine, placement, [disk_target])
+
+
+def make_workloads():
+    """Three-object workload set exercising every spec feature."""
+    return [
+        ObjectWorkload("big", read_rate=800.0, run_count=64.0,
+                       overlap={"medium": 0.9, "small": 0.2}),
+        ObjectWorkload("medium", read_rate=300.0, write_rate=40.0,
+                       run_count=32.0, overlap={"big": 0.9}),
+        ObjectWorkload("small", read_rate=60.0, write_rate=60.0,
+                       run_count=1.0, overlap={"big": 0.2}),
+    ]
+
+
+def make_problem(n_targets=4, capacity=units.gib(2), pinning=None):
+    """A small analytic-model layout problem (fast: no calibration)."""
+    targets = [
+        TargetSpec("t%d" % j, capacity, analytic_disk_target_model("t%d" % j))
+        for j in range(n_targets)
+    ]
+    sizes = {
+        "big": units.gib(1),
+        "medium": units.mib(300),
+        "small": units.mib(100),
+    }
+    return LayoutProblem(sizes, targets, make_workloads(), pinning=pinning)
+
+
+@pytest.fixture
+def small_problem():
+    return make_problem()
+
+
+@pytest.fixture
+def ssd_problem():
+    """Heterogeneous problem: three disks plus one SSD target."""
+    targets = [
+        TargetSpec("d%d" % j, units.gib(2), analytic_disk_target_model("d%d" % j))
+        for j in range(3)
+    ]
+    targets.append(
+        TargetSpec("ssd", units.gib(1), analytic_ssd_target_model("ssd"))
+    )
+    sizes = {
+        "big": units.gib(1),
+        "medium": units.mib(300),
+        "small": units.mib(100),
+    }
+    return LayoutProblem(sizes, targets, make_workloads())

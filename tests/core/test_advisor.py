@@ -1,0 +1,68 @@
+"""Tests for the LayoutAdvisor pipeline (paper Figure 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.advisor import LayoutAdvisor
+
+from tests.conftest import make_problem
+
+
+@pytest.fixture(scope="module")
+def result():
+    return LayoutAdvisor(make_problem(), regular=True).recommend()
+
+
+def test_all_stages_present(result):
+    assert result.initial is not None
+    assert result.solver is not None
+    assert result.regular is not None
+    assert set(result.utilizations) == {"see", "initial", "solver", "regular"}
+
+
+def test_recommended_is_regular(result):
+    assert result.recommended is result.regular
+    assert result.recommended.is_regular()
+
+
+def test_solver_stage_beats_see(result):
+    assert result.max_utilization("solver") <= result.max_utilization("see")
+
+
+def test_solver_stage_beats_initial(result):
+    assert result.max_utilization("solver") <= result.max_utilization("initial") + 1e-9
+
+
+def test_timings_recorded(result):
+    assert result.solver_time_s > 0
+    assert result.regularization_time_s > 0
+    assert result.total_time_s >= result.solver_time_s
+
+
+def test_non_regular_mode_skips_regularization():
+    outcome = LayoutAdvisor(make_problem(), regular=False).recommend()
+    assert outcome.regular is None
+    assert outcome.recommended is outcome.solver
+    assert "regular" not in outcome.utilizations
+    assert outcome.regularization_time_s == 0.0
+
+
+def test_utilizations_match_layouts(result):
+    problem = make_problem()
+    evaluator = problem.evaluator()
+    recomputed = evaluator.utilizations(result.solver.matrix)
+    assert np.allclose(recomputed, result.utilizations["solver"], rtol=1e-6)
+
+
+def test_heterogeneous_targets_attract_load(ssd_problem):
+    """With an SSD in the mix, the random-heavy object should prefer it
+
+    (the paper's heterogeneity claim)."""
+    outcome = LayoutAdvisor(ssd_problem, regular=True).recommend()
+    # 'small' is the random-access object; the SSD handles random I/O
+    # an order of magnitude cheaper than the disks.
+    assert outcome.recommended.fraction("small", "ssd") > 0.5
+
+
+def test_method_recorded(result):
+    assert result.method in ("slsqp", "coordinate")

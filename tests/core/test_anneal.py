@@ -1,0 +1,80 @@
+"""Tests for the randomized-search (annealing) solver."""
+
+import numpy as np
+import pytest
+
+from repro.core.initial import initial_layout
+from repro.core.anneal import solve_anneal
+from repro.core.pinning import PinningConstraints
+from repro.core.solver import solve
+
+from tests.conftest import make_problem
+
+
+def test_anneal_improves_on_initial():
+    problem = make_problem()
+    start = initial_layout(problem)
+    evaluator = problem.evaluator()
+    before = evaluator.objective(start.matrix)
+    result = solve_anneal(problem, start, evaluator=evaluator, seed=3)
+    assert result.objective <= before + 1e-9
+    assert result.method == "anneal"
+
+
+def test_anneal_result_is_valid():
+    problem = make_problem()
+    result = solve_anneal(problem, initial_layout(problem), seed=3)
+    problem.validate_layout(result.layout)
+
+
+def test_anneal_beats_see():
+    problem = make_problem()
+    evaluator = problem.evaluator()
+    see_value = evaluator.objective(problem.see_layout().matrix)
+    result = solve_anneal(problem, initial_layout(problem),
+                          evaluator=evaluator, seed=3)
+    assert result.objective <= see_value
+
+
+def test_anneal_quality_near_nlp():
+    """The randomized search should land within a reasonable factor of
+
+    the NLP solver on this small problem (paper §7: 'an alternative to
+    the NLP solver')."""
+    problem = make_problem()
+    nlp = solve(problem, method="slsqp")
+    anneal = solve(problem, method="anneal", seed=5)
+    assert anneal.objective <= nlp.objective * 1.5
+
+
+def test_anneal_respects_pinning():
+    pinning = PinningConstraints(allowed={"big": ["t0", "t1"]},
+                                 fixed={"small": [1.0, 0.0, 0.0, 0.0]})
+    problem = make_problem(pinning=pinning)
+    result = solve_anneal(problem, initial_layout(problem), seed=3,
+                          iterations=800)
+    row = result.layout.row("big")
+    assert row[2] == 0.0 and row[3] == 0.0
+    assert result.layout.row("small").tolist() == [1.0, 0.0, 0.0, 0.0]
+
+
+def test_anneal_respects_capacity():
+    from repro import units
+
+    problem = make_problem(capacity=units.mib(700))
+    result = solve_anneal(problem, initial_layout(problem), seed=3)
+    assigned = problem.sizes @ result.layout.matrix
+    assert np.all(assigned <= problem.capacities * (1 + 1e-6))
+
+
+def test_anneal_is_deterministic_per_seed():
+    problem = make_problem()
+    a = solve_anneal(problem, initial_layout(problem), seed=9)
+    b = solve_anneal(problem, initial_layout(problem), seed=9)
+    assert np.array_equal(a.layout.matrix, b.layout.matrix)
+
+
+def test_solve_dispatches_anneal_method():
+    problem = make_problem()
+    result = solve(problem, method="anneal", seed=1)
+    assert result.method == "anneal"

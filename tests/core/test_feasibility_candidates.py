@@ -1,0 +1,67 @@
+"""Tests for the regularizer's feasibility fallback candidates."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.core.layout import Layout
+from repro.core.problem import LayoutProblem, TargetSpec
+from repro.core.regularize import feasibility_candidates, regularize
+from repro.core.solver import solve
+from repro.models.analytic import (
+    analytic_disk_target_model,
+    analytic_ssd_target_model,
+)
+from repro.workload.spec import ObjectWorkload
+
+
+def test_candidates_ordered_by_free_space():
+    free = np.array([100.0, 900.0, 500.0])
+    rows = feasibility_candidates(size=200.0, free=free, n_targets=3)
+    # k=1: the roomiest target (index 1).
+    assert rows[0].tolist() == [0.0, 1.0, 0.0]
+    # k=2: split over targets 1 and 2 (both fit 100 each).
+    assert rows[1].tolist() == [0.0, 0.5, 0.5]
+
+
+def test_infeasible_widths_dropped():
+    free = np.array([10.0, 900.0])
+    rows = feasibility_candidates(size=500.0, free=free, n_targets=2)
+    # k=1 on target 1 fits; k=2 needs 250 on target 0, which does not.
+    assert len(rows) == 1
+    assert rows[0].tolist() == [0.0, 1.0]
+
+
+def test_no_candidates_when_nothing_fits():
+    free = np.array([10.0, 10.0])
+    assert feasibility_candidates(1000.0, free, 2) == []
+
+
+def test_regularize_survives_attractive_full_target():
+    """Regression: a small fast target (SSD) that fills up early must
+
+    not strand later objects — every paper candidate class orders it
+    first, so only the feasibility class can place them."""
+    targets = [
+        TargetSpec("d%d" % j, units.gib(2),
+                   analytic_disk_target_model("d%d" % j))
+        for j in range(2)
+    ]
+    targets.append(
+        TargetSpec("ssd", units.mib(320), analytic_ssd_target_model("ssd"))
+    )
+    sizes = {
+        "hot_a": units.mib(300),
+        "hot_b": units.mib(300),
+        "bulk": units.gib(1),
+    }
+    workloads = [
+        ObjectWorkload("hot_a", read_rate=500, run_count=1),
+        ObjectWorkload("hot_b", read_rate=400, run_count=1),
+        ObjectWorkload("bulk", read_rate=100, run_count=64),
+    ]
+    problem = LayoutProblem(sizes, targets, workloads)
+    solved = solve(problem)
+    regular = regularize(problem, solved.layout)
+    assert regular.is_regular()
+    problem.validate_layout(regular)

@@ -1,0 +1,100 @@
+"""Tests for the Section 4.2 greedy initial layout."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.core.initial import initial_layout
+from repro.core.pinning import PinningConstraints
+from repro.core.problem import LayoutProblem, TargetSpec
+from repro.errors import CapacityError
+from repro.models.analytic import analytic_disk_target_model
+from repro.workload.spec import ObjectWorkload
+
+from tests.conftest import make_problem
+
+
+def test_each_object_on_exactly_one_target(small_problem):
+    layout = initial_layout(small_problem)
+    for row in layout.matrix:
+        assert sorted(row.tolist()) == [0.0, 0.0, 0.0, 1.0]
+
+
+def test_layout_is_valid(small_problem):
+    layout = initial_layout(small_problem)
+    small_problem.validate_layout(layout)
+
+
+def test_hottest_objects_spread_across_targets(small_problem):
+    """Greedy by request rate: the three objects land on three
+
+    different targets (each target has the lowest assigned rate when
+    its object arrives)."""
+    layout = initial_layout(small_problem)
+    used = {int(np.argmax(layout.row(name))) for name in ("big", "medium",
+                                                          "small")}
+    assert len(used) == 3
+
+
+def test_capacity_forces_spill_to_other_target():
+    targets = [
+        TargetSpec("small_t", units.mib(10), analytic_disk_target_model("s")),
+        TargetSpec("big_t", units.gib(4), analytic_disk_target_model("b")),
+    ]
+    workloads = [ObjectWorkload("huge", read_rate=100),
+                 ObjectWorkload("tiny", read_rate=50)]
+    problem = LayoutProblem(
+        {"huge": units.gib(1), "tiny": units.mib(5)}, targets, workloads
+    )
+    layout = initial_layout(problem)
+    # "huge" cannot fit the 10 MiB target even though it is least loaded.
+    assert layout.fraction("huge", "big_t") == 1.0
+
+
+def test_oversized_object_splits_across_targets():
+    """An object larger than any single target falls back to a split
+
+    (the paper's heuristic assumes whole-object placement; the library
+    degrades gracefully instead of failing)."""
+    targets = [
+        TargetSpec("t0", units.mib(10), analytic_disk_target_model("t0")),
+        TargetSpec("t1", units.mib(10), analytic_disk_target_model("t1")),
+    ]
+    workloads = [ObjectWorkload("a", read_rate=1),
+                 ObjectWorkload("b", read_rate=1)]
+    problem = LayoutProblem(
+        {"a": units.mib(15), "b": units.mib(1)}, targets, workloads
+    )
+    layout = initial_layout(problem)
+    problem.validate_layout(layout)
+    row = layout.row("a")
+    assert (row > 0).sum() == 2
+
+
+def test_pinned_objects_respect_allowed_targets():
+    pinning = PinningConstraints(allowed={"big": ["t3"]})
+    problem = make_problem(pinning=pinning)
+    layout = initial_layout(problem)
+    assert layout.fraction("big", "t3") == 1.0
+
+
+def test_fixed_rows_pass_through():
+    pinning = PinningConstraints(fixed={"small": [0.25, 0.25, 0.25, 0.25]})
+    problem = make_problem(pinning=pinning)
+    layout = initial_layout(problem)
+    assert layout.row("small").tolist() == [0.25] * 4
+
+
+def test_jitter_changes_choices_reproducibly():
+    problem = make_problem()
+    rng1 = np.random.default_rng(7)
+    rng2 = np.random.default_rng(7)
+    a = initial_layout(problem, rng=rng1, jitter=0.5)
+    b = initial_layout(problem, rng=rng2, jitter=0.5)
+    assert np.array_equal(a.matrix, b.matrix)
+
+
+def test_zero_jitter_is_deterministic(small_problem):
+    a = initial_layout(small_problem)
+    b = initial_layout(small_problem)
+    assert np.array_equal(a.matrix, b.matrix)

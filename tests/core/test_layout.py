@@ -1,0 +1,111 @@
+"""Tests for the Layout matrix type."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.core.layout import Layout
+from repro.errors import LayoutError
+
+OBJECTS = ["a", "b", "c"]
+TARGETS = ["t0", "t1"]
+
+
+def test_see_is_valid_and_regular():
+    layout = Layout.see(OBJECTS, TARGETS)
+    layout.check_integrity()
+    assert layout.is_regular()
+    assert layout.fraction("a", "t0") == 0.5
+
+
+def test_shape_mismatch_rejected():
+    with pytest.raises(LayoutError):
+        Layout(np.zeros((2, 2)), OBJECTS, TARGETS)
+
+
+def test_integrity_violation_detected():
+    matrix = np.array([[0.5, 0.4], [1.0, 0.0], [0.0, 1.0]])
+    layout = Layout(matrix, OBJECTS, TARGETS)
+    with pytest.raises(LayoutError):
+        layout.check_integrity()
+
+
+def test_entries_outside_unit_interval_rejected():
+    matrix = np.array([[1.5, -0.5], [1.0, 0.0], [0.0, 1.0]])
+    with pytest.raises(LayoutError):
+        Layout(matrix, OBJECTS, TARGETS).check_integrity()
+
+
+def test_capacity_violation_detected():
+    layout = Layout.from_assignment(
+        {"a": "t0", "b": "t0", "c": "t0"}, OBJECTS, TARGETS
+    )
+    sizes = [units.gib(1)] * 3
+    capacities = [units.gib(2), units.gib(2)]
+    with pytest.raises(LayoutError):
+        layout.check_capacity(sizes, capacities)
+    assert not layout.is_valid(sizes, capacities)
+
+
+def test_is_valid_accepts_fitting_layout():
+    layout = Layout.see(OBJECTS, TARGETS)
+    assert layout.is_valid([units.mib(10)] * 3, [units.gib(1)] * 2)
+
+
+def test_regularity_of_uneven_row():
+    matrix = np.array([[0.3, 0.7], [1.0, 0.0], [0.5, 0.5]])
+    layout = Layout(matrix, OBJECTS, TARGETS)
+    assert not layout.is_regular()
+
+
+def test_from_assignment_single_and_multi():
+    layout = Layout.from_assignment(
+        {"a": "t0", "b": ["t0", "t1"], "c": 1}, OBJECTS, TARGETS
+    )
+    assert layout.row("a").tolist() == [1.0, 0.0]
+    assert layout.row("b").tolist() == [0.5, 0.5]
+    assert layout.row("c").tolist() == [0.0, 1.0]
+    assert layout.is_regular()
+
+
+def test_from_assignment_empty_targets_rejected():
+    with pytest.raises(LayoutError):
+        Layout.from_assignment({"a": [], "b": "t0", "c": "t0"},
+                               OBJECTS, TARGETS)
+
+
+def test_regular_row_builder():
+    row = Layout.regular_row([0, 2], 4)
+    assert row.tolist() == [0.5, 0.0, 0.5, 0.0]
+
+
+def test_with_row_does_not_mutate_original():
+    layout = Layout.see(OBJECTS, TARGETS)
+    updated = layout.with_row(0, np.array([1.0, 0.0]))
+    assert layout.row("a").tolist() == [0.5, 0.5]
+    assert updated.row("a").tolist() == [1.0, 0.0]
+
+
+def test_fractions_by_name_round_trip():
+    layout = Layout.see(OBJECTS, TARGETS)
+    fractions = layout.fractions_by_name()
+    assert fractions["b"] == [0.5, 0.5]
+
+
+def test_describe_hides_small_fractions():
+    matrix = np.array([[0.999, 0.001], [1.0, 0.0], [0.0, 1.0]])
+    layout = Layout(matrix, OBJECTS, TARGETS)
+    text = layout.describe()
+    assert "t1:0%" not in text
+
+
+def test_describe_respects_order():
+    layout = Layout.see(OBJECTS, TARGETS)
+    text = layout.describe(order=["c", "a"])
+    assert text.index("c") < text.index("a")
+    assert "b" not in text.splitlines()[0]
+
+
+def test_row_lookup_by_index_and_name():
+    layout = Layout.see(OBJECTS, TARGETS)
+    assert layout.row(1).tolist() == layout.row("b").tolist()

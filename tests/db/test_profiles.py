@@ -1,0 +1,62 @@
+"""Tests for query profile types."""
+
+import pytest
+
+from repro.db.profiles import AccessSpec, Phase, QueryProfile, phase, rand, seq
+
+
+def test_seq_shorthand_defaults():
+    access = seq("obj")
+    assert access.mode == "seq"
+    assert access.fraction == 1.0
+    assert access.kind == "read"
+
+
+def test_rand_requires_some_volume():
+    with pytest.raises(ValueError):
+        rand("obj")
+    assert rand("obj", fraction=0.1).fraction == 0.1
+    assert rand("obj", pages=5).pages == 5
+
+
+def test_seq_with_absolute_pages():
+    access = seq("log", pages=2, kind="write")
+    assert access.pages == 2
+    assert access.kind == "write"
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ValueError):
+        AccessSpec(obj="o", mode="zigzag", fraction=1.0)
+
+
+def test_empty_phase_rejected():
+    with pytest.raises(ValueError):
+        Phase(())
+
+
+def test_empty_profile_rejected():
+    with pytest.raises(ValueError):
+        QueryProfile("q", ())
+
+
+def test_objects_deduplicated_in_order():
+    profile = QueryProfile("q", (
+        phase(seq("a"), seq("b")),
+        phase(seq("a"), seq("c")),
+    ))
+    assert profile.objects == ["a", "b", "c"]
+
+
+def test_renamed_rewrites_every_access():
+    profile = QueryProfile("q", (
+        phase(seq("a"), rand("b", pages=3)),
+    ))
+    renamed = profile.renamed({"a": "x.a", "b": "x.b"})
+    assert renamed.objects == ["x.a", "x.b"]
+    # Original untouched.
+    assert profile.objects == ["a", "b"]
+    # Other attributes survive the rename.
+    access = renamed.phases[0].accesses[1]
+    assert access.pages == 3
+    assert access.mode == "rand"

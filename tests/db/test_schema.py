@@ -1,0 +1,73 @@
+"""Tests for database catalogs."""
+
+import pytest
+
+from repro import units
+from repro.db.schema import Database, DatabaseObject, INDEX, LOG, TABLE, TEMP
+
+
+def _db():
+    return Database("test", [
+        DatabaseObject("t1", TABLE, units.mib(100)),
+        DatabaseObject("i1", INDEX, units.mib(10)),
+        DatabaseObject("tmp", TEMP, units.mib(50)),
+        DatabaseObject("log", LOG, units.mib(20)),
+    ])
+
+
+def test_lookup_and_contains():
+    db = _db()
+    assert db["t1"].size == units.mib(100)
+    assert "i1" in db
+    assert "ghost" not in db
+    assert len(db) == 4
+
+
+def test_total_size_and_sizes_mapping():
+    db = _db()
+    assert db.total_size == units.mib(180)
+    assert db.sizes()["tmp"] == units.mib(50)
+
+
+def test_of_kind_filters():
+    db = _db()
+    assert db.of_kind(TABLE) == ["t1"]
+    assert db.of_kind(INDEX) == ["i1"]
+    assert db.of_kind(LOG) == ["log"]
+
+
+def test_invalid_kind_rejected():
+    with pytest.raises(ValueError):
+        DatabaseObject("x", "blob", 100)
+
+
+def test_zero_size_rejected():
+    with pytest.raises(ValueError):
+        DatabaseObject("x", TABLE, 0)
+
+
+def test_duplicate_names_rejected():
+    with pytest.raises(ValueError):
+        Database("bad", [
+            DatabaseObject("a", TABLE, 1),
+            DatabaseObject("a", INDEX, 1),
+        ])
+
+
+def test_scaled_preserves_proportions():
+    db = _db().scaled(0.5)
+    assert db["t1"].size == units.mib(50)
+    assert db["i1"].size == units.mib(5)
+
+
+def test_scaled_floors_at_one_stripe():
+    db = _db().scaled(1e-9)
+    assert db["i1"].size == units.DEFAULT_STRIPE_SIZE
+
+
+def test_merged_with_prefixes():
+    merged = _db().merged_with(_db(), prefix_self="h.", prefix_other="c.")
+    assert "h.t1" in merged
+    assert "c.t1" in merged
+    assert len(merged) == 8
+    assert merged.total_size == 2 * _db().total_size

@@ -1,0 +1,99 @@
+"""Tests for the TPC-H catalog and query profiles."""
+
+import pytest
+
+from repro import units
+from repro.db.schema import INDEX, TABLE, TEMP
+from repro.db.tpch import (
+    TPCH_QUERY_NAMES,
+    tpch_database,
+    tpch_query_profile,
+)
+
+
+def test_catalog_matches_paper_figure_9():
+    """Paper Figure 9: TPC-H has 9.4 GB total in 8 tables, 11 indexes,
+
+    and one temp space (20 objects)."""
+    db = tpch_database()
+    assert len(db) == 20
+    assert len(db.of_kind(TABLE)) == 8
+    assert len(db.of_kind(INDEX)) == 11
+    assert len(db.of_kind(TEMP)) == 1
+    assert db.total_size == pytest.approx(9.4 * units.GIB, rel=0.05)
+
+
+def test_lineitem_is_the_largest_object():
+    db = tpch_database()
+    assert max(db.objects, key=lambda o: o.size).name == "LINEITEM"
+
+
+def test_scaling_shrinks_catalog():
+    db = tpch_database(scale=1 / 64)
+    assert db.total_size < units.mib(200)
+    assert db["LINEITEM"].size == pytest.approx(4600 * units.MIB / 64, rel=0.01)
+
+
+def test_all_22_queries_have_profiles():
+    assert len(TPCH_QUERY_NAMES) == 22
+    for name in TPCH_QUERY_NAMES:
+        profile = tpch_query_profile(name)
+        assert profile.name == name
+        assert len(profile.phases) >= 1
+
+
+def test_profiles_reference_only_catalog_objects():
+    db = tpch_database()
+    for name in TPCH_QUERY_NAMES:
+        for obj in tpch_query_profile(name).objects:
+            assert obj in db, "%s references unknown object %s" % (name, obj)
+
+
+def test_q1_is_a_pure_lineitem_scan():
+    profile = tpch_query_profile("Q1")
+    assert profile.objects == ["LINEITEM"]
+
+
+def test_q18_spills_heavily_to_temp():
+    """The paper singles out Q18's temp usage (the PostgreSQL
+
+    cardinality misestimate example)."""
+    profile = tpch_query_profile("Q18")
+    assert "TEMP SPACE" in profile.objects
+    temp_writes = [
+        access
+        for phase in profile.phases
+        for access in phase.accesses
+        if access.obj == "TEMP SPACE" and access.kind == "write"
+    ]
+    assert temp_writes and temp_writes[0].fraction >= 0.5
+
+
+def test_lineitem_and_orders_are_the_hottest_objects():
+    """Across the query pool LINEITEM and ORDERS must be the two most
+
+    accessed tables, matching the paper's Figure 1 ordering."""
+    from repro.baselines.autoadmin import estimated_volumes
+
+    db = tpch_database()
+    totals = {}
+    for name in TPCH_QUERY_NAMES:
+        if name == "Q9":
+            continue
+        for obj, pages in estimated_volumes(
+            tpch_query_profile(name), db
+        ).items():
+            totals[obj] = totals.get(obj, 0) + pages
+    ranked = sorted(totals, key=lambda o: -totals[o])
+    assert ranked[0] == "LINEITEM"
+    assert "ORDERS" in ranked[:3]
+
+
+def test_unknown_query_raises():
+    with pytest.raises(KeyError):
+        tpch_query_profile("Q99")
+
+
+def test_profile_renaming():
+    profile = tpch_query_profile("Q1").renamed({"LINEITEM": "h.LINEITEM"})
+    assert profile.objects == ["h.LINEITEM"]

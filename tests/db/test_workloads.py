@@ -1,0 +1,64 @@
+"""Tests for the Figure-10 workload definitions."""
+
+import pytest
+
+from repro.db.workloads import (
+    OLAP1_21,
+    OLAP1_63,
+    OLAP8_63,
+    OLAP_QUERY_POOL,
+    OLTP,
+    olap_workload,
+)
+
+
+def test_pool_excludes_q9():
+    assert "Q9" not in OLAP_QUERY_POOL
+    assert len(OLAP_QUERY_POOL) == 21
+
+
+def test_olap1_21_composition():
+    assert len(OLAP1_21.queries) == 21
+    assert OLAP1_21.concurrency == 1
+    assert sorted(set(OLAP1_21.queries)) == sorted(OLAP_QUERY_POOL)
+
+
+def test_olap1_63_repeats_each_query_three_times():
+    assert len(OLAP1_63.queries) == 63
+    for query in OLAP_QUERY_POOL:
+        assert OLAP1_63.queries.count(query) == 3
+
+
+def test_olap8_63_same_queries_higher_concurrency():
+    """OLAP8-63 is OLAP1-63 at concurrency eight (paper §6.1)."""
+    assert sorted(OLAP8_63.queries) == sorted(OLAP1_63.queries)
+    assert OLAP8_63.concurrency == 8
+    assert OLAP1_63.concurrency == 1
+
+
+def test_same_seed_same_permutation():
+    a = olap_workload("x", repetitions=2, seed=5)
+    b = olap_workload("y", repetitions=2, seed=5)
+    assert a.queries == b.queries
+
+
+def test_different_seed_different_permutation():
+    a = olap_workload("x", repetitions=2, seed=5)
+    b = olap_workload("y", repetitions=2, seed=6)
+    assert a.queries != b.queries
+
+
+def test_profiles_resolve():
+    profiles = OLAP1_21.profiles()
+    assert len(profiles) == 21
+    assert all(p.phases for p in profiles)
+
+
+def test_profiles_renaming_applies_to_all():
+    profiles = OLAP1_21.profiles(rename={"LINEITEM": "h.LINEITEM"})
+    for profile in profiles:
+        assert "LINEITEM" not in profile.objects
+
+
+def test_oltp_has_nine_terminals():
+    assert OLTP.terminals == 9

@@ -1,0 +1,70 @@
+"""Tests for the characterization report."""
+
+import pytest
+
+from repro.experiments.characterize import _bar, characterize
+from repro.storage.request import CompletionRecord
+
+
+def _record(obj, t, offset=0, kind="read", target="t0"):
+    return CompletionRecord(
+        submit_time=t, finish_time=t, target=target, obj=obj, stream_id=1,
+        kind=kind, lba=0, logical_offset=offset, size=8192,
+        service_time=0.002,
+    )
+
+
+@pytest.fixture
+def trace():
+    records = []
+    for i in range(200):
+        records.append(_record("hot", i * 0.01, offset=i * 8192))
+    for i in range(20):
+        records.append(_record("cold", i * 0.1, target="t1"))
+    return records
+
+
+def test_report_contains_all_sections(trace):
+    report = characterize(trace)
+    assert "Workload characterization" in report
+    assert "Overlap matrix" in report
+    assert "Per-target busy fraction" in report
+
+
+def test_hottest_objects_listed_first(trace):
+    report = characterize(trace, top=2)
+    lines = report.splitlines()
+    hot_line = next(i for i, l in enumerate(lines) if l.startswith("hot"))
+    cold_line = next(i for i, l in enumerate(lines) if l.startswith("cold"))
+    assert hot_line < cold_line
+
+
+def test_top_limits_the_detail_table(trace):
+    report = characterize(trace, top=1)
+    table = report.split("Overlap matrix")[0]
+    assert "cold" not in table
+
+
+def test_busy_section_covers_both_targets(trace):
+    report = characterize(trace)
+    busy = report.split("Per-target busy fraction")[1]
+    assert "t0" in busy
+    assert "t1" in busy
+
+
+def test_bar_rendering():
+    assert _bar(0.0) == "." * 24
+    assert _bar(1.0) == "#" * 24
+    assert _bar(0.5).count("#") == 12
+    # Clamped outside [0, 1].
+    assert _bar(7.0) == "#" * 24
+    assert _bar(-1.0) == "." * 24
+
+
+def test_report_on_real_simulation(single_disk_ctx, disk_target, rng):
+    from repro.storage.streams import RandomStream, ScanStream
+
+    ScanStream(single_disk_ctx, "obj", length=1 << 20, window=4).start()
+    single_disk_ctx.engine.run()
+    report = characterize(disk_target.trace)
+    assert "obj" in report

@@ -1,0 +1,48 @@
+"""Tests for report formatting."""
+
+from repro.core.layout import Layout
+from repro.experiments.reporting import format_layout, format_table, speedup
+from repro.workload.spec import ObjectWorkload
+
+
+def test_format_table_alignment():
+    text = format_table(
+        ["Workload", "SEE", "Optimized", "Speedup"],
+        [["OLAP1-63", 40927, 31879, "1.28x"]],
+        title="Figure 11",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "Figure 11"
+    assert "Workload" in lines[1]
+    assert "40927" in lines[3]
+    assert "1.28x" in lines[3]
+
+
+def test_format_table_floats_rendered():
+    text = format_table(["a"], [[1.23456]])
+    assert "1.23" in text
+
+
+def test_speedup_formatting():
+    assert speedup(40927, 31879) == "1.28x"
+
+
+def test_format_layout_orders_by_rate():
+    layout = Layout.see(["cold", "hot"], ["t0", "t1"])
+    workloads = [
+        ObjectWorkload("cold", read_rate=1),
+        ObjectWorkload("hot", read_rate=100),
+    ]
+    text = format_layout(layout, workloads)
+    assert text.index("hot") < text.index("cold")
+
+
+def test_format_layout_top_cuts_list():
+    layout = Layout.see(["a", "b", "c"], ["t0"])
+    workloads = [
+        ObjectWorkload("a", read_rate=3),
+        ObjectWorkload("b", read_rate=2),
+        ObjectWorkload("c", read_rate=1),
+    ]
+    text = format_layout(layout, workloads, top=2)
+    assert "c" not in [line.split()[0] for line in text.splitlines()]

@@ -1,0 +1,103 @@
+"""Tests for the experiment pipeline (uses tiny calibrations)."""
+
+import pytest
+
+from repro import units
+from repro.db.profiles import QueryProfile, phase, seq
+from repro.db.schema import Database, DatabaseObject, TABLE
+from repro.experiments import runner as runner_module
+from repro.experiments.runner import (
+    build_problem,
+    clear_model_cache,
+    fit_workloads_from_run,
+    get_target_model,
+    measure_olap,
+    see_fractions,
+)
+from repro.experiments.scenarios import disk_spec
+from repro.models.calibration import CalibrationConfig
+
+TINY = CalibrationConfig(
+    sizes=(units.kib(8),), run_counts=(1, 16), competitor_counts=(0, 2),
+    n_requests=120,
+)
+
+
+@pytest.fixture(autouse=True)
+def no_disk_cache(monkeypatch, tmp_path):
+    monkeypatch.setattr(runner_module, "CACHE_DIR", str(tmp_path / "cache"))
+    clear_model_cache()
+    yield
+    clear_model_cache()
+
+
+@pytest.fixture
+def db():
+    return Database("mini", [
+        DatabaseObject("T", TABLE, units.mib(8)),
+        DatabaseObject("U", TABLE, units.mib(4)),
+    ])
+
+
+@pytest.fixture
+def specs():
+    return [disk_spec("d%d" % j, scale=1 / 256) for j in range(2)]
+
+
+def test_get_target_model_caches_in_memory(specs):
+    first = get_target_model(specs[0], config=TINY)
+    second = get_target_model(specs[1], config=TINY)
+    # Same device type: the underlying cost tables are shared objects.
+    assert first.read_model is second.read_model
+
+
+def test_get_target_model_uses_disk_cache(specs, tmp_path):
+    get_target_model(specs[0], config=TINY)
+    clear_model_cache()
+    # Second load hits the JSON cache; results agree.
+    again = get_target_model(specs[0], config=TINY)
+    assert float(again.read_model.lookup(8192, 1, 0)) > 0
+
+
+def test_see_fractions_shape(db):
+    fractions = see_fractions(db, 4)
+    assert fractions["T"] == [0.25] * 4
+
+
+def test_measure_and_fit_round_trip(db, specs):
+    scan = QueryProfile("q", (phase(seq("T", 1.0)),))
+    result = measure_olap(db, [scan], see_fractions(db, 2), specs,
+                          collect_trace=True)
+    fitted = fit_workloads_from_run(result, db)
+    names = {w.name for w in fitted}
+    assert names == {"T", "U"}
+    t_spec = next(w for w in fitted if w.name == "T")
+    u_spec = next(w for w in fitted if w.name == "U")
+    assert t_spec.read_rate > 0
+    assert u_spec.total_rate == 0  # idle object still described
+
+
+def test_fit_requires_trace(db, specs):
+    scan = QueryProfile("q", (phase(seq("T", 1.0)),))
+    result = measure_olap(db, [scan], see_fractions(db, 2), specs)
+    with pytest.raises(ValueError):
+        fit_workloads_from_run(result, db)
+
+
+def test_build_problem_assembles_targets(db, specs):
+    scan = QueryProfile("q", (phase(seq("T", 1.0)),))
+    result = measure_olap(db, [scan], see_fractions(db, 2), specs,
+                          collect_trace=True)
+    fitted = fit_workloads_from_run(result, db)
+    problem = build_problem(db, specs, fitted, calibration=TINY)
+    assert problem.n_objects == 2
+    assert problem.n_targets == 2
+    # Capacities carry a one-stripe-per-object placement slack so every
+    # advisor layout is physically implementable by a striping LVM.
+    import repro.units as units_module
+
+    slack = 2 * units_module.DEFAULT_STRIPE_SIZE
+    assert problem.capacities[0] == specs[0].capacity - slack
+    without = build_problem(db, specs, fitted, calibration=TINY,
+                            placement_slack=False)
+    assert without.capacities[0] == specs[0].capacity

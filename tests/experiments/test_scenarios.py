@@ -1,0 +1,72 @@
+"""Tests for device scenario specifications."""
+
+import pytest
+
+from repro import units
+from repro.experiments.scenarios import (
+    DeviceSpec,
+    config_2_1_1,
+    config_3_1,
+    disk_spec,
+    disks_plus_ssd,
+    four_disks,
+    raid0_spec,
+    ssd_spec,
+)
+from repro.storage.disk import DiskDrive
+from repro.storage.raid import Raid0Group
+from repro.storage.ssd import SolidStateDrive
+
+
+def test_disk_spec_builds_disk():
+    spec = disk_spec("d", scale=1 / 64)
+    device = spec.build()
+    assert isinstance(device, DiskDrive)
+    assert device.capacity == int(18.4 * units.GIB / 64)
+
+
+def test_raid_spec_builds_group():
+    spec = raid0_spec("r", 3, scale=1 / 64)
+    device = spec.build()
+    assert isinstance(device, Raid0Group)
+    assert device.n_members == 3
+    assert device.capacity == 3 * int(18.4 * units.GIB / 64)
+
+
+def test_ssd_spec_capacity_configurable():
+    spec = ssd_spec("s", capacity_gib=6, scale=1.0)
+    device = spec.build()
+    assert isinstance(device, SolidStateDrive)
+    assert device.capacity == 6 * units.GIB
+
+
+def test_build_returns_fresh_instances():
+    spec = disk_spec("d")
+    assert spec.build() is not spec.build()
+
+
+def test_model_key_distinguishes_kinds():
+    assert disk_spec("a").model_key != ssd_spec("a").model_key
+    assert raid0_spec("a", 2).model_key != raid0_spec("a", 3).model_key
+
+
+def test_model_key_shared_across_names():
+    assert disk_spec("a").model_key == disk_spec("b").model_key
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError):
+        DeviceSpec("x", "tape", 100).build()
+
+
+def test_standard_configurations():
+    assert len(four_disks()) == 4
+    assert [s.kind for s in config_3_1()] == ["raid0", "disk15k"]
+    assert [s.kind for s in config_2_1_1()] == ["raid0", "disk15k", "disk15k"]
+    assert [s.kind for s in disks_plus_ssd()][-1] == "ssd"
+
+
+def test_config_3_1_capacity_totals_match_four_disks():
+    base = sum(s.capacity for s in four_disks(1 / 64))
+    grouped = sum(s.capacity for s in config_3_1(1 / 64))
+    assert grouped == base

@@ -1,0 +1,88 @@
+"""Tests for FlexVol-style dynamic placement guidance."""
+
+import pytest
+
+from repro import units
+from repro.core.problem import TargetSpec
+from repro.errors import CapacityError
+from repro.extensions.dynamic import DynamicPlacer
+from repro.models.analytic import analytic_disk_target_model
+from repro.workload.spec import ObjectWorkload
+
+
+def _placer(n_targets=3, capacity=units.gib(1)):
+    targets = [
+        TargetSpec("t%d" % j, capacity, analytic_disk_target_model("t%d" % j))
+        for j in range(n_targets)
+    ]
+    return DynamicPlacer(targets)
+
+
+def test_growth_lands_on_some_target():
+    placer = _placer()
+    placer.set_workload(ObjectWorkload("a", read_rate=100, run_count=8))
+    target = placer.grow("a", units.mib(64))
+    assert 0 <= target < 3
+    layout = placer.current_layout()
+    assert layout.row("a").sum() == pytest.approx(1.0)
+
+
+def test_interfering_objects_grow_apart():
+    placer = _placer()
+    placer.set_workload(
+        ObjectWorkload("a", read_rate=400, run_count=64, overlap={"b": 1.0})
+    )
+    placer.set_workload(
+        ObjectWorkload("b", read_rate=400, run_count=64, overlap={"a": 1.0})
+    )
+    a_target = placer.grow("a", units.mib(128))
+    b_target = placer.grow("b", units.mib(128))
+    assert a_target != b_target
+
+
+def test_growth_spreads_under_load():
+    """A single hot object growing repeatedly ends up using several
+
+    targets, mirroring how FlexVol growth spreads."""
+    placer = _placer()
+    placer.set_workload(ObjectWorkload("a", read_rate=800, run_count=1))
+    used = {placer.grow("a", units.mib(64)) for _ in range(6)}
+    assert len(used) >= 2
+
+
+def test_capacity_exhaustion_raises():
+    placer = _placer(n_targets=1, capacity=units.mib(100))
+    placer.set_workload(ObjectWorkload("a", read_rate=10))
+    placer.grow("a", units.mib(80))
+    with pytest.raises(CapacityError):
+        placer.grow("a", units.mib(80))
+    # The failed growth did not corrupt the book-keeping.
+    assert placer.current_layout().row("a").sum() == pytest.approx(1.0)
+
+
+def test_drift_reports_current_vs_optimal():
+    placer = _placer()
+    placer.set_workload(
+        ObjectWorkload("a", read_rate=400, run_count=64, overlap={"b": 1.0})
+    )
+    placer.set_workload(
+        ObjectWorkload("b", read_rate=400, run_count=64, overlap={"a": 1.0})
+    )
+    placer.grow("a", units.mib(64))
+    placer.grow("b", units.mib(64))
+    current, optimal = placer.drift()
+    assert current >= optimal - 1e-9
+
+
+def test_reoptimize_returns_full_advisor_result():
+    placer = _placer()
+    placer.set_workload(ObjectWorkload("a", read_rate=100, run_count=8))
+    placer.grow("a", units.mib(64))
+    outcome = placer.reoptimize()
+    assert outcome.recommended.is_regular()
+
+
+def test_unknown_object_gets_idle_workload():
+    placer = _placer()
+    target = placer.grow("mystery", units.mib(32))
+    assert 0 <= target < 3

@@ -1,0 +1,85 @@
+"""Tests for the closed-form analytic cost models."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.models.analytic import (
+    AnalyticDiskCostModel,
+    AnalyticSsdCostModel,
+    analytic_disk_target_model,
+    analytic_ssd_target_model,
+)
+
+
+def test_sequential_discount_uncontended():
+    model = AnalyticDiskCostModel()
+    random_cost = float(model.lookup(8192, 1, 0))
+    sequential = float(model.lookup(8192, 64, 0))
+    assert sequential < random_cost / 5
+
+
+def test_sequential_collapse_past_depth():
+    model = AnalyticDiskCostModel()
+    preserved = float(model.lookup(8192, 64, 0.5))
+    collapsed = float(model.lookup(8192, 64, 6.0))
+    assert collapsed > 3 * preserved
+
+
+def test_random_declines_with_contention():
+    model = AnalyticDiskCostModel()
+    assert float(model.lookup(8192, 1, 8)) < float(model.lookup(8192, 1, 0))
+
+
+def test_raid_members_divide_cost():
+    one = AnalyticDiskCostModel(n_members=1)
+    three = AnalyticDiskCostModel(n_members=3)
+    assert float(three.lookup(8192, 1, 0)) == pytest.approx(
+        float(one.lookup(8192, 1, 0)) / 3
+    )
+
+
+def test_disk_write_positioning_penalty():
+    read = AnalyticDiskCostModel(kind="read")
+    write = AnalyticDiskCostModel(kind="write")
+    assert float(write.lookup(8192, 1, 0)) > float(read.lookup(8192, 1, 0))
+
+
+def test_ssd_flat_in_run_count_and_contention():
+    model = AnalyticSsdCostModel()
+    base = float(model.lookup(8192, 1, 0))
+    assert float(model.lookup(8192, 64, 0)) == pytest.approx(base)
+    assert float(model.lookup(8192, 1, 16)) == pytest.approx(base)
+
+
+def test_ssd_write_premium():
+    read = AnalyticSsdCostModel(kind="read")
+    write = AnalyticSsdCostModel(kind="write")
+    assert float(write.lookup(8192, 1, 0)) > float(read.lookup(8192, 1, 0))
+
+
+def test_ssd_random_much_cheaper_than_disk_random():
+    ssd = AnalyticSsdCostModel()
+    disk = AnalyticDiskCostModel()
+    assert float(ssd.lookup(8192, 1, 0)) < float(disk.lookup(8192, 1, 0)) / 10
+
+
+def test_broadcasting_shapes():
+    model = AnalyticDiskCostModel()
+    result = model.lookup(np.full(5, 8192.0), np.arange(1, 6), 0.0)
+    assert result.shape == (5,)
+
+
+def test_factory_helpers_build_target_models():
+    disk = analytic_disk_target_model("d")
+    ssd = analytic_ssd_target_model("s")
+    assert disk.name == "d"
+    assert ssd.name == "s"
+    assert float(disk.request_cost("read", 8192, 1, 0)) > 0
+    assert float(ssd.request_cost("write", 8192, 1, 0)) > 0
+
+
+def test_no_overflow_at_extreme_contention():
+    model = AnalyticDiskCostModel()
+    value = float(model.lookup(8192, 64, 1e6))
+    assert np.isfinite(value)

@@ -1,0 +1,88 @@
+"""Tests for the calibration harness (slow-ish: runs small simulations)."""
+
+import pytest
+
+from repro import units
+from repro.models.calibration import (
+    CalibrationConfig,
+    calibrate_device,
+    calibrate_target_model,
+)
+from repro.storage.disk import DiskDrive
+from repro.storage.ssd import SolidStateDrive
+
+FAST = CalibrationConfig(
+    sizes=(units.kib(8),),
+    run_counts=(1, 32),
+    competitor_counts=(0, 4),
+    n_requests=200,
+)
+
+
+@pytest.fixture(scope="module")
+def disk_model():
+    capacity = units.gib(0.25)
+    return calibrate_device(lambda: DiskDrive("cal", capacity), FAST,
+                            kind="read")
+
+
+def test_sequential_cheaper_than_random_uncontended(disk_model):
+    random_cost = float(disk_model.lookup(units.kib(8), 1, 0.0))
+    sequential_cost = float(disk_model.lookup(units.kib(8), 32, 0.0))
+    assert sequential_cost < random_cost / 5
+
+
+def test_sequential_collapses_under_contention(disk_model):
+    """The Figure 8 collapse: contended sequential approaches random."""
+    uncontended = float(disk_model.lookup(units.kib(8), 32, 0.0))
+    contended = float(disk_model.lookup(units.kib(8), 32, 4.0))
+    random_cost = float(disk_model.lookup(units.kib(8), 1, 0.0))
+    assert contended > 5 * uncontended
+    assert contended > random_cost / 3
+
+
+def test_random_cost_declines_with_contention(disk_model):
+    """Elevator scheduling: deeper queues shorten seeks."""
+    solo = float(disk_model.lookup(units.kib(8), 1, 0.0))
+    busy = float(disk_model.lookup(units.kib(8), 1, 4.0))
+    assert busy < solo
+
+
+def test_ssd_flat_across_run_count_and_contention():
+    capacity = units.gib(1)
+    model = calibrate_device(lambda: SolidStateDrive("s", capacity), FAST,
+                             kind="read")
+    base = float(model.lookup(units.kib(8), 1, 0.0))
+    assert float(model.lookup(units.kib(8), 32, 0.0)) == pytest.approx(
+        base, rel=0.5
+    )
+    assert float(model.lookup(units.kib(8), 1, 4.0)) == pytest.approx(
+        base, rel=0.5
+    )
+
+
+def test_calibrate_target_model_builds_both_kinds():
+    capacity = units.gib(0.25)
+    tiny = CalibrationConfig(
+        sizes=(units.kib(8),), run_counts=(1,), competitor_counts=(0,),
+        n_requests=100,
+    )
+    model = calibrate_target_model(lambda: DiskDrive("cal", capacity),
+                                   "t0", config=tiny)
+    read = float(model.read_model.lookup(units.kib(8), 1, 0))
+    write = float(model.write_model.lookup(units.kib(8), 1, 0))
+    assert read > 0
+    assert write > read  # the write positioning penalty
+
+
+def test_write_calibration_reflects_penalty():
+    capacity = units.gib(0.25)
+    tiny = CalibrationConfig(
+        sizes=(units.kib(8),), run_counts=(1,), competitor_counts=(0,),
+        n_requests=150,
+    )
+    read = calibrate_device(lambda: DiskDrive("c", capacity), tiny, "read")
+    write = calibrate_device(lambda: DiskDrive("c", capacity), tiny, "write")
+    assert float(write.lookup(units.kib(8), 1, 0)) > float(
+        read.lookup(units.kib(8), 1, 0)
+    )

@@ -1,0 +1,144 @@
+"""Tests for the tabulated interpolating cost model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CalibrationError
+from repro.models.table_model import TableCostModel
+
+
+@pytest.fixture
+def model():
+    sizes = [8192.0, 65536.0]
+    runs = [1.0, 16.0]
+    chis = [0.0, 2.0, 8.0]
+    # cost = base + effects, chosen so every axis matters.
+    costs = np.zeros((2, 2, 3))
+    for i, s in enumerate(sizes):
+        for j, q in enumerate(runs):
+            for k, c in enumerate(chis):
+                costs[i, j, k] = 0.001 * (1 + i) / (1 + j) * (1 + k)
+    return TableCostModel(sizes, runs, chis, costs)
+
+
+def test_exact_grid_points_returned(model):
+    assert model.lookup(8192, 1, 0.0) == pytest.approx(0.001)
+    assert model.lookup(65536, 16, 8.0) == pytest.approx(0.001 * 2 / 2 * 3)
+
+
+def test_interpolation_between_contention_points(model):
+    low = float(model.lookup(8192, 1, 0.0))
+    high = float(model.lookup(8192, 1, 2.0))
+    mid = float(model.lookup(8192, 1, 1.0))
+    assert low < mid < high
+
+
+def test_clamping_outside_grid(model):
+    assert model.lookup(8192, 1, 100.0) == model.lookup(8192, 1, 8.0)
+    assert model.lookup(8192, 1, -5.0) == model.lookup(8192, 1, 0.0)
+    assert model.lookup(1024, 1, 0.0) == model.lookup(8192, 1, 0.0)
+    assert model.lookup(8192, 500, 0.0) == model.lookup(8192, 16, 0.0)
+
+
+def test_vectorized_lookup_broadcasts(model):
+    sizes = np.array([8192.0, 65536.0])
+    result = model.lookup(sizes, 1.0, 0.0)
+    assert result.shape == (2,)
+    assert result[0] != result[1]
+
+
+def test_lookup_matches_scalar_loop(model, rng):
+    sizes = rng.uniform(4096, 131072, 20)
+    runs = rng.uniform(1, 32, 20)
+    chis = rng.uniform(0, 10, 20)
+    vectorized = model.lookup(sizes, runs, chis)
+    for i in range(20):
+        assert vectorized[i] == pytest.approx(
+            float(model.lookup(sizes[i], runs[i], chis[i]))
+        )
+
+
+def test_shape_mismatch_rejected():
+    with pytest.raises(CalibrationError):
+        TableCostModel([8192], [1], [0.0, 1.0], np.zeros((1, 1, 3)))
+
+
+def test_negative_costs_rejected():
+    with pytest.raises(CalibrationError):
+        TableCostModel([8192], [1], [0.0], [[[-1.0]]])
+
+
+def test_non_monotone_axis_rejected():
+    with pytest.raises(CalibrationError):
+        TableCostModel([8192, 8192], [1], [0.0], np.zeros((2, 1, 1)))
+
+
+def test_single_point_axes_work():
+    model = TableCostModel([8192], [1], [0.0], [[[0.005]]])
+    assert model.lookup(999999, 64, 10) == pytest.approx(0.005)
+
+
+def test_from_samples_regrids_scattered_chi():
+    samples = [
+        (8192, 1, 0.0, 0.001),
+        (8192, 1, 3.0, 0.004),
+        (8192, 1, 9.0, 0.010),
+    ]
+    model = TableCostModel.from_samples(samples, chi_grid=(0.0, 3.0, 9.0))
+    assert model.lookup(8192, 1, 3.0) == pytest.approx(0.004)
+    # Between samples: interpolated.
+    assert 0.001 < float(model.lookup(8192, 1, 1.5)) < 0.004
+
+
+def test_from_samples_averages_duplicates():
+    samples = [
+        (8192, 1, 0.0, 0.002),
+        (8192, 1, 0.0, 0.004),
+    ]
+    model = TableCostModel.from_samples(samples, chi_grid=(0.0,))
+    assert model.lookup(8192, 1, 0.0) == pytest.approx(0.003)
+
+
+def test_from_samples_missing_cell_rejected():
+    samples = [(8192, 1, 0.0, 0.001), (65536, 16, 0.0, 0.002)]
+    with pytest.raises(CalibrationError):
+        TableCostModel.from_samples(samples)
+
+
+def test_from_samples_empty_rejected():
+    with pytest.raises(CalibrationError):
+        TableCostModel.from_samples([])
+
+
+def test_serialization_round_trip(model):
+    clone = TableCostModel.from_dict(model.to_dict())
+    probe = (10000.0, 4.0, 1.7)
+    assert float(clone.lookup(*probe)) == pytest.approx(
+        float(model.lookup(*probe))
+    )
+
+
+def test_slice_by_contention_returns_curve(model):
+    chis, costs = model.slice_by_contention(8192, 1)
+    assert len(chis) == len(costs) == 3
+    assert list(costs) == sorted(costs)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    size=st.floats(1024, 1 << 20),
+    run=st.floats(1, 512),
+    chi=st.floats(0, 32),
+)
+def test_lookup_always_within_table_range(size, run, chi):
+    """Property: interpolation never extrapolates beyond table values."""
+    sizes = [8192.0, 65536.0]
+    runs = [1.0, 16.0]
+    chis = [0.0, 2.0, 8.0]
+    costs = np.fromfunction(
+        lambda i, j, k: 0.001 * (1 + i) / (1 + j) * (1 + k), (2, 2, 3)
+    )
+    model = TableCostModel(sizes, runs, chis, costs)
+    value = float(model.lookup(size, run, chi))
+    assert model.costs.min() <= value <= model.costs.max()

@@ -1,0 +1,114 @@
+"""Tests for utilization estimation (Eq. 1 / Figure 6)."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.models.target_model import (
+    TargetModel,
+    estimate_utilization_matrix,
+    estimate_utilizations,
+    workload_arrays,
+)
+from repro.workload.spec import ObjectWorkload
+
+
+class FlatModel:
+    """Cost model returning a constant (for hand-checkable µ values)."""
+
+    def __init__(self, cost):
+        self.cost = cost
+
+    def lookup(self, sizes, run_counts, chis):
+        sizes = np.asarray(sizes, dtype=float)
+        return np.full(sizes.shape, self.cost)
+
+
+def _flat_target(name, read_cost=0.001, write_cost=0.002):
+    return TargetModel(name, FlatModel(read_cost), FlatModel(write_cost))
+
+
+def test_workload_arrays_shapes():
+    workloads = [
+        ObjectWorkload("a", read_rate=10, overlap={"b": 0.5}),
+        ObjectWorkload("b", write_rate=5),
+    ]
+    arrays = workload_arrays(workloads)
+    assert arrays["read_rate"].tolist() == [10, 0]
+    assert arrays["write_rate"].tolist() == [0, 5]
+    assert arrays["overlap"].shape == (2, 2)
+    assert arrays["overlap"][0, 1] == 0.5
+
+
+def test_utilization_is_rate_times_cost():
+    """µ_ij = λR·CostR + λW·CostW, scaled by the layout fraction."""
+    workloads = [ObjectWorkload("a", read_rate=100, write_rate=50)]
+    layout = np.array([[1.0]])
+    mu = estimate_utilization_matrix(workloads, layout, [_flat_target("t")])
+    assert mu[0, 0] == pytest.approx(100 * 0.001 + 50 * 0.002)
+
+
+def test_fraction_scales_utilization():
+    workloads = [ObjectWorkload("a", read_rate=100)]
+    layout = np.array([[0.25, 0.75]])
+    mu = estimate_utilization_matrix(
+        workloads, layout, [_flat_target("t0"), _flat_target("t1")]
+    )
+    assert mu[0, 0] == pytest.approx(0.25 * 100 * 0.001)
+    assert mu[0, 1] == pytest.approx(0.75 * 100 * 0.001)
+
+
+def test_target_utilizations_are_column_sums():
+    workloads = [
+        ObjectWorkload("a", read_rate=100),
+        ObjectWorkload("b", read_rate=200),
+    ]
+    layout = np.array([[1.0, 0.0], [0.5, 0.5]])
+    mu_j = estimate_utilizations(
+        workloads, layout, [_flat_target("t0"), _flat_target("t1")]
+    )
+    assert mu_j[0] == pytest.approx((100 + 100) * 0.001)
+    assert mu_j[1] == pytest.approx(100 * 0.001)
+
+
+def test_different_models_per_target():
+    workloads = [ObjectWorkload("a", read_rate=100)]
+    layout = np.array([[0.5, 0.5]])
+    slow = _flat_target("slow", read_cost=0.010)
+    fast = _flat_target("fast", read_cost=0.001)
+    mu = estimate_utilization_matrix(workloads, layout, [slow, fast])
+    assert mu[0, 0] == pytest.approx(10 * mu[0, 1])
+
+
+def test_model_count_mismatch_rejected():
+    workloads = [ObjectWorkload("a", read_rate=1)]
+    with pytest.raises(ValueError):
+        estimate_utilization_matrix(workloads, np.array([[1.0, 0.0]]),
+                                    [_flat_target("t")])
+
+
+def test_request_cost_dispatches_by_kind():
+    target = _flat_target("t", read_cost=0.003, write_cost=0.007)
+    assert float(target.request_cost("read", 8192, 1, 0)) == 0.003
+    assert float(target.request_cost("write", 8192, 1, 0)) == 0.007
+
+
+def test_contention_raises_utilization_with_real_model():
+    """With a contention-sensitive model, co-locating overlapping
+
+    objects must cost more than separating them."""
+    from repro.models.analytic import analytic_disk_target_model
+
+    workloads = [
+        ObjectWorkload("a", read_rate=100, run_count=64, overlap={"b": 1.0}),
+        ObjectWorkload("b", read_rate=100, run_count=64, overlap={"a": 1.0}),
+    ]
+    models = [analytic_disk_target_model("t0"),
+              analytic_disk_target_model("t1")]
+    together = estimate_utilizations(
+        workloads, np.array([[1.0, 0.0], [1.0, 0.0]]), models
+    )
+    apart = estimate_utilizations(
+        workloads, np.array([[1.0, 0.0], [0.0, 1.0]]), models
+    )
+    assert together[0] > apart.max() * 1.5

@@ -1,0 +1,117 @@
+"""Tests for PlacementMap allocation policies and prefetch credits."""
+
+import pytest
+
+from repro import units
+from repro.errors import LayoutError
+from repro.storage.mapping import PlacementMap
+from repro.storage.disk import DiskDrive
+from repro.storage.request import IORequest
+
+MIB = units.MIB
+
+
+def _small_objects(n=12):
+    return {"obj%02d" % i: MIB for i in range(n)}
+
+
+def _see(objects, m=4):
+    return {name: [1.0 / m] * m for name in objects}
+
+
+def test_first_fit_concentrates_small_objects():
+    """One-stripe objects under nominal SEE all land on target 0 with
+
+    the first-fit allocator — the naive-volume-manager behaviour."""
+    sizes = _small_objects()
+    pmap = PlacementMap(sizes, _see(sizes), [units.gib(1)] * 4,
+                        stripe_size=MIB, allocation="first-fit")
+    for name in sizes:
+        assert pmap.targets_of(name) == [0]
+
+
+def test_rotate_spreads_small_objects():
+    sizes = _small_objects()
+    pmap = PlacementMap(sizes, _see(sizes), [units.gib(1)] * 4,
+                        stripe_size=MIB, allocation="rotate")
+    used = set()
+    for name in sizes:
+        used.update(pmap.targets_of(name))
+    assert len(used) >= 3
+
+
+def test_rotate_is_deterministic():
+    sizes = _small_objects()
+    a = PlacementMap(sizes, _see(sizes), [units.gib(1)] * 4,
+                     stripe_size=MIB, allocation="rotate")
+    b = PlacementMap(sizes, _see(sizes), [units.gib(1)] * 4,
+                     stripe_size=MIB, allocation="rotate")
+    for name in sizes:
+        assert a.targets_of(name) == b.targets_of(name)
+
+
+def test_policies_agree_for_large_objects():
+    """Multi-stripe objects get their exact shares either way."""
+    sizes = {"big": 64 * MIB}
+    fractions = {"big": [0.25] * 4}
+    for allocation in ("first-fit", "rotate"):
+        pmap = PlacementMap(sizes, fractions, [units.gib(1)] * 4,
+                            stripe_size=MIB, allocation=allocation)
+        for j in range(4):
+            assert pmap.bytes_on_target("big", j) == 16 * MIB
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(LayoutError):
+        PlacementMap({"a": MIB}, {"a": [1.0]}, [units.gib(1)],
+                     allocation="fifo")
+
+
+class TestPrefetchCredits:
+    def _request(self, stream, lba, kind="read"):
+        return IORequest(stream_id=stream, kind=kind, lba=lba, size=8192)
+
+    def test_isolated_stream_never_pays_repositioning(self):
+        unit = DiskDrive("d", units.gib(1)).units[0]
+        unit.service_time(self._request(1, 0))
+        for page in range(1, 64):
+            cost = unit.service_time(self._request(1, page * 8192))
+            assert cost < 1e-3
+
+    def test_interleaved_stream_pays_once_per_chunk(self):
+        unit = DiskDrive("d", units.gib(1)).units[0]
+        params = unit.params
+        unit.service_time(self._request(1, 0))
+        expensive = 0
+        n = 64
+        for page in range(1, n + 1):
+            unit.service_time(self._request(2, units.mib(600) + page * 8192))
+            if unit.service_time(self._request(1, page * 8192)) > 1e-3:
+                expensive += 1
+        # ~one repositioning per prefetch chunk's worth of pages.
+        pages_per_chunk = params.prefetch_chunk // 8192
+        assert expensive == pytest.approx(n / pages_per_chunk, abs=2)
+
+    def test_credit_table_bounded(self):
+        unit = DiskDrive("d", units.gib(1)).units[0]
+        for stream in range(200):
+            base = stream * units.mib(4)
+            unit.service_time(self._request(stream, base))
+            unit.service_time(self._request(stream + 1000, base + units.mib(2)))
+            unit.service_time(self._request(stream, base + 8192))
+        assert len(unit._credits) <= 65
+
+    def test_reset_clears_credits(self):
+        unit = DiskDrive("d", units.gib(1)).units[0]
+        unit.service_time(self._request(1, 0))
+        unit.service_time(self._request(2, units.mib(500)))
+        unit.service_time(self._request(1, 8192))
+        unit.reset()
+        assert unit._credits == {}
+
+
+def test_scaled_stripe_is_scale_independent():
+    from repro.experiments.scenarios import scaled_stripe
+
+    assert scaled_stripe(1.0) == units.DEFAULT_STRIPE_SIZE
+    assert scaled_stripe(1 / 256) == units.DEFAULT_STRIPE_SIZE

@@ -1,0 +1,96 @@
+"""Tests for device abstractions and the readahead tracker."""
+
+import pytest
+
+from repro import units
+from repro.storage.device import ReadAheadTracker
+from repro.storage.disk import DiskDrive
+
+
+def test_first_access_is_a_miss():
+    tracker = ReadAheadTracker(depth=2)
+    assert tracker.access(1, 0, 8192) is False
+
+
+def test_sequential_continuation_hits():
+    tracker = ReadAheadTracker(depth=2)
+    tracker.access(1, 0, 8192)
+    assert tracker.access(1, 8192, 8192) is True
+    assert tracker.access(1, 16384, 8192) is True
+
+
+def test_non_sequential_jump_misses():
+    tracker = ReadAheadTracker(depth=2)
+    tracker.access(1, 0, 8192)
+    assert tracker.access(1, 32768, 8192) is False
+    # The jump re-primes the tracker at the new position.
+    assert tracker.access(1, 40960, 8192) is True
+
+
+def test_intervening_requests_within_depth_keep_the_hit():
+    tracker = ReadAheadTracker(depth=2)
+    tracker.access(1, 0, 8192)
+    tracker.access(2, 500000, 8192)
+    tracker.access(3, 900000, 8192)
+    assert tracker.access(1, 8192, 8192) is True
+
+
+def test_eviction_past_depth():
+    tracker = ReadAheadTracker(depth=2)
+    tracker.access(1, 0, 8192)
+    for foreign in range(3):
+        tracker.access(10 + foreign, 500000 + foreign * 8192, 8192)
+    # Three intervening foreign requests exceed depth=2: prefetch lost.
+    assert tracker.access(1, 8192, 8192) is False
+
+
+def test_depth_one_collapses_at_two_competitors():
+    """The paper's Figure 8: survival at chi=1, collapse at chi=2."""
+    tracker = ReadAheadTracker(depth=1)
+    tracker.access(1, 0, 8192)
+    tracker.access(2, 500000, 8192)
+    assert tracker.access(1, 8192, 8192) is True
+    tracker.access(2, 600000, 8192)
+    tracker.access(3, 700000, 8192)
+    assert tracker.access(1, 16384, 8192) is False
+
+
+def test_two_interleaved_streams_both_hit():
+    tracker = ReadAheadTracker(depth=1)
+    tracker.access(1, 0, 8192)
+    tracker.access(2, 1 << 20, 8192)
+    assert tracker.access(1, 8192, 8192) is True
+    assert tracker.access(2, (1 << 20) + 8192, 8192) is True
+
+
+def test_invalid_depth_rejected():
+    with pytest.raises(ValueError):
+        ReadAheadTracker(depth=0)
+
+
+def test_prune_keeps_live_streams():
+    tracker = ReadAheadTracker(depth=1)
+    # Flood with dead streams to trigger pruning...
+    for sid in range(200):
+        tracker.access(sid, sid * 100000, 8192)
+    # ...the most recent stream is still tracked.
+    assert tracker.access(199, 199 * 100000 + 8192, 8192) is True
+    assert len(tracker._slots) <= tracker.PRUNE_LIMIT + 1
+
+
+def test_reset_clears_state():
+    tracker = ReadAheadTracker(depth=2)
+    tracker.access(1, 0, 8192)
+    tracker.reset()
+    assert tracker.access(1, 8192, 8192) is False
+
+
+def test_single_unit_device_routes_identity():
+    disk = DiskDrive("d", units.gib(1))
+    assert disk.route(12345) == (0, 12345)
+    assert disk.boundary(units.mib(1)) == disk.capacity - units.mib(1)
+
+
+def test_device_repr_mentions_name():
+    disk = DiskDrive("mydisk", units.gib(1))
+    assert "mydisk" in repr(disk)

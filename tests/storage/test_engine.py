@@ -1,0 +1,92 @@
+"""Tests for the discrete-event simulation core."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.storage.engine import SimulationEngine
+
+
+def test_engine_starts_at_time_zero(engine):
+    assert engine.now == 0.0
+    assert engine.pending == 0
+
+
+def test_events_run_in_time_order(engine):
+    seen = []
+    engine.schedule(3.0, seen.append, "c")
+    engine.schedule(1.0, seen.append, "a")
+    engine.schedule(2.0, seen.append, "b")
+    engine.run()
+    assert seen == ["a", "b", "c"]
+
+
+def test_ties_run_in_schedule_order(engine):
+    seen = []
+    engine.schedule(1.0, seen.append, "first")
+    engine.schedule(1.0, seen.append, "second")
+    engine.run()
+    assert seen == ["first", "second"]
+
+
+def test_clock_advances_to_event_time(engine):
+    times = []
+    engine.schedule(2.5, lambda: times.append(engine.now))
+    engine.run()
+    assert times == [2.5]
+    assert engine.now == 2.5
+
+
+def test_events_can_schedule_more_events(engine):
+    seen = []
+
+    def chain(n):
+        seen.append(n)
+        if n < 3:
+            engine.schedule(1.0, chain, n + 1)
+
+    engine.schedule(1.0, chain, 1)
+    final = engine.run()
+    assert seen == [1, 2, 3]
+    assert final == 3.0
+
+
+def test_negative_delay_rejected(engine):
+    with pytest.raises(SimulationError):
+        engine.schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_in_past_rejected(engine):
+    engine.schedule(5.0, lambda: None)
+    engine.run()
+    with pytest.raises(SimulationError):
+        engine.schedule_at(1.0, lambda: None)
+
+
+def test_run_until_stops_early(engine):
+    seen = []
+    engine.schedule(1.0, seen.append, "early")
+    engine.schedule(10.0, seen.append, "late")
+    engine.run(until=5.0)
+    assert seen == ["early"]
+    assert engine.now == 5.0
+    assert engine.pending == 1
+    engine.run()
+    assert seen == ["early", "late"]
+
+
+def test_step_returns_false_when_empty(engine):
+    assert engine.step() is False
+    engine.schedule(1.0, lambda: None)
+    assert engine.step() is True
+    assert engine.step() is False
+
+
+def test_run_returns_final_time(engine):
+    engine.schedule(4.5, lambda: None)
+    assert engine.run() == 4.5
+
+
+def test_zero_delay_event_runs_now(engine):
+    engine.schedule(1.0, lambda: engine.schedule(0.0, lambda: None))
+    engine.run()
+    assert engine.now == 1.0

@@ -1,0 +1,168 @@
+"""Tests for the layout-to-physical placement mapper."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import units
+from repro.errors import CapacityError, LayoutError
+from repro.storage.mapping import PlacementMap
+
+MIB = units.MIB
+
+
+def _pmap(fractions, size_mib=64, n_targets=None, capacity_mib=512):
+    if n_targets is None:
+        n_targets = len(fractions)
+    return PlacementMap(
+        {"obj": size_mib * MIB},
+        {"obj": fractions},
+        [capacity_mib * MIB] * n_targets,
+        stripe_size=1 * MIB,
+    )
+
+
+def test_single_target_layout():
+    pmap = _pmap([1.0, 0.0])
+    assert pmap.targets_of("obj") == [0]
+    assert pmap.bytes_on_target("obj", 0) == 64 * MIB
+    assert pmap.bytes_on_target("obj", 1) == 0
+
+
+def test_even_split_is_even():
+    pmap = _pmap([0.5, 0.5])
+    assert pmap.bytes_on_target("obj", 0) == 32 * MIB
+    assert pmap.bytes_on_target("obj", 1) == 32 * MIB
+
+
+def test_uneven_split_respects_fractions():
+    pmap = _pmap([0.25, 0.75])
+    assert pmap.bytes_on_target("obj", 0) == 16 * MIB
+    assert pmap.bytes_on_target("obj", 1) == 48 * MIB
+
+
+def test_locate_round_trips_every_stripe():
+    pmap = _pmap([0.5, 0.5])
+    seen = set()
+    for stripe in range(64):
+        target, lba = pmap.locate("obj", stripe * MIB, 8192)
+        seen.add((target, lba))
+    assert len(seen) == 64  # no two stripes share an address
+
+
+def test_per_target_addresses_are_contiguous():
+    """An LVM allocates each target's share as one physical region, so
+
+    consecutive stripes on the same target must be physically adjacent —
+    the property that keeps striped scans sequential per disk."""
+    pmap = _pmap([0.5, 0.5])
+    per_target = {0: [], 1: []}
+    for stripe in range(64):
+        target, lba = pmap.locate("obj", stripe * MIB, 0o10000)
+        per_target[target].append(lba)
+    for addresses in per_target.values():
+        deltas = {b - a for a, b in zip(addresses, addresses[1:])}
+        assert deltas == {MIB}
+
+
+def test_stripe_crossing_request_rejected():
+    pmap = _pmap([1.0])
+    with pytest.raises(LayoutError):
+        pmap.locate("obj", MIB - 4096, 8192)
+
+
+def test_offset_beyond_object_rejected():
+    pmap = _pmap([1.0])
+    with pytest.raises(LayoutError):
+        pmap.locate("obj", 65 * MIB, 8192)
+
+
+def test_fractions_must_sum_to_one():
+    with pytest.raises(LayoutError):
+        _pmap([0.5, 0.4])
+
+
+def test_negative_fraction_rejected():
+    with pytest.raises(LayoutError):
+        _pmap([1.5, -0.5])
+
+
+def test_wrong_fraction_count_rejected():
+    with pytest.raises(LayoutError):
+        PlacementMap({"obj": MIB}, {"obj": [1.0]}, [MIB, MIB])
+
+
+def test_capacity_overflow_rejected():
+    with pytest.raises(CapacityError):
+        _pmap([1.0], size_mib=600, capacity_mib=512)
+
+
+def test_multiple_objects_do_not_overlap():
+    pmap = PlacementMap(
+        {"a": 8 * MIB, "b": 8 * MIB},
+        {"a": [0.5, 0.5], "b": [0.5, 0.5]},
+        [512 * MIB] * 2,
+        stripe_size=MIB,
+    )
+    addresses = set()
+    for obj in ("a", "b"):
+        for stripe in range(8):
+            addresses.add(pmap.locate(obj, stripe * MIB, 0))
+    assert len(addresses) == 16
+
+
+def test_small_object_occupies_one_stripe():
+    pmap = PlacementMap(
+        {"tiny": 100}, {"tiny": [1.0, 0.0]}, [512 * MIB] * 2, stripe_size=MIB
+    )
+    assert pmap.bytes_on_target("tiny", 0) == MIB
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    weights=st.lists(st.floats(0.0, 1.0), min_size=2, max_size=5).filter(
+        lambda w: sum(w) > 0.1
+    ),
+    n_stripes=st.integers(4, 200),
+)
+def test_weighted_round_robin_matches_fractions(weights, n_stripes):
+    """Property: each target receives within one stripe of its share."""
+    total = sum(weights)
+    fractions = [w / total for w in weights]
+    pmap = PlacementMap(
+        {"obj": n_stripes * MIB},
+        {"obj": fractions},
+        [n_stripes * MIB * 2] * len(fractions),
+        stripe_size=MIB,
+    )
+    for j, fraction in enumerate(fractions):
+        expected = fraction * n_stripes
+        actual = pmap.bytes_on_target("obj", j) / MIB
+        assert abs(actual - expected) <= 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n_stripes=st.integers(1, 100),
+    fractions_seed=st.integers(0, 5),
+    offset_page=st.integers(0, 127),
+)
+def test_locate_always_within_target(n_stripes, fractions_seed, offset_page):
+    """Property: every located address falls inside its target."""
+    patterns = [
+        [1.0, 0.0, 0.0],
+        [0.5, 0.5, 0.0],
+        [1 / 3, 1 / 3, 1 / 3],
+        [0.2, 0.3, 0.5],
+        [0.0, 1.0, 0.0],
+        [0.9, 0.05, 0.05],
+    ]
+    fractions = patterns[fractions_seed]
+    capacity = (n_stripes + 2) * MIB
+    pmap = PlacementMap(
+        {"obj": n_stripes * MIB}, {"obj": fractions}, [capacity] * 3,
+        stripe_size=MIB,
+    )
+    offset = min(offset_page * 8192, (n_stripes * MIB) - 8192)
+    target, lba = pmap.locate("obj", offset, 8192)
+    assert 0 <= target < 3
+    assert 0 <= lba < capacity

@@ -1,0 +1,68 @@
+"""Tests for RAID0 group composition."""
+
+import pytest
+
+from repro import units
+from repro.storage.raid import Raid0Group
+
+
+@pytest.fixture
+def raid():
+    return Raid0Group("r", units.mib(512) * 3, 3, stripe_unit=units.kib(64))
+
+
+def test_unit_per_member(raid):
+    assert len(raid.units) == 3
+    assert raid.n_members == 3
+
+
+def test_round_robin_routing(raid):
+    su = raid.stripe_unit
+    assert raid.route(0)[0] == 0
+    assert raid.route(su)[0] == 1
+    assert raid.route(2 * su)[0] == 2
+    assert raid.route(3 * su)[0] == 0
+
+
+def test_member_addresses_are_compacted(raid):
+    su = raid.stripe_unit
+    # Stripe 0 and stripe 3 both live on member 0, back to back.
+    assert raid.route(0) == (0, 0)
+    assert raid.route(3 * su) == (0, su)
+    assert raid.route(6 * su) == (0, 2 * su)
+
+
+def test_offsets_within_stripe_preserved(raid):
+    su = raid.stripe_unit
+    unit, lba = raid.route(su + 4096)
+    assert unit == 1
+    assert lba % su == 4096
+
+
+def test_boundary_limits_to_stripe_unit(raid):
+    su = raid.stripe_unit
+    assert raid.boundary(0) == su
+    assert raid.boundary(su - 100) == 100
+
+
+def test_member_capacity_split(raid):
+    assert raid.units[0].capacity == raid.capacity // 3
+
+
+def test_single_member_raid_is_valid():
+    raid = Raid0Group("r1", units.mib(128), 1)
+    assert raid.route(12345) == (0, 12345)
+
+
+def test_zero_members_rejected():
+    with pytest.raises(ValueError):
+        Raid0Group("bad", units.mib(128), 0)
+
+
+def test_routing_covers_all_members_evenly(raid):
+    su = raid.stripe_unit
+    counts = [0, 0, 0]
+    for stripe in range(300):
+        unit, _ = raid.route(stripe * su)
+        counts[unit] += 1
+    assert counts == [100, 100, 100]

@@ -1,0 +1,59 @@
+"""Tests for the SSD model."""
+
+import pytest
+
+from repro import units
+from repro.storage.request import IORequest
+from repro.storage.ssd import SolidStateDrive, SsdParameters
+
+
+def _request(lba, kind="read", size=8192, stream=1):
+    return IORequest(stream_id=stream, kind=kind, lba=lba, size=size)
+
+
+@pytest.fixture
+def unit():
+    return SolidStateDrive("ssd", units.gib(8)).units[0]
+
+
+def test_random_equals_sequential(unit):
+    sequential = unit.service_time(_request(0))
+    unit2 = SolidStateDrive("ssd2", units.gib(8)).units[0]
+    random = unit2.service_time(_request(units.gib(4)))
+    assert sequential == pytest.approx(random)
+
+
+def test_reads_cheaper_than_writes(unit):
+    read = unit.service_time(_request(0, "read"))
+    write = unit.service_time(_request(0, "write"))
+    assert read < write
+
+
+def test_cost_flat_in_active_streams(unit):
+    solo = unit.service_time(_request(0), active_streams=1)
+    busy = unit.service_time(_request(8192), active_streams=20)
+    assert solo == pytest.approx(busy)
+
+
+def test_channel_parallelism_exposed():
+    params = SsdParameters(channels=6)
+    ssd = SolidStateDrive("ssd", units.gib(8), params)
+    assert ssd.units[0].parallelism == 6
+
+
+def test_service_time_includes_transfer(unit):
+    small = unit.service_time(_request(0, size=units.kib(8)))
+    large = unit.service_time(_request(8192, size=units.kib(256)))
+    assert large > small
+
+
+def test_ssd_is_much_faster_than_disk_for_random():
+    from repro.storage.disk import DiskDrive
+
+    ssd_cost = SolidStateDrive("s", units.gib(8)).units[0].service_time(
+        _request(units.gib(4))
+    )
+    disk_cost = DiskDrive("d", units.gib(8)).units[0].service_time(
+        _request(units.gib(4))
+    )
+    assert ssd_cost < disk_cost / 10

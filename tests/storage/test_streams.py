@@ -1,0 +1,127 @@
+"""Tests for request streams."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.errors import SimulationError
+from repro.storage.streams import (
+    RandomStream,
+    RunStream,
+    ScanStream,
+    SteadyStream,
+    next_stream_id,
+)
+
+
+def test_stream_ids_are_unique():
+    assert next_stream_id() != next_stream_id()
+
+
+def test_scan_covers_range_exactly_once(single_disk_ctx, disk_target):
+    done = []
+    ScanStream(single_disk_ctx, "obj", length=units.mib(1), window=4,
+               on_done=done.append).start()
+    single_disk_ctx.engine.run()
+    assert len(done) == 1
+    assert disk_target.completed == units.mib(1) // units.kib(8)
+    offsets = sorted(r.logical_offset for r in disk_target.trace)
+    assert offsets == list(range(0, units.mib(1), units.kib(8)))
+
+
+def test_scan_respects_start_offset(single_disk_ctx, disk_target):
+    ScanStream(single_disk_ctx, "obj", start=units.mib(2),
+               length=units.mib(1), window=2).start()
+    single_disk_ctx.engine.run()
+    assert min(r.logical_offset for r in disk_target.trace) == units.mib(2)
+
+
+def test_scan_beyond_object_rejected(single_disk_ctx):
+    with pytest.raises(SimulationError):
+        ScanStream(single_disk_ctx, "obj", start=units.mib(63),
+                   length=units.mib(2))
+
+
+def test_scan_window_bounds_outstanding(single_disk_ctx, disk_target):
+    stream = ScanStream(single_disk_ctx, "obj", length=units.mib(1), window=3)
+    stream.start()
+    assert stream.outstanding <= 3
+    single_disk_ctx.engine.run()
+    assert stream.finished
+
+
+def test_zero_window_rejected(single_disk_ctx):
+    with pytest.raises(SimulationError):
+        ScanStream(single_disk_ctx, "obj", window=0)
+
+
+def test_double_start_rejected(single_disk_ctx):
+    stream = ScanStream(single_disk_ctx, "obj", length=units.mib(1))
+    stream.start()
+    with pytest.raises(SimulationError):
+        stream.start()
+
+
+def test_run_stream_issues_exact_request_count(single_disk_ctx, disk_target, rng):
+    done = []
+    RunStream(single_disk_ctx, "obj", n_requests=50, run_count=8, rng=rng,
+              on_done=done.append).start()
+    single_disk_ctx.engine.run()
+    assert disk_target.completed == 50
+    assert done[0].completions == 50
+
+
+def test_run_stream_produces_sequential_runs(single_disk_ctx, disk_target, rng):
+    RunStream(single_disk_ctx, "obj", n_requests=64, run_count=16,
+              rng=rng).start()
+    single_disk_ctx.engine.run()
+    offsets = [r.logical_offset for r in disk_target.trace]
+    sequential = sum(
+        1 for a, b in zip(offsets, offsets[1:]) if b == a + units.kib(8)
+    )
+    # 16-long runs: ~15/16 of transitions are sequential.
+    assert sequential >= 0.8 * (len(offsets) - 1)
+
+
+def test_random_stream_is_not_sequential(single_disk_ctx, disk_target, rng):
+    RandomStream(single_disk_ctx, "obj", n_requests=100, rng=rng).start()
+    single_disk_ctx.engine.run()
+    offsets = [r.logical_offset for r in disk_target.trace]
+    sequential = sum(
+        1 for a, b in zip(offsets, offsets[1:]) if b == a + units.kib(8)
+    )
+    assert sequential < 10
+
+
+def test_invalid_run_count_rejected(single_disk_ctx, rng):
+    with pytest.raises(SimulationError):
+        RunStream(single_disk_ctx, "obj", n_requests=10, run_count=0, rng=rng)
+
+
+def test_steady_stream_runs_until_stopped(single_disk_ctx, disk_target, rng):
+    stream = SteadyStream(single_disk_ctx, "obj", rng=rng)
+    stream.start()
+    engine = single_disk_ctx.engine
+    for _ in range(200):
+        if not engine.step():
+            break
+    assert disk_target.completed > 50
+    stream.stop()
+    engine.run()
+    assert stream.finished
+
+
+def test_think_time_spaces_requests(single_disk_ctx, disk_target, rng):
+    RunStream(single_disk_ctx, "obj", n_requests=10, rng=rng,
+              think_s=0.5).start()
+    single_disk_ctx.engine.run()
+    # 9 think gaps of 0.5s dominate the elapsed time.
+    assert single_disk_ctx.engine.now >= 4.5
+
+
+def test_write_streams_mark_requests(single_disk_ctx, disk_target, rng):
+    RandomStream(single_disk_ctx, "obj", n_requests=5, rng=rng,
+                 kind="write").start()
+    single_disk_ctx.engine.run()
+    assert all(r.kind == "write" for r in disk_target.trace)
+    assert disk_target.bytes_written == 5 * units.kib(8)

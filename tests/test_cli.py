@@ -1,0 +1,102 @@
+"""Tests for the standalone CLI advisor."""
+
+import json
+
+import pytest
+
+from repro.cli import load_problem, main
+from repro.units import gib, mib
+
+
+@pytest.fixture
+def problem_file(tmp_path):
+    data = {
+        "stripe_size": 1 << 20,
+        "targets": [
+            {"name": "disk0", "capacity": gib(2), "kind": "disk15k"},
+            {"name": "disk1", "capacity": gib(2), "kind": "disk15k"},
+            {"name": "ssd", "capacity": mib(512), "kind": "ssd"},
+        ],
+        "objects": [
+            {"name": "lineitem", "size": gib(1), "read_rate": 800,
+             "run_count": 64, "overlap": {"orders": 0.9}},
+            {"name": "orders", "size": mib(300), "read_rate": 300,
+             "run_count": 64, "overlap": {"lineitem": 0.9}},
+            {"name": "hot_index", "size": mib(200), "read_rate": 200,
+             "run_count": 1},
+        ],
+    }
+    path = tmp_path / "problem.json"
+    path.write_text(json.dumps(data))
+    return str(path)
+
+
+def test_load_problem_builds_layout_problem(problem_file):
+    with open(problem_file) as handle:
+        problem = load_problem(json.load(handle))
+    assert problem.n_objects == 3
+    assert problem.n_targets == 3
+    assert problem.target_names == ["disk0", "disk1", "ssd"]
+
+
+def test_advise_prints_layout(problem_file, capsys):
+    assert main(["advise", problem_file]) == 0
+    out = capsys.readouterr().out
+    assert "lineitem" in out
+    assert "max utilization after" in out
+
+
+def test_advise_json_output(problem_file, capsys):
+    assert main(["advise", problem_file, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload["layout"]) == {"lineitem", "orders", "hot_index"}
+    assert payload["max_utilization"]["solver"] <= (
+        payload["max_utilization"]["see"] + 1e-9
+    )
+    # JSON rows are valid fractions.
+    for row in payload["layout"].values():
+        assert abs(sum(row) - 1.0) < 1e-6
+
+
+def test_advise_non_regular(problem_file, capsys):
+    assert main(["advise", problem_file, "--non-regular", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert "regular" not in payload["max_utilization"]
+
+
+def test_missing_file_is_an_error(capsys):
+    assert main(["advise", "/nonexistent/problem.json"]) == 1
+    assert "error" in capsys.readouterr().err
+
+
+def test_malformed_problem_is_an_error(tmp_path, capsys):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"targets": [], "objects": []}))
+    assert main(["advise", str(path)]) == 1
+
+
+def test_unknown_target_kind_is_an_error(tmp_path, capsys):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({
+        "targets": [{"name": "t", "capacity": gib(1), "kind": "tape"}],
+        "objects": [{"name": "a", "size": mib(1)}],
+    }))
+    assert main(["advise", str(path)]) == 1
+
+
+def test_raid_target_kind(tmp_path, capsys):
+    path = tmp_path / "raid.json"
+    path.write_text(json.dumps({
+        "targets": [
+            {"name": "raid", "capacity": gib(4), "kind": "raid0",
+             "members": 3},
+            {"name": "disk", "capacity": gib(2), "kind": "disk7200"},
+        ],
+        "objects": [
+            {"name": "a", "size": gib(1), "read_rate": 500, "run_count": 32},
+        ],
+    }))
+    assert main(["advise", str(path), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    # The 3-wide RAID0 is the faster target; the hot object should use it.
+    assert payload["layout"]["a"][0] > 0

@@ -1,0 +1,108 @@
+"""End-to-end integration tests: the full paper pipeline in miniature.
+
+These run the complete methodology — SEE run with tracing, workload
+fitting, calibration, advising, regularization, and measurement — on a
+heavily scaled-down database so they stay fast.
+"""
+
+import pytest
+
+from repro import units
+from repro.core import LayoutAdvisor
+from repro.db import tpch_database
+from repro.db.workloads import olap_workload
+from repro.experiments import runner as runner_module
+from repro.experiments.runner import (
+    build_problem,
+    clear_model_cache,
+    fit_workloads_from_run,
+    measure_olap,
+    see_fractions,
+)
+from repro.experiments.scenarios import four_disks
+from repro.models.calibration import CalibrationConfig
+
+SCALE = 1 / 256
+CALIBRATION = CalibrationConfig(
+    sizes=(units.kib(8),), run_counts=(1, 8, 64), competitor_counts=(0, 1, 4),
+    n_requests=250,
+)
+
+
+@pytest.fixture(scope="module")
+def pipeline(tmp_path_factory):
+    runner_module.CACHE_DIR = str(tmp_path_factory.mktemp("cache"))
+    clear_model_cache()
+
+    database = tpch_database(SCALE)
+    specs = four_disks(SCALE)
+    workload = olap_workload("mini", repetitions=1, concurrency=1, seed=9)
+    profiles = workload.profiles()
+    see = see_fractions(database, len(specs))
+
+    traced = measure_olap(database, profiles, see, specs,
+                          concurrency=1, collect_trace=True)
+    fitted = fit_workloads_from_run(traced, database)
+    problem = build_problem(database, specs, fitted,
+                            calibration=CALIBRATION)
+    outcome = LayoutAdvisor(problem, regular=True).recommend()
+    optimized = measure_olap(
+        database, profiles, outcome.recommended.fractions_by_name(), specs,
+        concurrency=1,
+    )
+    return {
+        "database": database,
+        "traced": traced,
+        "fitted": fitted,
+        "problem": problem,
+        "outcome": outcome,
+        "optimized": optimized,
+    }
+
+
+def test_trace_covers_active_objects(pipeline):
+    active = {w.name for w in pipeline["fitted"] if w.total_rate > 0}
+    assert "LINEITEM" in active
+    assert "ORDERS" in active
+    assert "TEMP SPACE" in active
+
+
+def test_lineitem_fitted_as_hot_and_sequential(pipeline):
+    lineitem = next(w for w in pipeline["fitted"] if w.name == "LINEITEM")
+    rates = sorted(pipeline["fitted"], key=lambda w: -w.total_rate)
+    assert rates[0].name == "LINEITEM"
+    assert lineitem.run_count > 8
+
+
+def test_advisor_layout_is_regular_and_valid(pipeline):
+    layout = pipeline["outcome"].recommended
+    assert layout.is_regular()
+    pipeline["problem"].validate_layout(layout)
+
+
+def test_estimated_utilization_beats_see(pipeline):
+    outcome = pipeline["outcome"]
+    assert outcome.max_utilization("solver") < outcome.max_utilization("see")
+
+
+def test_measured_time_beats_see(pipeline):
+    """The headline claim: the optimized layout completes the workload
+
+    faster than SEE (paper Figure 11 reports 1.28x at full scale)."""
+    see_time = pipeline["traced"].elapsed_s
+    optimized_time = pipeline["optimized"].elapsed_s
+    assert optimized_time < see_time
+
+
+def test_hot_objects_separated(pipeline):
+    """LINEITEM and ORDERS overlap and are sequential: the advisor must
+
+    not co-locate them (paper Figure 1)."""
+    layout = pipeline["outcome"].recommended
+    lineitem = set((layout.row("LINEITEM") > 0.01).nonzero()[0].tolist())
+    orders = set((layout.row("ORDERS") > 0.01).nonzero()[0].tolist())
+    assert lineitem.isdisjoint(orders)
+
+
+def test_all_queries_completed(pipeline):
+    assert pipeline["optimized"].completed_queries == 21

@@ -1,0 +1,57 @@
+"""Tests for the units helpers and the exception hierarchy."""
+
+import pytest
+
+from repro import errors, units
+
+
+def test_unit_constants():
+    assert units.KIB == 1024
+    assert units.MIB == 1024 ** 2
+    assert units.GIB == 1024 ** 3
+    assert units.MS == pytest.approx(1e-3)
+    assert units.US == pytest.approx(1e-6)
+
+
+def test_conversions_round_trip():
+    assert units.gib(2) == 2 * units.GIB
+    assert units.mib(3) == 3 * units.MIB
+    assert units.kib(5) == 5 * units.KIB
+    assert units.bytes_to_gib(units.gib(7)) == pytest.approx(7.0)
+
+
+def test_fractional_conversions_truncate_to_int():
+    assert isinstance(units.gib(0.5), int)
+    assert units.gib(0.5) == units.GIB // 2
+
+
+def test_defaults_are_sane():
+    assert units.DEFAULT_PAGE_SIZE == 8 * units.KIB
+    assert units.DEFAULT_STRIPE_SIZE == units.MIB
+    assert units.DEFAULT_STRIPE_SIZE % units.DEFAULT_PAGE_SIZE == 0
+
+
+def test_every_error_is_a_repro_error():
+    for name in ("LayoutError", "RegularizationError", "CapacityError",
+                 "WorkloadError", "CalibrationError", "SimulationError",
+                 "SolverError"):
+        error_type = getattr(errors, name)
+        assert issubclass(error_type, errors.ReproError)
+
+
+def test_specialized_layout_errors():
+    assert issubclass(errors.RegularizationError, errors.LayoutError)
+    assert issubclass(errors.CapacityError, errors.LayoutError)
+
+
+def test_catching_the_base_catches_everything():
+    with pytest.raises(errors.ReproError):
+        raise errors.CalibrationError("x")
+
+
+def test_public_api_surface():
+    import repro
+
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+    assert repro.__version__

@@ -1,0 +1,147 @@
+"""Tests for the trace analyzer (the Rubicon substitute)."""
+
+import pytest
+
+from repro import units
+from repro.errors import WorkloadError
+from repro.storage.request import CompletionRecord
+from repro.workload.analyzer import TraceAnalyzer, fit_workloads, summarize_trace
+
+
+def _record(obj, time, offset, kind="read", size=8192, stream=1):
+    return CompletionRecord(
+        submit_time=time, finish_time=time, target="t", obj=obj,
+        stream_id=stream, kind=kind, lba=0, logical_offset=offset, size=size,
+        service_time=0.001,
+    )
+
+
+def _sequential_trace(obj, n, start_time=0.0, stream=1, kind="read"):
+    return [
+        _record(obj, start_time + i * 0.01, i * 8192, kind=kind,
+                stream=stream)
+        for i in range(n)
+    ]
+
+
+def test_rates_from_counts_and_duration():
+    trace = _sequential_trace("a", 100)
+    analyzer = TraceAnalyzer(trace, duration=10.0)
+    spec = analyzer.fit("a")
+    assert spec.read_rate == pytest.approx(10.0)
+    assert spec.write_rate == 0.0
+
+
+def test_sizes_are_averaged():
+    trace = [
+        _record("a", 0.0, 0, size=8192),
+        _record("a", 0.1, 8192, size=16384),
+    ]
+    spec = TraceAnalyzer(trace, duration=1.0).fit("a")
+    assert spec.read_size == pytest.approx(12288)
+
+
+def test_sequential_trace_has_high_run_count():
+    spec = TraceAnalyzer(_sequential_trace("a", 100), duration=1.0).fit("a")
+    assert spec.run_count == pytest.approx(100)
+
+
+def test_random_trace_has_run_count_one():
+    trace = [
+        _record("a", i * 0.01, ((i * 37) % 100) * units.mib(1))
+        for i in range(100)
+    ]
+    spec = TraceAnalyzer(trace, duration=1.0).fit("a")
+    assert spec.run_count < 2.0
+
+
+def test_interleaved_scans_reduce_run_count():
+    """Two concurrent scans of one object interleave in the block trace,
+
+    so the fitted workload is less sequential — the paper's OLAP8-63
+    LINEITEM effect."""
+    solo = TraceAnalyzer(_sequential_trace("a", 100), duration=1.0).fit("a")
+    interleaved = []
+    for i in range(50):
+        interleaved.append(_record("a", i * 0.02, i * 8192, stream=1))
+        interleaved.append(
+            _record("a", i * 0.02 + 0.01, units.mib(32) + i * 8192, stream=2)
+        )
+    mixed = TraceAnalyzer(interleaved, duration=1.0).fit("a")
+    assert mixed.run_count < solo.run_count / 10
+
+
+def test_writes_counted_separately():
+    trace = _sequential_trace("a", 10) + [
+        _record("a", 1.0 + i * 0.01, i * 8192, kind="write") for i in range(5)
+    ]
+    spec = TraceAnalyzer(trace, duration=1.0).fit("a")
+    assert spec.read_rate == pytest.approx(10.0)
+    assert spec.write_rate == pytest.approx(5.0)
+
+
+def test_overlap_of_concurrent_objects():
+    trace = (
+        _sequential_trace("a", 50, start_time=0.0)
+        + _sequential_trace("b", 50, start_time=0.0, stream=2)
+    )
+    analyzer = TraceAnalyzer(trace, duration=1.0, window_s=0.1)
+    assert analyzer.overlap("a", "b") == pytest.approx(1.0)
+    assert analyzer.fit("a").overlap["b"] == pytest.approx(1.0)
+
+
+def test_overlap_of_disjoint_objects_is_zero():
+    trace = (
+        _sequential_trace("a", 50, start_time=0.0)
+        + _sequential_trace("b", 50, start_time=100.0, stream=2)
+    )
+    analyzer = TraceAnalyzer(trace, window_s=1.0)
+    assert analyzer.overlap("a", "b") == 0.0
+
+
+def test_partial_overlap_is_fractional():
+    trace = (
+        _sequential_trace("a", 100, start_time=0.0)          # active 0..1s
+        + _sequential_trace("b", 50, start_time=0.5, stream=2)  # 0.5..1s
+    )
+    analyzer = TraceAnalyzer(trace, duration=1.0, window_s=0.1)
+    assert 0.3 < analyzer.overlap("a", "b") < 0.7
+    assert analyzer.overlap("b", "a") == pytest.approx(1.0)
+
+
+def test_unknown_object_raises():
+    analyzer = TraceAnalyzer(_sequential_trace("a", 10))
+    with pytest.raises(WorkloadError):
+        analyzer.fit("nope")
+
+
+def test_fit_all_includes_idle_objects():
+    workloads = fit_workloads(
+        _sequential_trace("a", 10), duration=1.0, include_idle=["a", "zzz"]
+    )
+    names = {w.name for w in workloads}
+    assert names == {"a", "zzz"}
+    idle = next(w for w in workloads if w.name == "zzz")
+    assert idle.total_rate == 0.0
+
+
+def test_untagged_records_ignored():
+    trace = _sequential_trace("a", 10)
+    trace.append(CompletionRecord(
+        submit_time=0, finish_time=0, target="t", obj=None, stream_id=9,
+        kind="read", lba=0, logical_offset=None, size=8192, service_time=0,
+    ))
+    analyzer = TraceAnalyzer(trace)
+    assert analyzer.objects == ["a"]
+
+
+def test_duration_inferred_from_trace_extent():
+    trace = _sequential_trace("a", 11)  # finish times 0.0 .. 0.1
+    analyzer = TraceAnalyzer(trace)
+    assert analyzer.duration == pytest.approx(0.1)
+
+
+def test_summarize_trace_mentions_objects():
+    text = summarize_trace(_sequential_trace("a", 10))
+    assert "a" in text
+    assert "runcount" in text

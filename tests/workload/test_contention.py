@@ -1,0 +1,83 @@
+"""Tests for the Eq. 2 contention factor."""
+
+import numpy as np
+import pytest
+
+from repro.workload.contention import contention_factors
+
+
+def test_lone_object_has_zero_contention():
+    chi = contention_factors([100.0], np.zeros((1, 1)), np.array([[1.0]]))
+    assert chi[0, 0] == 0.0
+
+
+def test_two_objects_full_overlap_same_target():
+    """chi_ij = competing rate / own rate on the shared target."""
+    rates = [100.0, 50.0]
+    overlaps = np.array([[0.0, 1.0], [1.0, 0.0]])
+    layout = np.array([[1.0], [1.0]])
+    chi = contention_factors(rates, overlaps, layout)
+    assert chi[0, 0] == pytest.approx(0.5)   # 50 competing per 100 own
+    assert chi[1, 0] == pytest.approx(2.0)   # 100 competing per 50 own
+
+
+def test_partial_overlap_scales_contention():
+    rates = [100.0, 100.0]
+    overlaps = np.array([[0.0, 0.25], [0.25, 0.0]])
+    layout = np.array([[1.0], [1.0]])
+    chi = contention_factors(rates, overlaps, layout)
+    assert chi[0, 0] == pytest.approx(0.25)
+
+
+def test_separated_objects_do_not_contend():
+    rates = [100.0, 100.0]
+    overlaps = np.array([[0.0, 1.0], [1.0, 0.0]])
+    layout = np.array([[1.0, 0.0], [0.0, 1.0]])
+    chi = contention_factors(rates, overlaps, layout)
+    assert np.all(chi == 0.0)
+
+
+def test_fractional_layout_scales_competing_rate():
+    rates = [100.0, 100.0]
+    overlaps = np.array([[0.0, 1.0], [1.0, 0.0]])
+    # Object 1 places half its load on the shared target.
+    layout = np.array([[1.0, 0.0], [0.5, 0.5]])
+    chi = contention_factors(rates, overlaps, layout)
+    assert chi[0, 0] == pytest.approx(0.5)
+
+
+def test_own_fraction_in_denominator():
+    """Eq. 2 divides by the object's own per-target rate."""
+    rates = [100.0, 100.0]
+    overlaps = np.array([[0.0, 1.0], [1.0, 0.0]])
+    layout = np.array([[0.5, 0.5], [1.0, 0.0]])
+    chi = contention_factors(rates, overlaps, layout)
+    # On target 0: competing 100, own 50 -> chi = 2.
+    assert chi[0, 0] == pytest.approx(2.0)
+    # On target 1 the competitor is absent.
+    assert chi[0, 1] == 0.0
+
+
+def test_zero_rate_object_contributes_nothing():
+    rates = [100.0, 0.0]
+    overlaps = np.array([[0.0, 1.0], [1.0, 0.0]])
+    layout = np.array([[1.0], [1.0]])
+    chi = contention_factors(rates, overlaps, layout)
+    assert chi[0, 0] == 0.0
+    assert chi[1, 0] == 0.0  # zero own rate: defined as zero
+
+
+def test_three_way_contention_sums():
+    rates = [10.0, 20.0, 30.0]
+    overlaps = np.ones((3, 3)) - np.eye(3)
+    layout = np.ones((3, 1))
+    chi = contention_factors(rates, overlaps, layout)
+    assert chi[0, 0] == pytest.approx(5.0)   # (20 + 30) / 10
+    assert chi[2, 0] == pytest.approx(1.0)   # (10 + 20) / 30
+
+
+def test_result_shape_matches_layout():
+    chi = contention_factors(
+        [1.0, 2.0, 3.0], np.zeros((3, 3)), np.ones((3, 4)) / 4
+    )
+    assert chi.shape == (3, 4)

@@ -1,0 +1,114 @@
+"""Tests for the trace-free workload estimator (paper ref [19])."""
+
+import pytest
+
+from repro import units
+from repro.db.profiles import QueryProfile, phase, rand, seq
+from repro.db.schema import Database, DatabaseObject, TABLE, TEMP
+from repro.db.tpch import tpch_database
+from repro.db.workloads import OLAP1_63, OLAP8_63
+from repro.workload.estimator import WorkloadEstimator, estimate_workloads
+
+
+@pytest.fixture
+def db():
+    return Database("t", [
+        DatabaseObject("A", TABLE, units.mib(64)),
+        DatabaseObject("B", TABLE, units.mib(32)),
+        DatabaseObject("C", TEMP, units.mib(16)),
+    ])
+
+
+def test_rates_proportional_to_volumes(db):
+    profile = QueryProfile("q", (phase(seq("A", 1.0), seq("B", 1.0)),))
+    estimator = WorkloadEstimator(db, [profile])
+    a = estimator.estimate("A")
+    b = estimator.estimate("B")
+    # A is twice B's size and both are fully scanned: 2x the rate.
+    assert a.read_rate == pytest.approx(2 * b.read_rate, rel=0.01)
+
+
+def test_writes_counted_separately(db):
+    profile = QueryProfile("q", (
+        phase(seq("A", 1.0)),
+        phase(seq("C", 1.0, kind="write")),
+    ))
+    estimator = WorkloadEstimator(db, [profile])
+    c = estimator.estimate("C")
+    assert c.write_rate > 0
+    assert c.read_rate == 0
+
+
+def test_sequential_accesses_estimated_as_long_runs(db):
+    profile = QueryProfile("q", (phase(seq("A", 1.0)),))
+    spec = WorkloadEstimator(db, [profile]).estimate("A")
+    assert spec.run_count > 16
+
+
+def test_random_probes_estimated_as_short_runs(db):
+    profile = QueryProfile("q", (phase(rand("A", pages=100)),))
+    spec = WorkloadEstimator(db, [profile]).estimate("A")
+    assert spec.run_count == pytest.approx(1.0)
+
+
+def test_concurrency_reduces_run_count(db):
+    profile = QueryProfile("q", (phase(seq("A", 1.0)),))
+    solo = WorkloadEstimator(db, [profile], concurrency=1).estimate("A")
+    packed = WorkloadEstimator(db, [profile] * 8, concurrency=8).estimate("A")
+    assert packed.run_count < solo.run_count
+
+
+def test_same_phase_objects_overlap_fully(db):
+    profile = QueryProfile("q", (phase(seq("A", 1.0), seq("B", 1.0)),))
+    estimator = WorkloadEstimator(db, [profile])
+    assert estimator.estimate("A").overlap_with("B") > 0.9
+
+
+def test_different_phase_objects_overlap_little_at_c1(db):
+    profile = QueryProfile("q", (
+        phase(seq("A", 1.0)),
+        phase(seq("B", 1.0)),
+    ))
+    estimator = WorkloadEstimator(db, [profile], concurrency=1)
+    assert estimator.estimate("A").overlap_with("B") < 0.1
+
+
+def test_concurrency_raises_cross_query_overlap(db):
+    queries = [
+        QueryProfile("qa", (phase(seq("A", 1.0)),)),
+        QueryProfile("qb", (phase(seq("B", 1.0)),)),
+    ]
+    solo = WorkloadEstimator(db, queries, concurrency=1)
+    packed = WorkloadEstimator(db, queries, concurrency=8)
+    assert packed.estimate("A").overlap_with("B") > \
+        solo.estimate("A").overlap_with("B")
+
+
+def test_estimate_all_covers_catalog(db):
+    profile = QueryProfile("q", (phase(seq("A", 1.0)),))
+    specs = estimate_workloads(db, [profile])
+    assert {s.name for s in specs} == {"A", "B", "C"}
+    idle = next(s for s in specs if s.name == "B")
+    assert idle.total_rate == 0
+
+
+def test_tpch_estimates_rank_lineitem_hottest():
+    """Without any trace, the estimator should still identify LINEITEM
+
+    as the hottest object and give it a sequential workload — enough
+    signal for the advisor to reproduce the Figure 1 separation."""
+    database = tpch_database(1 / 64)
+    specs = estimate_workloads(database, OLAP1_63.profiles())
+    ranked = sorted(specs, key=lambda s: -s.total_rate)
+    assert ranked[0].name == "LINEITEM"
+    assert ranked[0].run_count > 4
+    assert ranked[0].overlap_with("ORDERS") > 0.1
+
+
+def test_estimator_is_concurrency_aware_unlike_autoadmin():
+    database = tpch_database(1 / 64)
+    c1 = estimate_workloads(database, OLAP1_63.profiles(), concurrency=1)
+    c8 = estimate_workloads(database, OLAP8_63.profiles(), concurrency=8)
+    lineitem1 = next(s for s in c1 if s.name == "LINEITEM")
+    lineitem8 = next(s for s in c8 if s.name == "LINEITEM")
+    assert lineitem8.run_count < lineitem1.run_count

@@ -1,0 +1,126 @@
+"""Tests for the Figure-7 LVM striping layout model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import units
+from repro.workload.layout_model import (
+    overlap_matrix,
+    per_target_overlap,
+    per_target_rates,
+    per_target_run_counts,
+    per_target_workload,
+)
+from repro.workload.spec import ObjectWorkload
+
+STRIPE = units.DEFAULT_STRIPE_SIZE
+
+
+def _run_counts(q, b, row):
+    return per_target_run_counts([q], [b], np.array([row]), STRIPE)[0]
+
+
+def test_rates_scale_with_fraction():
+    rates = per_target_rates([100.0], np.array([[0.25, 0.75]]))
+    assert rates.tolist() == [[25.0, 75.0]]
+
+
+def test_short_runs_pass_through_striping():
+    """Case 1: Q·B < StripeSize — runs fit inside a stripe."""
+    q = 4
+    b = units.kib(8)  # 32 KiB runs << 1 MiB stripe
+    result = _run_counts(q, b, [0.5, 0.5])
+    assert result[0] == pytest.approx(q)
+    assert result[1] == pytest.approx(q)
+
+
+def test_long_runs_split_proportionally():
+    """Case 2: Q·B > StripeSize / L — the target keeps its share."""
+    q = 1024
+    b = units.kib(8)  # 8 MiB runs >> stripe/fraction
+    result = _run_counts(q, b, [0.5, 0.5])
+    assert result[0] == pytest.approx(q * 0.5)
+
+
+def test_medium_runs_broken_at_stripe_granularity():
+    """Case 3: between the two bounds — runs become stripe-sized."""
+    q = 256
+    b = units.kib(8)  # 2 MiB runs, stripe/L = 4 MiB at L=0.25
+    result = _run_counts(q, b, [0.25, 0.75])
+    assert result[0] == pytest.approx(STRIPE / b)
+
+
+def test_zero_fraction_entries_get_neutral_run_count():
+    result = _run_counts(64, units.kib(8), [1.0, 0.0])
+    assert result[1] == 1.0
+
+
+def test_run_count_never_below_one():
+    result = _run_counts(2, units.kib(8), [0.001, 0.999])
+    assert np.all(result >= 1.0)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    q=st.floats(1.0, 4096.0),
+    fraction=st.floats(0.01, 1.0),
+)
+def test_run_count_formula_is_continuous(q, fraction):
+    """Property: the three-case formula has no jumps (the solver
+
+    differentiates through it numerically)."""
+    b = units.kib(8)
+    epsilon = 1e-6
+    low = _run_counts(q, b, [fraction, 1 - fraction])[0]
+    nearby = _run_counts(q * (1 + epsilon), b, [fraction, 1 - fraction])[0]
+    assert abs(low - nearby) < max(0.01 * low, 0.5)
+
+
+def test_per_target_overlap_requires_shared_target():
+    layout = np.array([[1.0, 0.0], [0.0, 1.0]])
+    overlaps = np.array([[0.0, 0.9], [0.9, 0.0]])
+    result = per_target_overlap(overlaps, layout)
+    # The two objects share no target: all per-target overlaps are zero.
+    assert np.all(result == 0.0)
+
+
+def test_per_target_overlap_on_shared_target():
+    layout = np.array([[0.5, 0.5], [0.5, 0.5]])
+    overlaps = np.array([[0.0, 0.9], [0.9, 0.0]])
+    result = per_target_overlap(overlaps, layout)
+    assert result[0, 1, 0] == pytest.approx(0.9)
+    assert result[0, 1, 1] == pytest.approx(0.9)
+
+
+def test_scalar_transform_matches_vectorized():
+    spec = ObjectWorkload("o", read_rate=100, write_rate=20, run_count=64)
+    row = [0.25, 0.75]
+    scalar = per_target_workload(spec, row, 0)
+    vectorized = per_target_run_counts(
+        [spec.run_count], [spec.mean_size], np.array([row]), STRIPE
+    )
+    assert scalar.run_count == pytest.approx(vectorized[0, 0])
+    assert scalar.read_rate == pytest.approx(25.0)
+    assert scalar.write_rate == pytest.approx(5.0)
+
+
+def test_scalar_transform_drops_unshared_overlaps():
+    a = ObjectWorkload("a", read_rate=10, overlap={"b": 0.8})
+    b = ObjectWorkload("b", read_rate=10, overlap={"a": 0.8})
+    layout = [[1.0, 0.0], [0.0, 1.0]]
+    result = per_target_workload(a, layout[0], 0, all_workloads=[a, b],
+                                 layout=layout)
+    assert result.overlap == {}
+
+
+def test_overlap_matrix_zero_diagonal():
+    workloads = [
+        ObjectWorkload("a", overlap={"b": 0.5}),
+        ObjectWorkload("b", overlap={"a": 0.7}),
+    ]
+    matrix = overlap_matrix(workloads)
+    assert matrix[0, 0] == 0.0
+    assert matrix[1, 1] == 0.0
+    assert matrix[0, 1] == 0.5
+    assert matrix[1, 0] == 0.7

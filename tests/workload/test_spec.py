@@ -1,0 +1,75 @@
+"""Tests for workload descriptions."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.spec import ObjectWorkload
+
+
+def test_defaults_are_an_idle_workload():
+    spec = ObjectWorkload("idle")
+    assert spec.total_rate == 0.0
+    assert spec.run_count == 1.0
+    assert spec.overlap == {}
+
+
+def test_total_rate_sums_reads_and_writes():
+    spec = ObjectWorkload("o", read_rate=10, write_rate=5)
+    assert spec.total_rate == 15
+
+
+def test_mean_size_weights_by_rate():
+    spec = ObjectWorkload("o", read_rate=30, write_rate=10,
+                          read_size=8192, write_size=4096)
+    assert spec.mean_size == pytest.approx((30 * 8192 + 10 * 4096) / 40)
+
+
+def test_mean_size_of_idle_workload_is_read_size():
+    spec = ObjectWorkload("o", read_size=16384)
+    assert spec.mean_size == 16384
+
+
+def test_negative_rate_rejected():
+    with pytest.raises(WorkloadError):
+        ObjectWorkload("o", read_rate=-1)
+
+
+def test_zero_size_rejected():
+    with pytest.raises(WorkloadError):
+        ObjectWorkload("o", read_size=0)
+
+
+def test_run_count_below_one_rejected():
+    with pytest.raises(WorkloadError):
+        ObjectWorkload("o", run_count=0.5)
+
+
+def test_overlap_out_of_range_rejected():
+    with pytest.raises(WorkloadError):
+        ObjectWorkload("o", overlap={"x": 1.5})
+    with pytest.raises(WorkloadError):
+        ObjectWorkload("o", overlap={"x": -0.1})
+
+
+def test_overlap_with_unknown_object_is_zero():
+    spec = ObjectWorkload("o", overlap={"x": 0.4})
+    assert spec.overlap_with("x") == 0.4
+    assert spec.overlap_with("y") == 0.0
+
+
+def test_scaled_multiplies_rates_only():
+    spec = ObjectWorkload("o", read_rate=10, write_rate=4, run_count=8,
+                          overlap={"x": 0.5})
+    doubled = spec.scaled(2.0)
+    assert doubled.read_rate == 20
+    assert doubled.write_rate == 8
+    assert doubled.run_count == 8
+    assert doubled.overlap == {"x": 0.5}
+    assert spec.read_rate == 10  # original untouched
+
+
+def test_renamed_remaps_overlaps():
+    spec = ObjectWorkload("o", overlap={"x": 0.5, "y": 0.2})
+    renamed = spec.renamed("o2", overlap_rename={"x": "x2"})
+    assert renamed.name == "o2"
+    assert renamed.overlap == {"x2": 0.5, "y": 0.2}

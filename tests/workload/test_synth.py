@@ -1,0 +1,58 @@
+"""Tests for synthetic stream generation and the analyzer round trip."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.workload.analyzer import fit_workloads
+from repro.workload.spec import ObjectWorkload
+from repro.workload.synth import OpenLoopRunStream, spawn_spec_streams
+
+
+def test_open_loop_rate_is_approximate(single_disk_ctx, disk_target, rng):
+    stream = OpenLoopRunStream(single_disk_ctx, "obj", rate=200.0,
+                               duration=5.0, rng=rng)
+    stream.start()
+    single_disk_ctx.engine.run()
+    realised = stream.completions / 5.0
+    assert realised == pytest.approx(200.0, rel=0.2)
+
+
+def test_open_loop_respects_duration(single_disk_ctx, rng):
+    stream = OpenLoopRunStream(single_disk_ctx, "obj", rate=100.0,
+                               duration=2.0, rng=rng)
+    stream.start()
+    end = single_disk_ctx.engine.run()
+    assert end < 2.5
+
+
+def test_overload_drops_rather_than_queues(single_disk_ctx, rng):
+    """A random workload at far beyond disk capability caps outstanding."""
+    stream = OpenLoopRunStream(single_disk_ctx, "obj", rate=100000.0,
+                               duration=0.5, rng=rng, max_outstanding=8)
+    stream.start()
+    single_disk_ctx.engine.run()
+    assert stream.dropped > 0
+    assert stream.completions > 0
+
+
+def test_spawn_creates_streams_for_nonzero_rates(single_disk_ctx, rng):
+    spec = ObjectWorkload("obj", read_rate=50.0, write_rate=10.0)
+    streams = spawn_spec_streams(single_disk_ctx, spec, duration=1.0, rng=rng)
+    assert len(streams) == 2
+
+
+def test_spawn_skips_idle_spec(single_disk_ctx, rng):
+    spec = ObjectWorkload("obj")
+    assert spawn_spec_streams(single_disk_ctx, spec, duration=1.0, rng=rng) == []
+
+
+def test_round_trip_spec_to_trace_to_spec(single_disk_ctx, disk_target, rng):
+    """Synthesize from a spec, re-fit from the trace, compare."""
+    spec = ObjectWorkload("obj", read_rate=150.0, run_count=16.0)
+    spawn_spec_streams(single_disk_ctx, spec, duration=4.0, rng=rng)
+    single_disk_ctx.engine.run()
+    fitted = fit_workloads(disk_target.trace, duration=4.0)[0]
+    assert fitted.read_rate == pytest.approx(spec.read_rate, rel=0.25)
+    assert fitted.run_count == pytest.approx(spec.run_count, rel=0.4)
+    assert fitted.read_size == spec.read_size

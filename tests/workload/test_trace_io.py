@@ -1,0 +1,82 @@
+"""Tests for trace persistence and summary statistics."""
+
+import pytest
+
+from repro.storage.request import CompletionRecord
+from repro.workload.trace_io import (
+    load_trace,
+    object_totals,
+    rate_series,
+    save_trace,
+    target_busy_series,
+)
+
+
+def _record(obj="a", t=0.0, kind="read", size=8192, target="t0",
+            service=0.001):
+    return CompletionRecord(
+        submit_time=t, finish_time=t, target=target, obj=obj, stream_id=1,
+        kind=kind, lba=0, logical_offset=0, size=size, service_time=service,
+    )
+
+
+def test_save_load_round_trip(tmp_path):
+    trace = [_record(t=0.1), _record(obj="b", t=0.2, kind="write")]
+    path = str(tmp_path / "trace.jsonl")
+    save_trace(trace, path)
+    loaded = load_trace(path)
+    assert loaded == trace
+
+
+def test_load_skips_blank_lines(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    save_trace([_record()], str(path))
+    path.write_text(path.read_text() + "\n\n")
+    assert len(load_trace(str(path))) == 1
+
+
+def test_rate_series_counts_per_window():
+    trace = [_record(t=0.1), _record(t=0.4), _record(t=1.2)]
+    series = rate_series(trace, window_s=1.0)
+    assert series == [(0.0, 2.0), (1.0, 1.0)]
+
+
+def test_rate_series_filters():
+    trace = [
+        _record(obj="a", t=0.1, kind="read"),
+        _record(obj="b", t=0.2, kind="write"),
+    ]
+    assert rate_series(trace, obj="a")[0][1] == 1.0
+    assert rate_series(trace, kind="write")[0][1] == 1.0
+    assert rate_series(trace, obj="zzz") == []
+
+
+def test_object_totals():
+    trace = [
+        _record(obj="a", kind="read", size=8192, service=0.002),
+        _record(obj="a", kind="write", size=4096, service=0.004),
+        _record(obj="b", kind="read", size=8192, service=0.001),
+    ]
+    totals = object_totals(trace)
+    assert totals["a"]["reads"] == 1
+    assert totals["a"]["writes"] == 1
+    assert totals["a"]["read_bytes"] == 8192
+    assert totals["a"]["write_bytes"] == 4096
+    assert totals["a"]["mean_service_s"] == pytest.approx(0.003)
+    assert totals["b"]["reads"] == 1
+
+
+def test_untagged_records_skipped_in_totals():
+    trace = [_record(obj=None)]
+    assert object_totals(trace) == {}
+
+
+def test_target_busy_series_bounded_by_one():
+    trace = [
+        _record(target="t0", t=0.1, service=0.4),
+        _record(target="t0", t=0.2, service=0.9),
+        _record(target="t1", t=1.5, service=0.2),
+    ]
+    series = target_busy_series(trace, window_s=1.0)
+    assert series["t0"][0][1] == 1.0  # clamped: 1.3 s busy in a 1 s window
+    assert series["t1"][1][1] == pytest.approx(0.2)
