@@ -29,6 +29,17 @@ build measured cost models from the simulator instead.
 Usage::
 
     python -m repro.cli advise problem.json [--non-regular] [--restarts N]
+    python -m repro.cli monitor trace.jsonl [--window W] [--halflife H]
+    python -m repro.cli replay-online problem.json trace.jsonl
+        [--interval S] [--events out.jsonl]
+
+``advise`` is the paper's one-shot offline tool.  ``monitor`` fits
+sliding-window workload estimates from an archived completion trace
+(:mod:`repro.workload.trace_io` format).  ``replay-online`` closes the
+§8 loop offline: it treats the problem file's workload spec as what the
+current layout was solved for, replays the trace through the online
+controller (monitor → drift detection → warm-started re-solve →
+virtual migration), and reports every decision.
 """
 
 import argparse
@@ -118,23 +129,85 @@ def advise(args):
         problem, regular=not args.non_regular, restarts=args.restarts,
     ).recommend()
 
-    layout = result.recommended
     if args.json:
-        print(json.dumps({
-            "layout": layout.fractions_by_name(),
-            "targets": layout.target_names,
-            "max_utilization": {
-                stage: float(values.max())
-                for stage, values in result.utilizations.items()
-            },
-            "solver_time_s": result.solver_time_s,
-            "regularization_time_s": result.regularization_time_s,
-        }, indent=2))
+        print(json.dumps(result.to_payload(), indent=2))
     else:
-        print(layout.describe())
+        print(result.recommended.describe())
         print()
         for stage, values in result.utilizations.items():
             print("max utilization after %-8s %.4f" % (stage, values.max()))
+    return 0
+
+
+def monitor(args):
+    from repro.online.monitor import WorkloadMonitor, replay_into
+    from repro.workload.trace_io import load_trace
+
+    trace = load_trace(args.trace)
+    mon = replay_into(
+        WorkloadMonitor(window_s=args.window, halflife_s=args.halflife),
+        trace,
+    )
+    if trace:
+        mon.advance(max(r.finish_time for r in trace))
+    if args.json:
+        print(json.dumps({
+            "horizon_s": mon.horizon_s,
+            "observed": mon.observed,
+            "objects": mon.snapshot(),
+        }, indent=2))
+    else:
+        print("monitored %d records, effective horizon %.1f s"
+              % (mon.observed, mon.horizon_s))
+        for obj in mon.objects:
+            spec = mon.fit(obj)
+            print("%-22s reads/s %8.1f  writes/s %8.1f  runcount %7.1f"
+                  % (obj, spec.read_rate, spec.write_rate, spec.run_count))
+    return 0
+
+
+def replay_online(args):
+    from repro.online.controller import ControllerConfig, OnlineController
+    from repro.workload.trace_io import load_trace
+
+    with open(args.problem) as handle:
+        data = json.load(handle)
+    problem = load_problem(data, calibrate=args.calibrate)
+    advised = LayoutAdvisor(problem, regular=not args.non_regular).recommend()
+
+    config = ControllerConfig(
+        check_interval_s=args.interval,
+        util_degradation=args.degradation,
+        divergence_threshold=args.divergence,
+        patience=args.patience,
+        cooldown_s=args.cooldown,
+        min_gain=args.min_gain,
+        regular=not args.non_regular,
+    )
+    sizes = {entry["name"]: int(entry["size"]) for entry in data["objects"]}
+    controller = OnlineController(
+        targets=problem.targets,
+        object_sizes=sizes,
+        initial_layout=advised.recommended,
+        solved_workloads=problem.workloads,
+        stripe_size=problem.stripe_size,
+        config=config,
+    )
+    log = controller.replay(load_trace(args.trace))
+    if args.events:
+        log.to_jsonl(args.events)
+    if args.json:
+        print(json.dumps({
+            "initial": advised.to_payload(),
+            "final_layout": controller.layout.fractions_by_name(),
+            "resolves": controller.resolves,
+            "events": log.events,
+        }, indent=2))
+    else:
+        print(log.summary())
+        print()
+        print("final layout:")
+        print(controller.layout.describe())
     return 0
 
 
@@ -158,6 +231,50 @@ def main(argv=None):
     advise_parser.add_argument("--json", action="store_true",
                                help="emit machine-readable JSON")
     advise_parser.set_defaults(func=advise)
+
+    monitor_parser = subparsers.add_parser(
+        "monitor", help="fit sliding-window workload estimates from a "
+                        "completion trace (JSONL)"
+    )
+    monitor_parser.add_argument("trace", help="path to the trace JSONL")
+    monitor_parser.add_argument("--window", type=float, default=2.0,
+                                help="bucketing window seconds (default 2)")
+    monitor_parser.add_argument("--halflife", type=float, default=20.0,
+                                help="decay half-life seconds (default 20)")
+    monitor_parser.add_argument("--json", action="store_true",
+                                help="emit machine-readable JSON")
+    monitor_parser.set_defaults(func=monitor)
+
+    replay_parser = subparsers.add_parser(
+        "replay-online", help="replay a trace through the online layout "
+                              "controller and report its decisions"
+    )
+    replay_parser.add_argument("problem", help="path to the problem JSON "
+                                               "(the solved-for workload)")
+    replay_parser.add_argument("trace", help="path to the trace JSONL")
+    replay_parser.add_argument("--interval", type=float, default=5.0,
+                               help="drift-check interval seconds")
+    replay_parser.add_argument("--degradation", type=float, default=0.25,
+                               help="relative predicted-utilization "
+                                    "degradation that counts as drift")
+    replay_parser.add_argument("--divergence", type=float, default=0.5,
+                               help="workload rate-divergence threshold")
+    replay_parser.add_argument("--patience", type=int, default=2,
+                               help="consecutive drifted checks to trigger")
+    replay_parser.add_argument("--cooldown", type=float, default=30.0,
+                               help="seconds between re-solve decisions")
+    replay_parser.add_argument("--min-gain", type=float, default=0.05,
+                               help="minimum relative gain to accept")
+    replay_parser.add_argument("--events", help="write the controller "
+                                                "event log to this JSONL")
+    replay_parser.add_argument("--non-regular", action="store_true",
+                               help="skip the regularization step")
+    replay_parser.add_argument("--calibrate", action="store_true",
+                               help="calibrate simulated device models "
+                                    "instead of using analytic ones")
+    replay_parser.add_argument("--json", action="store_true",
+                               help="emit machine-readable JSON")
+    replay_parser.set_defaults(func=replay_online)
 
     args = parser.parse_args(argv)
     try:

@@ -57,6 +57,37 @@ class AdvisorResult:
     def max_utilization(self, stage):
         return float(np.max(self.utilizations[stage]))
 
+    def to_payload(self):
+        """Machine-readable summary of the run.
+
+        The shared JSON shape consumed by ``repro.cli advise --json``,
+        the online controller's event log, and the online benchmarks:
+        per-object fractions, per-stage max and per-target estimated
+        utilizations, solve method, and stage timings.
+        """
+        layout = self.recommended
+        return {
+            "layout": layout.fractions_by_name(),
+            "targets": list(layout.target_names),
+            "objects": list(layout.object_names),
+            "max_utilization": {
+                stage: float(np.max(values))
+                for stage, values in self.utilizations.items()
+            },
+            "utilizations": {
+                stage: {
+                    name: float(value)
+                    for name, value in zip(layout.target_names, values)
+                }
+                for stage, values in self.utilizations.items()
+            },
+            "method": self.method,
+            "initial_time_s": self.initial_time_s,
+            "solver_time_s": self.solver_time_s,
+            "regularization_time_s": self.regularization_time_s,
+            "total_time_s": self.total_time_s,
+        }
+
 
 class LayoutAdvisor:
     """Standalone database storage layout advisor.

@@ -248,7 +248,8 @@ def solve_coordinate(problem, initial, evaluator=None, max_rounds=25):
 
 
 def solve(problem, initial=None, method="auto", restarts=1, seed=0,
-          evaluator=None, max_iter=150, expert_layouts=()):
+          evaluator=None, max_iter=150, expert_layouts=(),
+          warm_start=False):
     """Solve the layout NLP, optionally from multiple starting points.
 
     Args:
@@ -258,19 +259,36 @@ def solve(problem, initial=None, method="auto", restarts=1, seed=0,
         method: ``"slsqp"``, ``"coordinate"``, ``"anneal"``, or
             ``"auto"`` (pick by problem size).
         restarts: Number of starting points (Figure 4's repeat loop).
+            Restart/seed interaction: attempt 0 starts from ``initial``
+            when given (unjittered greedy otherwise); attempts 1..k-1
+            re-run the greedy construction with multiplicative jitter
+            drawn from ``default_rng(seed)``, so the same seed always
+            produces the same start portfolio; stochastic methods
+            (``"anneal"``) additionally receive ``seed + attempt``.
         seed: RNG seed for restart jitter.
         expert_layouts: Extra starting layouts supplied by a domain
             expert — the paper notes multiple initial layouts "offer a
             convenient way of introducing the knowledge of domain
             experts into the optimization process".  Each is used as an
             additional restart.
+        warm_start: Incremental re-solve mode for online callers.  With
+            ``warm_start=True`` (requires ``initial``) the portfolio is
+            exactly ``initial`` plus ``expert_layouts``: no greedy
+            construction runs and the SEE start is skipped, so a
+            near-optimal prior layout is refined rather than rebuilt.
+            Requesting ``restarts > 1`` still adds jittered greedy
+            starts — an explicit ask for exploration wins over
+            warmness.
 
     Returns:
         The best :class:`SolveResult` across all starting points.
 
     Raises:
-        SolverError: If no restart produced a valid layout.
+        SolverError: If no restart produced a valid layout, or if
+            ``warm_start`` is requested without an ``initial`` layout.
     """
+    if warm_start and initial is None:
+        raise SolverError("warm_start requires an initial layout")
     if evaluator is None:
         evaluator = problem.evaluator()
     if method == "auto":
@@ -297,18 +315,22 @@ def solve(problem, initial=None, method="auto", restarts=1, seed=0,
         if attempt == 0 and initial is not None:
             starts.append(initial)
         else:
+            # attempt > 0 only happens under an explicit restarts > 1,
+            # which requests greedy exploration even for warm starts.
             jitter = 0.0 if attempt == 0 else 0.3
             starts.append(initial_layout(problem, rng=rng, jitter=jitter))
     # Local NLP methods get stuck in starting-point-dependent local
     # minima (the paper reports the same of MINOS and repeats the solve
     # from different initial layouts).  SEE, although often itself a
     # local minimum, is a cheap structurally different second start.
-    try:
-        see = problem.see_layout()
-        problem.validate_layout(see)
-        starts.append(see)
-    except Exception:
-        pass
+    # Warm starts skip it: the prior layout already encodes structure.
+    if not warm_start:
+        try:
+            see = problem.see_layout()
+            problem.validate_layout(see)
+            starts.append(see)
+        except Exception:
+            pass
     for expert in expert_layouts:
         problem.validate_layout(expert)
         starts.append(expert)

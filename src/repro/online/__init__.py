@@ -1,0 +1,38 @@
+"""Online layout control (closing the paper's §8 loop).
+
+The advisor in :mod:`repro.core` is a one-shot offline tool: observe,
+fit, solve, hand a layout to an administrator.  This package keeps the
+loop running while the system serves traffic:
+
+* :class:`~repro.online.monitor.WorkloadMonitor` — maintains sliding-
+  window, exponentially-decayed per-object workload estimates from the
+  live completion stream (or a replayed trace).
+* :class:`~repro.online.drift.DriftDetector` — compares the fitted
+  workload against the workload the current layout was solved for and
+  fires (with hysteresis and cooldown) when the layout has gone stale.
+* :class:`~repro.online.controller.OnlineController` — on a drift
+  trigger, runs a warm-started incremental solve, accepts the new
+  layout only when the predicted utilization gain beats the migration
+  bill, and executes the migration as throttled background I/O.
+* :class:`~repro.online.executor.ThrottledMigrator` — the background
+  copy itself, injected into the simulator so migration traffic
+  contends with foreground streams.
+* :class:`~repro.online.events.EventLog` — JSONL decision/metrics log
+  and summary table.
+"""
+
+from repro.online.controller import ControllerConfig, OnlineController
+from repro.online.drift import DriftDetector, DriftSignal
+from repro.online.events import EventLog
+from repro.online.executor import ThrottledMigrator
+from repro.online.monitor import WorkloadMonitor
+
+__all__ = [
+    "ControllerConfig",
+    "DriftDetector",
+    "DriftSignal",
+    "EventLog",
+    "OnlineController",
+    "ThrottledMigrator",
+    "WorkloadMonitor",
+]

@@ -1,0 +1,421 @@
+"""The online layout controller: monitor → detect → re-solve → migrate.
+
+The paper's §8 (FlexVol discussion) points at using the advisor "to
+guide the storage system's dynamic allocation decisions" as the system
+runs.  :class:`OnlineController` is that closed loop:
+
+1. a :class:`~repro.online.monitor.WorkloadMonitor` follows the live
+   completion stream (engine observer hook) or a replayed trace;
+2. every ``check_interval_s`` the controller asks the cost models for
+   the current layout's predicted max utilization under the *fitted*
+   workload and hands both to the
+   :class:`~repro.online.drift.DriftDetector`;
+3. on a drift trigger it runs a **warm-started incremental solve** —
+   previous layout as the only start (``solve(..., warm_start=True)``),
+   optionally pinning objects whose workload has not moved;
+4. the new layout is **accepted only when it pays**: the predicted
+   utilization gain, amortized over ``amortization_s`` seconds of
+   future operation, must exceed the migration bill
+   (:func:`~repro.core.migration.migration_cost_seconds`);
+5. accepted layouts are brought online by a
+   :class:`~repro.online.executor.ThrottledMigrator` — background copy
+   I/O contending with foreground streams — and the placement map is
+   swapped only when the copy finishes.
+
+Every decision is recorded in an :class:`~repro.online.events.EventLog`.
+"""
+
+import time
+from dataclasses import dataclass, field
+
+from repro import units
+from repro.core.layout import Layout
+from repro.core.migration import migration_cost_seconds, plan_migration
+from repro.core.pinning import PinningConstraints
+from repro.core.problem import LayoutProblem
+from repro.core.regularize import regularize
+from repro.core.solver import solve
+from repro.errors import SimulationError
+from repro.online.drift import DriftDetector
+from repro.online.events import EventLog
+from repro.online.executor import ThrottledMigrator
+from repro.online.monitor import WorkloadMonitor
+from repro.storage.mapping import PlacementMap
+
+
+@dataclass
+class ControllerConfig:
+    """Tuning knobs of the online controller.
+
+    Attributes:
+        check_interval_s: Seconds of simulated time between drift
+            checks.
+        monitor_window_s / monitor_halflife_s: Workload monitor
+            bucketing window and decay half-life (used only when the
+            controller builds its own monitor).
+        util_degradation / divergence_threshold / util_ceiling /
+        patience / cooldown_s: Drift detector thresholds; see
+            :class:`~repro.online.drift.DriftDetector`.
+        min_gain: Minimum relative predicted max-utilization
+            improvement for a re-solve to be accepted.
+        amortization_s: Horizon over which a utilization gain is
+            credited when weighed against the migration bill: accept
+            when ``gain × amortization_s ≥ migration_cost_seconds``.
+        transfer_bps: Per-target copy rate assumed by the migration
+            cost bound.
+        pin_stable_objects: Pin (fix) the layout rows of objects whose
+            total request rate moved by less than
+            ``pin_rate_tolerance`` (relative), shrinking the re-solve
+            and the migration churn.  If every object is stable the
+            pinning is dropped — a uniform surge needs a global
+            rebalance.
+        max_resolves: Hard bound on accepted re-solves per run (flap
+            backstop; the detector's hysteresis should make it moot).
+        solver_method / restarts / regular: Passed through to the
+            warm-started solve; ``regular=True`` additionally
+            regularizes accepted layouts.
+        migration_chunk / migration_window / migration_pace_s: Copy
+            granularity and throttle of the background migrator.
+    """
+
+    check_interval_s: float = 5.0
+    monitor_window_s: float = 2.0
+    monitor_halflife_s: float = 20.0
+    util_degradation: float = 0.25
+    divergence_threshold: float = 0.5
+    util_ceiling: float = 0.95
+    patience: int = 2
+    cooldown_s: float = 30.0
+    min_gain: float = 0.05
+    amortization_s: float = 300.0
+    transfer_bps: float = 80 * (1 << 20)
+    pin_stable_objects: bool = True
+    pin_rate_tolerance: float = 0.25
+    max_resolves: int = 8
+    solver_method: str = "auto"
+    restarts: int = 1
+    regular: bool = False
+    migration_chunk: int = units.DEFAULT_STRIPE_SIZE
+    migration_window: int = 1
+    migration_pace_s: float = 0.0
+
+    def detector(self):
+        return DriftDetector(
+            util_degradation=self.util_degradation,
+            divergence_threshold=self.divergence_threshold,
+            util_ceiling=self.util_ceiling,
+            patience=self.patience,
+            cooldown_s=self.cooldown_s,
+        )
+
+    def monitor(self):
+        return WorkloadMonitor(
+            window_s=self.monitor_window_s,
+            halflife_s=self.monitor_halflife_s,
+        )
+
+
+@dataclass
+class _PendingMigration:
+    """State carried from an accepted re-solve to migration completion."""
+
+    layout: Layout
+    fitted: list
+    predicted_util: float
+    migrator: object = None
+    accepted_at: float = 0.0
+    plan_bytes: int = 0
+    events: dict = field(default_factory=dict)
+
+
+class OnlineController:
+    """Continuously keeps a layout matched to a drifting workload.
+
+    Args:
+        targets: Sequence of :class:`~repro.core.problem.TargetSpec`
+            used for re-solves (capacities may include placement
+            slack, as :func:`repro.experiments.runner.build_problem`
+            reserves).
+        object_sizes: Mapping object name → bytes; fixes the object
+            order of every re-solve.
+        initial_layout: The layout currently in effect.
+        solved_workloads: The workload descriptions ``initial_layout``
+            was solved for (zero-rate specs are fine); the drift
+            baseline.
+        ctx: Optional live :class:`~repro.storage.streams.SimContext`.
+            With a context, migrations run as throttled background I/O
+            and the placement map is swapped on completion; without
+            one (replay mode) accepted layouts take effect after the
+            *estimated* migration time.
+        physical_capacities: Per-target byte capacities for rebuilding
+            the placement map (defaults to the live targets' device
+            capacities, falling back to the solve capacities).
+        stripe_size: Placement-map stripe size.
+        config: A :class:`ControllerConfig`.
+        monitor / detector / log: Injectable components (defaults are
+            built from the config).
+    """
+
+    def __init__(self, targets, object_sizes, initial_layout,
+                 solved_workloads, ctx=None, physical_capacities=None,
+                 stripe_size=units.DEFAULT_STRIPE_SIZE, config=None,
+                 monitor=None, detector=None, log=None):
+        self.config = config or ControllerConfig()
+        self.targets = list(targets)
+        self.object_sizes = dict(object_sizes)
+        self.object_names = list(self.object_sizes)
+        self.target_names = [t.name for t in self.targets]
+        self.stripe_size = int(stripe_size)
+        self.ctx = ctx
+        if physical_capacities is not None:
+            self.physical_capacities = list(physical_capacities)
+        elif ctx is not None:
+            self.physical_capacities = [t.capacity for t in ctx.targets]
+        else:
+            self.physical_capacities = [t.capacity for t in self.targets]
+
+        self.monitor = monitor or self.config.monitor()
+        self.detector = detector or self.config.detector()
+        self.log = log or EventLog()
+
+        self.layout = self._aligned(initial_layout)
+        self.solved_workloads = list(solved_workloads)
+        self.resolves = 0
+        self.migrating = False
+        self._pending = None
+        self._running = False
+
+        now = ctx.engine.now if ctx is not None else 0.0
+        solved_util = self._predicted_util(self.solved_workloads, self.layout)
+        self.detector.rebase(self.solved_workloads, solved_util, now)
+        self.log.emit(now, "baseline", solved_util=round(solved_util, 4))
+
+    # ------------------------------------------------------------------
+    # Problem plumbing
+    # ------------------------------------------------------------------
+
+    def _aligned(self, layout):
+        """Reorder a layout's rows/columns into the controller's order."""
+        if (layout.object_names == self.object_names
+                and layout.target_names == self.target_names):
+            return layout
+        fractions = layout.fractions_by_name()
+        column = {name: j for j, name in enumerate(layout.target_names)}
+        matrix = [
+            [fractions[obj][column[t]] for t in self.target_names]
+            for obj in self.object_names
+        ]
+        return Layout(matrix, self.object_names, self.target_names)
+
+    def _problem(self, workloads, pinning=None):
+        return LayoutProblem(
+            self.object_sizes, self.targets, workloads,
+            stripe_size=self.stripe_size, pinning=pinning,
+        )
+
+    def _predicted_util(self, workloads, layout):
+        """Cost-model estimate of max target utilization."""
+        evaluator = self._problem(workloads).evaluator()
+        return float(evaluator.objective(layout.matrix))
+
+    # ------------------------------------------------------------------
+    # Live mode
+    # ------------------------------------------------------------------
+
+    def start(self):
+        """Attach to the live simulation: observe completions and
+        schedule periodic drift checks."""
+        if self.ctx is None:
+            raise SimulationError(
+                "controller has no SimContext; use replay() for traces"
+            )
+        if self._running:
+            raise SimulationError("controller already started")
+        self._running = True
+        self.ctx.engine.add_completion_observer(self.monitor.observe)
+        self.ctx.engine.schedule(self.config.check_interval_s, self._tick)
+        return self
+
+    def stop(self):
+        """Detach from the simulation; pending ticks become no-ops."""
+        if self._running:
+            self._running = False
+            self.ctx.engine.remove_completion_observer(self.monitor.observe)
+
+    def _tick(self):
+        if not self._running:
+            return
+        self.check(self.ctx.engine.now)
+        self.ctx.engine.schedule(self.config.check_interval_s, self._tick)
+
+    # ------------------------------------------------------------------
+    # The control loop body
+    # ------------------------------------------------------------------
+
+    def check(self, now):
+        """One monitor → detect (→ re-solve → migrate) iteration."""
+        self.monitor.advance(now)
+        if self.migrating:
+            # The copy in progress will rebase the detector when it
+            # lands; re-deciding mid-migration would race with it.
+            self.log.emit(now, "check", migrating=True)
+            return None
+
+        fitted = self.monitor.workloads(self.object_names)
+        predicted = self._predicted_util(fitted, self.layout)
+        signal = self.detector.check(now, fitted, predicted)
+        self.log.emit(now, "check", **signal.as_payload())
+        if signal.fired:
+            self.log.emit(now, "trigger", reason=signal.reason,
+                          predicted_util=round(signal.predicted_util, 4),
+                          solved_util=round(signal.solved_util, 4),
+                          divergence=round(signal.divergence, 4))
+            self._resolve(now, fitted, predicted)
+        return signal
+
+    def _stable_pinning(self, fitted):
+        """Fix rows of objects whose rate hasn't moved (shrinks the
+        re-solve); returns (pinning, pinned object names)."""
+        if not self.config.pin_stable_objects:
+            return None, []
+        solved = {w.name: w.total_rate for w in self.solved_workloads}
+        stable = []
+        for spec in fitted:
+            old = solved.get(spec.name, 0.0)
+            new = spec.total_rate
+            scale = max(old, new)
+            if scale <= 0 or abs(new - old) / scale <= self.config.pin_rate_tolerance:
+                stable.append(spec.name)
+        if not stable or len(stable) == len(self.object_names):
+            return None, []
+        fixed = {
+            name: self.layout.row(name).tolist() for name in stable
+        }
+        return PinningConstraints(fixed=fixed), stable
+
+    def _resolve(self, now, fitted, predicted):
+        """Warm-started incremental solve plus the accept/reject gate."""
+        if self.resolves >= self.config.max_resolves:
+            self.log.emit(now, "limit", max_resolves=self.config.max_resolves)
+            self.detector.hold(now)
+            return
+
+        pinning, pinned = self._stable_pinning(fitted)
+        started = time.perf_counter()
+        problem = self._problem(fitted, pinning=pinning)
+        result = solve(
+            problem, initial=self.layout, warm_start=True,
+            method=self.config.solver_method, restarts=self.config.restarts,
+        )
+        candidate = result.layout
+        if self.config.regular:
+            candidate = regularize(problem, candidate)
+        latency = time.perf_counter() - started
+
+        new_util = self._predicted_util(fitted, candidate)
+        gain = predicted - new_util
+        plan = plan_migration(self.layout, candidate, self.object_sizes)
+        cost_s = migration_cost_seconds(plan,
+                                        transfer_bps=self.config.transfer_bps)
+
+        relative_gain = gain / predicted if predicted > 0 else 0.0
+        worth_it = (
+            plan.total_bytes > 0
+            and relative_gain >= self.config.min_gain
+            and gain * self.config.amortization_s >= cost_s
+        )
+
+        decision = dict(
+            util_before=round(predicted, 4),
+            util_after=round(new_util, 4),
+            gain=round(gain, 4),
+            plan_bytes=plan.total_bytes,
+            migration_cost_s=round(cost_s, 3),
+            pinned=len(pinned),
+            method=result.method,
+            decision_latency_s=round(latency, 6),
+        )
+        if not worth_it:
+            reason = ("no-change" if plan.total_bytes == 0 else
+                      "gain-below-threshold" if relative_gain < self.config.min_gain
+                      else "migration-too-expensive")
+            self.log.emit(now, "reject", reason=reason, **decision)
+            self.detector.hold(now)
+            return
+
+        self.resolves += 1
+        self.log.emit(now, "accept",
+                      layout={name: [round(f, 4) for f in row]
+                              for name, row in
+                              candidate.fractions_by_name().items()},
+                      **decision)
+        pending = _PendingMigration(
+            layout=candidate, fitted=fitted, predicted_util=new_util,
+            accepted_at=now, plan_bytes=plan.total_bytes,
+        )
+        if self.ctx is not None:
+            self.migrating = True
+            self._pending = pending
+            pending.migrator = ThrottledMigrator(
+                self.ctx, plan,
+                chunk=self.config.migration_chunk,
+                window=self.config.migration_window,
+                pace_s=self.config.migration_pace_s,
+                on_done=self._migration_done,
+            ).start()
+        else:
+            # Replay / advisory mode: no simulator to copy through; the
+            # layout takes effect after the estimated migration time.
+            finish = now + cost_s
+            self._install(pending, finish, bytes_moved=plan.total_bytes,
+                          elapsed_s=cost_s, virtual=True)
+
+    def _migration_done(self, migrator):
+        pending = self._pending
+        self._pending = None
+        self.migrating = False
+        placement = PlacementMap(
+            self.object_sizes, pending.layout.fractions_by_name(),
+            self.physical_capacities, stripe_size=self.stripe_size,
+        )
+        self.ctx.set_placement(placement)
+        self._install(pending, self.ctx.engine.now,
+                      bytes_moved=migrator.bytes_moved,
+                      elapsed_s=migrator.elapsed_s, virtual=False)
+
+    def _install(self, pending, now, bytes_moved, elapsed_s, virtual):
+        self.layout = pending.layout
+        self.solved_workloads = pending.fitted
+        self.detector.rebase(pending.fitted, pending.predicted_util, now)
+        self.log.emit(now, "migrated",
+                      bytes_moved=bytes_moved,
+                      elapsed_s=round(float(elapsed_s), 4),
+                      virtual=virtual,
+                      accepted_at=round(pending.accepted_at, 4))
+
+    # ------------------------------------------------------------------
+    # Replay mode
+    # ------------------------------------------------------------------
+
+    def replay(self, records, end_time=None):
+        """Drive the loop from an archived trace instead of a live run.
+
+        Records are fed through the monitor in timestamp order with a
+        drift check every ``check_interval_s`` of trace time; accepted
+        layouts take effect virtually (after the estimated migration
+        time).  Returns the event log.
+        """
+        records = sorted(
+            (r for r in records), key=lambda r: r.finish_time
+        )
+        if not records:
+            return self.log
+        next_check = records[0].finish_time + self.config.check_interval_s
+        for record in records:
+            while record.finish_time >= next_check:
+                self.check(next_check)
+                next_check += self.config.check_interval_s
+            self.monitor.observe(record)
+        last = end_time if end_time is not None else records[-1].finish_time
+        self.check(max(last, next_check - self.config.check_interval_s))
+        return self.log

@@ -1,0 +1,155 @@
+"""Workload-drift detection with hysteresis.
+
+The controller must re-solve when the layout has gone stale — but not
+on every noisy estimate.  The detector keeps the workload the current
+layout was *solved for* (and the max utilization predicted at solve
+time) and compares it against the monitor's freshly fitted workload on
+two axes:
+
+* **predicted degradation** — the cost models' estimated max
+  utilization of the *current* layout under the *new* workload, versus
+  the value it was solved to;
+* **workload divergence** — a rate-weighted distance between the
+  solved-for and fitted request rates, in [0, 1].
+
+Either axis crossing its threshold for ``patience`` consecutive checks
+(hysteresis), outside the post-decision ``cooldown_s`` (anti-flap),
+fires a :class:`DriftSignal`.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class DriftSignal:
+    """Outcome of one drift check."""
+
+    fired: bool
+    reason: str                 # "utilization", "divergence", or ""
+    predicted_util: float       # current layout under fitted workload
+    solved_util: float          # what the layout was solved to
+    divergence: float           # rate distance in [0, 1]
+    streak: int                 # consecutive over-threshold checks
+
+    def as_payload(self):
+        return {
+            "fired": self.fired,
+            "reason": self.reason,
+            "predicted_util": round(self.predicted_util, 4),
+            "solved_util": round(self.solved_util, 4),
+            "divergence": round(self.divergence, 4),
+            "streak": self.streak,
+        }
+
+
+def rate_divergence(solved_workloads, fitted_workloads):
+    """Rate-weighted workload distance in [0, 1].
+
+    ``Σ_i |r_i^new − r_i^old| / Σ_i max(r_i^new, r_i^old)`` over total
+    request rates; 0 when rates match, →1 when the active object set
+    has completely changed.
+    """
+    solved = {w.name: w.total_rate for w in solved_workloads}
+    fitted = {w.name: w.total_rate for w in fitted_workloads}
+    names = set(solved) | set(fitted)
+    delta = 0.0
+    scale = 0.0
+    for name in names:
+        old = solved.get(name, 0.0)
+        new = fitted.get(name, 0.0)
+        delta += abs(new - old)
+        scale += max(new, old)
+    if scale <= 0:
+        return 0.0
+    return delta / scale
+
+
+class DriftDetector:
+    """Fires when the current layout no longer fits the workload.
+
+    Args:
+        util_degradation: Relative predicted max-utilization increase
+            over the solved-for value that counts as drift (0.25 =
+            fire at +25%); also fires when the predicted utilization
+            crosses ``util_ceiling`` outright even if the layout never
+            promised better.
+        divergence_threshold: :func:`rate_divergence` level that counts
+            as drift regardless of predicted utilization.
+        util_ceiling: Absolute predicted max-utilization that always
+            counts as drift (a target predicted saturated is a problem
+            even if the solved-for prediction was already high).
+        patience: Consecutive over-threshold checks required to fire
+            (hysteresis against one-window noise).
+        cooldown_s: Minimum time after a rebase or an explicit
+            :meth:`hold` before the detector may fire again
+            (anti-flapping).
+    """
+
+    def __init__(self, util_degradation=0.25, divergence_threshold=0.5,
+                 util_ceiling=0.95, patience=2, cooldown_s=30.0):
+        self.util_degradation = float(util_degradation)
+        self.divergence_threshold = float(divergence_threshold)
+        self.util_ceiling = float(util_ceiling)
+        self.patience = max(1, int(patience))
+        self.cooldown_s = float(cooldown_s)
+
+        self.solved_workloads = []
+        self.solved_util = 0.0
+        self._streak = 0
+        self._hold_until = float("-inf")
+
+    def rebase(self, workloads, solved_util, now):
+        """Install the workload/prediction the layout was just solved
+        for; starts a fresh cooldown."""
+        self.solved_workloads = list(workloads)
+        self.solved_util = float(solved_util)
+        self._streak = 0
+        self._hold_until = now + self.cooldown_s
+
+    def hold(self, now):
+        """Start a cooldown without rebasing (e.g. after a rejected
+        re-solve, so the controller does not re-run the solver every
+        check while the workload stays drifted)."""
+        self._streak = 0
+        self._hold_until = now + self.cooldown_s
+
+    def in_cooldown(self, now):
+        return now < self._hold_until
+
+    def check(self, now, fitted_workloads, predicted_util):
+        """Evaluate one drift check; returns a :class:`DriftSignal`.
+
+        Args:
+            now: Current (simulated) time.
+            fitted_workloads: The monitor's current workload estimates.
+            predicted_util: Estimated max utilization of the *current*
+                layout under ``fitted_workloads`` (the caller owns the
+                evaluator).
+        """
+        divergence = rate_divergence(self.solved_workloads, fitted_workloads)
+        degraded = (
+            predicted_util > self.solved_util * (1.0 + self.util_degradation)
+            or predicted_util > self.util_ceiling
+        )
+        diverged = divergence > self.divergence_threshold
+
+        reason = ""
+        if degraded:
+            reason = "utilization"
+        elif diverged:
+            reason = "divergence"
+
+        if reason and not self.in_cooldown(now):
+            self._streak += 1
+        else:
+            self._streak = 0
+
+        fired = self._streak >= self.patience
+        return DriftSignal(
+            fired=fired,
+            reason=reason if fired else reason,
+            predicted_util=float(predicted_util),
+            solved_util=self.solved_util,
+            divergence=divergence,
+            streak=self._streak,
+        )

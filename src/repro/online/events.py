@@ -1,0 +1,116 @@
+"""Controller decision/metrics log.
+
+Every controller decision — periodic checks, drift triggers, accepted
+and rejected re-solves, migration start/finish — lands here as one
+structured event, exportable as JSON-lines (the same machine-readable
+format the ``advise --json`` CLI emits for layouts) and summarizable
+as a table.  The log is how a benchmark, a test, or an operator audits
+what the controller did and why.
+"""
+
+import json
+from collections import Counter
+
+
+class EventLog:
+    """Append-only structured event log.
+
+    Each event is a plain dict with at least ``time`` (simulated
+    seconds) and ``kind``.
+    """
+
+    def __init__(self):
+        self.events = []
+
+    def emit(self, time, kind, **payload):
+        """Record one event and return it."""
+        event = {"time": round(float(time), 6), "kind": str(kind)}
+        event.update(payload)
+        self.events.append(event)
+        return event
+
+    def __len__(self):
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def of_kind(self, kind):
+        """All events of one kind, in order."""
+        return [e for e in self.events if e["kind"] == kind]
+
+    def last(self, kind=None):
+        """Most recent event (of a kind), or None."""
+        pool = self.events if kind is None else self.of_kind(kind)
+        return pool[-1] if pool else None
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def to_jsonl(self, path):
+        """Write every event as one JSON object per line."""
+        with open(path, "w") as handle:
+            for event in self.events:
+                handle.write(json.dumps(event))
+                handle.write("\n")
+
+    @classmethod
+    def from_jsonl(cls, path):
+        """Load an event log written by :meth:`to_jsonl`."""
+        log = cls()
+        with open(path) as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    log.events.append(json.loads(line))
+        return log
+
+    # ------------------------------------------------------------------
+    # Summary
+    # ------------------------------------------------------------------
+
+    def counts(self):
+        """Event count per kind."""
+        return Counter(e["kind"] for e in self.events)
+
+    def summary(self):
+        """Human-readable controller run summary table."""
+        counts = self.counts()
+        triggers = Counter(
+            e.get("reason", "?") for e in self.of_kind("trigger")
+        )
+        accepted = self.of_kind("accept")
+        rejected = self.of_kind("reject")
+        migrations = self.of_kind("migrated")
+        bytes_moved = sum(e.get("bytes_moved", 0) for e in migrations)
+        migration_s = sum(e.get("elapsed_s", 0.0) for e in migrations)
+        latencies = [
+            e["decision_latency_s"] for e in accepted + rejected
+            if "decision_latency_s" in e
+        ]
+
+        lines = ["online controller summary"]
+        lines.append("  checks            %6d" % counts.get("check", 0))
+        lines.append("  drift triggers    %6d  (%s)" % (
+            counts.get("trigger", 0),
+            ", ".join("%s: %d" % kv for kv in sorted(triggers.items()))
+            or "none",
+        ))
+        lines.append("  re-solves         %6d  accepted %d, rejected %d" % (
+            len(accepted) + len(rejected), len(accepted), len(rejected),
+        ))
+        lines.append("  migrations        %6d  %.1f MiB moved in %.2f s" % (
+            len(migrations), bytes_moved / (1 << 20), migration_s,
+        ))
+        if latencies:
+            lines.append("  decision latency  %8.4f s mean (%d decisions)"
+                         % (sum(latencies) / len(latencies), len(latencies)))
+        for event in accepted:
+            lines.append(
+                "  accept @ %8.2f s  util %.3f -> %.3f  plan %.1f MiB"
+                % (event["time"], event.get("util_before", float("nan")),
+                   event.get("util_after", float("nan")),
+                   event.get("plan_bytes", 0) / (1 << 20))
+            )
+        return "\n".join(lines)

@@ -1,0 +1,258 @@
+"""Continuous workload estimation from the live completion stream.
+
+The offline pipeline fits Rome-style workload descriptions from an
+archived trace (:mod:`repro.workload.analyzer`).  Online, the same
+parameters must track a *moving* workload: the monitor buckets
+completions into fixed windows and folds each closed window into
+exponentially-decayed aggregates, so the fitted rates, sizes, run
+counts, and overlaps follow drift with a configurable half-life while
+old phases fade out instead of polluting the estimate forever.
+"""
+
+from collections import OrderedDict, defaultdict
+
+from repro import units
+from repro.workload.spec import ObjectWorkload
+
+
+class _DecayedObjectStats:
+    """Exponentially-decayed per-object workload aggregates."""
+
+    def __init__(self):
+        # Decayed sums over closed windows.
+        self.reads = 0.0
+        self.writes = 0.0
+        self.read_bytes = 0.0
+        self.write_bytes = 0.0
+        self.runs = 0.0
+        # Current (open) window accumulators.
+        self.cur_reads = 0
+        self.cur_writes = 0
+        self.cur_read_bytes = 0
+        self.cur_write_bytes = 0
+        self.cur_runs = 0
+        self._last_end = None
+
+    def add(self, record):
+        if record.kind == "read":
+            self.cur_reads += 1
+            self.cur_read_bytes += record.size
+        else:
+            self.cur_writes += 1
+            self.cur_write_bytes += record.size
+        # Run detection over the object's time-ordered request stream,
+        # the same rule the offline analyzer applies.
+        if record.logical_offset is not None:
+            if self._last_end is None or record.logical_offset != self._last_end:
+                self.cur_runs += 1
+            self._last_end = record.logical_offset + record.size
+        else:
+            self.cur_runs += 1
+
+    def fold(self, decay):
+        """Close the current window into the decayed aggregates."""
+        self.reads = self.reads * decay + self.cur_reads
+        self.writes = self.writes * decay + self.cur_writes
+        self.read_bytes = self.read_bytes * decay + self.cur_read_bytes
+        self.write_bytes = self.write_bytes * decay + self.cur_write_bytes
+        self.runs = self.runs * decay + self.cur_runs
+        self.cur_reads = self.cur_writes = 0
+        self.cur_read_bytes = self.cur_write_bytes = 0
+        self.cur_runs = 0
+
+    def decay_only(self, decay):
+        """Age the aggregates across an idle window."""
+        self.reads *= decay
+        self.writes *= decay
+        self.read_bytes *= decay
+        self.write_bytes *= decay
+        self.runs *= decay
+
+    @property
+    def total(self):
+        return self.reads + self.writes
+
+
+class WorkloadMonitor:
+    """Sliding-window per-object workload estimation with decay.
+
+    Feed it completion records — live, by registering
+    :meth:`observe` as an engine completion observer, or offline by
+    replaying a trace — then ask for fitted
+    :class:`~repro.workload.spec.ObjectWorkload` descriptions at any
+    point in time.
+
+    Args:
+        window_s: Bucketing window; also the granularity of overlap
+            estimation (two objects overlap in a window when both
+            complete at least one request in it).
+        halflife_s: Half-life of the exponential decay applied to
+            closed windows.  Roughly: the estimate forgets a workload
+            phase a few half-lives after it ends.
+        overlap_windows: How many recent windows of per-object activity
+            to retain for overlap estimation.
+    """
+
+    def __init__(self, window_s=2.0, halflife_s=20.0, overlap_windows=64):
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        if halflife_s <= 0:
+            raise ValueError("halflife_s must be positive")
+        self.window_s = float(window_s)
+        self.halflife_s = float(halflife_s)
+        self.overlap_windows = int(overlap_windows)
+        #: Decay applied per closed window.
+        self.window_decay = 0.5 ** (self.window_s / self.halflife_s)
+
+        self._stats = defaultdict(_DecayedObjectStats)
+        self._window = None          # index of the open window
+        self._weight = 0.0           # decayed seconds of closed windows
+        self._active = defaultdict(OrderedDict)  # obj -> recent windows
+        self.observed = 0
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+
+    def observe(self, record):
+        """Account one completion record (engine observer entry point).
+
+        Records with ``obj=None`` (calibration noise, migration
+        traffic) are ignored.  Timestamps are expected to be
+        near-nondecreasing, as completions naturally are; a record
+        older than the open window is folded into the open window.
+        """
+        if record.obj is None:
+            return
+        window = int(record.finish_time // self.window_s)
+        if self._window is None:
+            self._window = window
+        elif window > self._window:
+            self._roll(window)
+        self._stats[record.obj].add(record)
+        active = self._active[record.obj]
+        active[max(window, self._window)] = True
+        if len(active) > self.overlap_windows:
+            active.popitem(last=False)
+        self.observed += 1
+
+    def advance(self, now):
+        """Close windows up to simulated time ``now`` (controller tick)."""
+        if self._window is None:
+            self._window = int(now // self.window_s)
+            return
+        window = int(now // self.window_s)
+        if window > self._window:
+            self._roll(window)
+
+    def _roll(self, new_window):
+        decay = self.window_decay
+        closed = new_window - self._window      # windows to close (≥ 1)
+        idle = closed - 1                       # trailing empty windows
+        for stats in self._stats.values():
+            stats.fold(decay)
+            if idle:
+                stats.decay_only(decay ** idle)
+        # Every closed window contributes window_s of observation time,
+        # decayed by its age relative to the newest closed window — a
+        # geometric partial sum; steady state converges to
+        # window_s / (1 - decay), so rate = decayed_count / weight is
+        # unbiased under a stationary workload.
+        if decay < 1.0:
+            geometric = (1.0 - decay ** closed) / (1.0 - decay)
+        else:
+            geometric = float(closed)
+        self._weight = self._weight * decay ** closed + self.window_s * geometric
+        self._window = new_window
+
+    # ------------------------------------------------------------------
+    # Estimates
+    # ------------------------------------------------------------------
+
+    @property
+    def objects(self):
+        """Names of objects observed so far."""
+        return sorted(self._stats)
+
+    @property
+    def horizon_s(self):
+        """Effective (decayed) observation time behind the estimates."""
+        return self._weight
+
+    def overlap(self, obj, other):
+        """Fraction of ``obj``-active recent windows with ``other`` active."""
+        mine = self._active.get(obj)
+        if not mine:
+            return 0.0
+        theirs = self._active.get(other)
+        if not theirs:
+            return 0.0
+        shared = sum(1 for w in mine if w in theirs)
+        return shared / len(mine)
+
+    def fit(self, obj):
+        """Fitted :class:`ObjectWorkload` for one object (zero-rate when
+        the object was never observed or has fully decayed away)."""
+        stats = self._stats.get(obj)
+        if stats is None or self._weight <= 0 or stats.total <= 0:
+            return ObjectWorkload(name=obj)
+        read_rate = stats.reads / self._weight
+        write_rate = stats.writes / self._weight
+        read_size = (stats.read_bytes / stats.reads
+                     if stats.reads > 0 else units.DEFAULT_PAGE_SIZE)
+        write_size = (stats.write_bytes / stats.writes
+                      if stats.writes > 0 else units.DEFAULT_PAGE_SIZE)
+        run_count = stats.total / stats.runs if stats.runs > 0 else 1.0
+
+        overlap = {}
+        for other in self._stats:
+            if other == obj:
+                continue
+            value = self.overlap(obj, other)
+            if value > 0:
+                overlap[other] = min(1.0, value)
+
+        return ObjectWorkload(
+            name=obj,
+            read_size=max(1.0, read_size),
+            write_size=max(1.0, write_size),
+            read_rate=read_rate,
+            write_rate=write_rate,
+            run_count=max(1.0, run_count),
+            overlap=overlap,
+        )
+
+    def workloads(self, names=None):
+        """Fitted workloads for ``names`` (default: every observed
+        object), including zero-rate specs for never-observed names so
+        the full catalog can be re-solved."""
+        if names is None:
+            names = self.objects
+        return [self.fit(name) for name in names]
+
+    def snapshot(self):
+        """Compact per-object estimate dict for event logging."""
+        out = {}
+        for obj in self.objects:
+            spec = self.fit(obj)
+            out[obj] = {
+                "read_rate": round(spec.read_rate, 3),
+                "write_rate": round(spec.write_rate, 3),
+                "run_count": round(spec.run_count, 2),
+            }
+        return out
+
+    def decayed_rate(self, obj):
+        """Current total request rate estimate for one object."""
+        stats = self._stats.get(obj)
+        if stats is None or self._weight <= 0:
+            return 0.0
+        return stats.total / self._weight
+
+
+def replay_into(monitor, records):
+    """Feed an iterable of completion records through a monitor in
+    timestamp order; returns the monitor for chaining."""
+    for record in sorted(records, key=lambda r: r.finish_time):
+        monitor.observe(record)
+    return monitor

@@ -12,12 +12,21 @@ from repro.errors import SimulationError
 
 
 class SimulationEngine:
-    """The simulation clock and event queue."""
+    """The simulation clock and event queue.
+
+    Besides scheduling, the engine carries a small completion-observer
+    registry: targets publish every
+    :class:`~repro.storage.request.CompletionRecord` they produce to the
+    registered observers.  This is the hook online components (the
+    workload monitor of :mod:`repro.online`) use to watch live traffic
+    without owning the trace list.
+    """
 
     def __init__(self):
         self._now = 0.0
         self._heap = []
         self._sequence = 0
+        self._completion_observers = []
 
     @property
     def now(self):
@@ -65,3 +74,33 @@ class SimulationEngine:
     def pending(self):
         """Number of events waiting in the queue."""
         return len(self._heap)
+
+    # ------------------------------------------------------------------
+    # Completion observers
+    # ------------------------------------------------------------------
+
+    def add_completion_observer(self, callback):
+        """Register ``callback(record)`` for every completed request.
+
+        Targets bound to this engine call :meth:`notify_completion` when
+        a request finishes, whether or not they keep a trace list.
+        """
+        if callback not in self._completion_observers:
+            self._completion_observers.append(callback)
+        return callback
+
+    def remove_completion_observer(self, callback):
+        """Deregister a completion observer (no-op when absent)."""
+        try:
+            self._completion_observers.remove(callback)
+        except ValueError:
+            pass
+
+    @property
+    def has_completion_observers(self):
+        return bool(self._completion_observers)
+
+    def notify_completion(self, record):
+        """Publish one completion record to every observer."""
+        for callback in self._completion_observers:
+            callback(record)

@@ -37,6 +37,17 @@ class SimContext:
         self.placement = placement
         self.targets = list(targets)
 
+    def set_placement(self, placement):
+        """Swap the placement map (an online layout change).
+
+        Requests already submitted keep the target they were routed to;
+        every subsequent :meth:`submit` resolves against the new map.
+        This is how the online controller brings a migrated layout into
+        effect once the background copy finishes.
+        """
+        self.placement = placement
+        return placement
+
     def submit(self, obj, offset, size, kind, stream_id, on_complete=None):
         """Issue one request against the target holding this extent."""
         target_index, address = self.placement.locate(obj, offset, size)

@@ -165,21 +165,22 @@ class StorageTarget:
             self.bytes_read += request.size
         else:
             self.bytes_written += request.size
-        if self.trace is not None:
-            self.trace.append(
-                CompletionRecord(
-                    submit_time=request.submit_time,
-                    finish_time=request.finish_time,
-                    target=self.name,
-                    obj=request.obj,
-                    stream_id=request.stream_id,
-                    kind=request.kind,
-                    lba=request.lba,
-                    logical_offset=request.logical_offset,
-                    size=request.size,
-                    service_time=request.finish_time - request.start_time,
-                )
+        if self.trace is not None or self.engine.has_completion_observers:
+            record = CompletionRecord(
+                submit_time=request.submit_time,
+                finish_time=request.finish_time,
+                target=self.name,
+                obj=request.obj,
+                stream_id=request.stream_id,
+                kind=request.kind,
+                lba=request.lba,
+                logical_offset=request.logical_offset,
+                size=request.size,
+                service_time=request.finish_time - request.start_time,
             )
+            if self.trace is not None:
+                self.trace.append(record)
+            self.engine.notify_completion(record)
         if request.on_complete is not None:
             request.on_complete(request)
         self._dispatch(server)

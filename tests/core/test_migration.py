@@ -105,3 +105,32 @@ def test_advisor_migration_integration(small_problem):
     plan = plan_migration(see, outcome.recommended, sizes)
     assert plan.total_bytes > 0
     assert plan.moved_fraction(sum(sizes.values())) <= 1.0
+
+def test_describe_without_top_lists_everything():
+    current = _layout([[1.0, 0.0, 0.0], [1.0, 0.0, 0.0]])
+    target = _layout([[0.0, 1.0, 0.0], [0.0, 0.0, 1.0]])
+    plan = plan_migration(current, target, SIZES)
+    text = plan.describe()
+    assert "a" in text and "b" in text
+    assert "smaller moves" not in text
+
+
+def test_describe_top_covering_all_moves_adds_no_truncation_line():
+    current = _layout([[1.0, 0.0, 0.0], [1.0, 0.0, 0.0]])
+    target = _layout([[0.0, 1.0, 0.0], [0.0, 0.0, 1.0]])
+    plan = plan_migration(current, target, SIZES)
+    text = plan.describe(top=len(plan.moves))
+    assert "smaller moves" not in text
+
+
+def test_describe_truncation_counts_hidden_moves():
+    sizes = {"a": units.mib(120), "b": units.mib(60), "c": units.mib(30)}
+    current = Layout(np.array([[1.0, 0.0, 0.0]] * 3), list(sizes), TARGETS)
+    target = Layout(np.array([[0.0, 1.0, 0.0]] * 3), list(sizes), TARGETS)
+    plan = plan_migration(current, target, sizes)
+    assert len(plan.moves) == 3
+    text = plan.describe(top=1)
+    # Largest move shown, the other two counted.
+    assert "a" in text
+    assert "... and 2 smaller moves" in text
+    assert "\n  c" not in text

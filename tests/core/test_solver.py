@@ -145,3 +145,72 @@ def test_result_diagnostics_populated(problem):
     assert result.evaluations > 0
     assert result.utilizations.shape == (4,)
     assert result.objective == pytest.approx(result.utilizations.max())
+
+
+# ----------------------------------------------------------------------
+# Warm-started (incremental) solves
+# ----------------------------------------------------------------------
+
+def test_warm_start_requires_initial(problem):
+    from repro.errors import SolverError
+
+    with pytest.raises(SolverError):
+        solve(problem, warm_start=True)
+
+
+def _spy_starts(monkeypatch):
+    import repro.core.solver as solver_module
+
+    starts = []
+    real = solver_module.solve_slsqp
+
+    def spy(problem, initial, **kwargs):
+        starts.append(initial)
+        return real(problem, initial, **kwargs)
+
+    monkeypatch.setattr(solver_module, "solve_slsqp", spy)
+    return starts
+
+
+def test_warm_start_skips_greedy_and_see(problem, monkeypatch):
+    starts = _spy_starts(monkeypatch)
+    prior = solve(problem, method="slsqp").layout
+    cold_starts = len(starts)
+    assert cold_starts >= 2   # greedy + SEE portfolio
+
+    del starts[:]
+    result = solve(problem, initial=prior, warm_start=True, method="slsqp")
+    assert len(starts) == 1
+    assert starts[0] is prior
+    # Refining a near-optimal prior does not lose ground.
+    evaluator = problem.evaluator()
+    assert result.objective <= evaluator.objective(prior.matrix) + 1e-9
+
+
+def test_warm_start_restarts_add_exploration(problem, monkeypatch):
+    starts = _spy_starts(monkeypatch)
+    prior = initial_layout(problem)
+    solve(problem, initial=prior, warm_start=True, restarts=3,
+          method="slsqp")
+    # Explicit restarts still add jittered greedy starts to the warm one.
+    assert len(starts) == 3
+    assert starts[0] is prior
+
+
+def test_warm_start_keeps_expert_layouts(problem, monkeypatch):
+    starts = _spy_starts(monkeypatch)
+    prior = initial_layout(problem)
+    expert = problem.see_layout()
+    solve(problem, initial=prior, warm_start=True, method="slsqp",
+          expert_layouts=[expert])
+    assert len(starts) == 2
+    assert starts[1] is expert
+
+
+def test_warm_start_same_seed_same_portfolio(problem):
+    prior = initial_layout(problem)
+    first = solve(problem, initial=prior, warm_start=True, restarts=3,
+                  seed=11, method="slsqp")
+    second = solve(problem, initial=prior, warm_start=True, restarts=3,
+                   seed=11, method="slsqp")
+    assert np.allclose(first.layout.matrix, second.layout.matrix)

@@ -86,3 +86,33 @@ def test_unknown_object_gets_idle_workload():
     placer = _placer()
     target = placer.grow("mystery", units.mib(32))
     assert 0 <= target < 3
+
+
+def test_reoptimize_payoff_closes_the_drift():
+    # Grow "a" while it is the only (cold-ish) object, then make "b"
+    # hot: the incrementally grown layout is stuck with history the
+    # advisor pass is free to undo.
+    placer = _placer()
+    placer.set_workload(ObjectWorkload("a", read_rate=400))
+    placer.grow("a", units.mib(128))
+    placer.set_workload(ObjectWorkload("b", read_rate=400,
+                                       overlap={"a": 1.0}))
+    placer.set_workload(ObjectWorkload("a", read_rate=400,
+                                       overlap={"b": 1.0}))
+    placer.grow("b", units.mib(128))
+
+    current, optimal = placer.drift()
+    outcome = placer.reoptimize(regular=False)
+    payoff = outcome.max_utilization("solver")
+    # The relocation pass recovers (at least) the drift the incremental
+    # placements accumulated, and reproduces drift()'s optimum.
+    assert payoff <= current + 1e-9
+    assert payoff == pytest.approx(optimal, rel=1e-6)
+
+
+def test_reoptimize_regular_flag_controls_regularization():
+    placer = _placer()
+    placer.set_workload(ObjectWorkload("a", read_rate=100, run_count=8))
+    placer.grow("a", units.mib(64))
+    assert placer.reoptimize(regular=False).regular is None
+    assert placer.reoptimize(regular=True).regular is not None

@@ -1,0 +1,302 @@
+"""Tests for the online layout controller."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.core.layout import Layout
+from repro.core.problem import TargetSpec
+from repro.errors import SimulationError
+from repro.models.analytic import analytic_disk_target_model
+from repro.online.controller import ControllerConfig, OnlineController
+from repro.storage.disk import DiskDrive
+from repro.storage.engine import SimulationEngine
+from repro.storage.mapping import PlacementMap
+from repro.storage.request import CompletionRecord
+from repro.storage.streams import SimContext, SteadyStream
+from repro.storage.target import StorageTarget
+from repro.workload.spec import ObjectWorkload
+
+SIZES = {"a": units.mib(64), "b": units.mib(64)}
+
+
+def _targets(n=2, capacity=units.mib(256)):
+    return [
+        TargetSpec("t%d" % j, capacity, analytic_disk_target_model("t%d" % j))
+        for j in range(n)
+    ]
+
+
+def _layout(rows):
+    return Layout(np.array(rows, dtype=float), ["a", "b"], ["t0", "t1"])
+
+
+def _records(obj, rate, t0, t1, kind="read"):
+    n = int(round((t1 - t0) * rate))
+    return [
+        CompletionRecord(
+            submit_time=t0 + (i + 0.5) / rate - 0.001,
+            finish_time=t0 + (i + 0.5) / rate,
+            target="t0", obj=obj, stream_id=1, kind=kind, lba=0,
+            logical_offset=None, size=8192, service_time=0.001,
+        )
+        for i in range(n)
+    ]
+
+
+def _config(**kwargs):
+    defaults = dict(
+        check_interval_s=5.0, monitor_window_s=1.0, monitor_halflife_s=10.0,
+        util_degradation=0.25, divergence_threshold=0.5, patience=2,
+        cooldown_s=20.0, min_gain=0.05, amortization_s=300.0,
+    )
+    defaults.update(kwargs)
+    return ControllerConfig(**defaults)
+
+
+def _controller(initial, solved, ctx=None, config=None):
+    return OnlineController(
+        targets=_targets(), object_sizes=SIZES, initial_layout=initial,
+        solved_workloads=solved, ctx=ctx, config=config or _config(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Replay mode
+# ----------------------------------------------------------------------
+
+def test_replay_drift_triggers_accepted_resolve():
+    # Layout solved when only "a" was active, everything on t0; then
+    # "b" wakes up and hammers t0.
+    controller = _controller(
+        initial=_layout([[1.0, 0.0], [1.0, 0.0]]),
+        solved=[ObjectWorkload("a", read_rate=50), ObjectWorkload("b")],
+    )
+    trace = _records("a", 50.0, 0.0, 120.0) + _records("b", 150.0, 20.0, 120.0)
+    log = controller.replay(trace)
+
+    assert log.of_kind("trigger")
+    accepts = log.of_kind("accept")
+    # At least one re-solve was accepted; the hysteresis/cooldown keeps
+    # the count bounded even while the monitor is still converging.
+    assert 1 <= len(accepts) <= 3
+    assert controller.resolves == len(accepts)
+    migrated = log.of_kind("migrated")
+    assert len(migrated) == len(accepts)
+    assert all(e["virtual"] is True for e in migrated)
+    assert all(e["bytes_moved"] > 0 for e in migrated)
+    # Every accepted layout strictly improved the prediction, and the
+    # final one actually separated the interfering objects.
+    assert all(e["util_after"] < e["util_before"] for e in accepts)
+    assert controller.layout.fraction("b", "t0") < 0.6
+
+
+def test_replay_stable_workload_never_triggers():
+    controller = _controller(
+        initial=_layout([[1.0, 0.0], [0.0, 1.0]]),
+        solved=[ObjectWorkload("a", read_rate=50),
+                ObjectWorkload("b", read_rate=50)],
+    )
+    trace = _records("a", 50.0, 0.0, 60.0) + _records("b", 50.0, 0.0, 60.0)
+    log = controller.replay(trace)
+    assert log.of_kind("check")
+    assert not log.of_kind("trigger")
+    assert controller.resolves == 0
+
+
+def test_replay_uniform_surge_rejected_below_min_gain():
+    # Rates double everywhere: hugely diverged, but the separated
+    # layout is still near-optimal — the re-solve's small predicted
+    # gain falls under min_gain and must be rejected.
+    controller = _controller(
+        initial=_layout([[1.0, 0.0], [0.0, 1.0]]),
+        solved=[ObjectWorkload("a", read_rate=50),
+                ObjectWorkload("b", read_rate=50)],
+        config=_config(divergence_threshold=0.2, min_gain=0.15),
+    )
+    trace = _records("a", 100.0, 0.0, 60.0) + _records("b", 100.0, 0.0, 60.0)
+    log = controller.replay(trace)
+    assert log.of_kind("trigger")
+    rejects = log.of_kind("reject")
+    assert rejects
+    assert all(e["reason"] in ("no-change", "gain-below-threshold")
+               for e in rejects)
+    assert controller.resolves == 0
+    assert controller.layout.fraction("a", "t0") == 1.0
+
+
+def test_replay_cooldown_limits_decision_rate():
+    controller = _controller(
+        initial=_layout([[1.0, 0.0], [0.0, 1.0]]),
+        solved=[ObjectWorkload("a", read_rate=50),
+                ObjectWorkload("b", read_rate=50)],
+        config=_config(divergence_threshold=0.2, cooldown_s=30.0,
+                       min_gain=0.5),
+    )
+    trace = _records("a", 100.0, 0.0, 120.0) + _records("b", 100.0, 0.0, 120.0)
+    log = controller.replay(trace)
+    decisions = log.of_kind("reject") + log.of_kind("accept")
+    times = sorted(e["time"] for e in decisions)
+    assert times, "drift never even triggered"
+    for earlier, later in zip(times, times[1:]):
+        assert later - earlier >= 30.0 - 1e-6
+
+
+def test_max_resolves_limit_holds_instead_of_solving():
+    controller = _controller(
+        initial=_layout([[1.0, 0.0], [1.0, 0.0]]),
+        solved=[ObjectWorkload("a", read_rate=50), ObjectWorkload("b")],
+        config=_config(max_resolves=0),
+    )
+    trace = _records("a", 50.0, 0.0, 60.0) + _records("b", 150.0, 10.0, 60.0)
+    log = controller.replay(trace)
+    assert log.of_kind("limit")
+    assert not log.of_kind("accept")
+    assert controller.resolves == 0
+
+
+def test_stable_objects_are_pinned_in_the_resolve():
+    controller = _controller(
+        initial=_layout([[1.0, 0.0], [1.0, 0.0]]),
+        solved=[ObjectWorkload("a", read_rate=50), ObjectWorkload("b")],
+    )
+    trace = _records("a", 50.0, 0.0, 120.0) + _records("b", 150.0, 20.0, 120.0)
+    log = controller.replay(trace)
+    accept = log.of_kind("accept")[0]
+    # "a" kept its rate, so it was pinned and kept its row.
+    assert accept["pinned"] == 1
+    assert controller.layout.fraction("a", "t0") == pytest.approx(1.0)
+
+
+def test_pinning_dropped_when_everything_drifts():
+    controller = _controller(
+        initial=_layout([[1.0, 0.0], [0.0, 1.0]]),
+        solved=[ObjectWorkload("a", read_rate=50),
+                ObjectWorkload("b", read_rate=50)],
+        config=_config(divergence_threshold=0.2),
+    )
+    fitted = [ObjectWorkload("a", read_rate=100),
+              ObjectWorkload("b", read_rate=100)]
+    pinning, pinned = controller._stable_pinning(fitted)
+    assert pinning is None
+    assert pinned == []
+    # And dropped too when everything is stable: a uniform no-op.
+    pinning, pinned = controller._stable_pinning(controller.solved_workloads)
+    assert pinning is None
+
+
+def test_baseline_event_emitted_at_construction():
+    controller = _controller(
+        initial=_layout([[1.0, 0.0], [0.0, 1.0]]),
+        solved=[ObjectWorkload("a", read_rate=50),
+                ObjectWorkload("b", read_rate=50)],
+    )
+    baseline = controller.log.of_kind("baseline")
+    assert len(baseline) == 1
+    assert baseline[0]["solved_util"] > 0
+
+
+def test_layout_alignment_by_name():
+    scrambled = Layout(
+        np.array([[0.0, 1.0], [1.0, 0.0]]), ["b", "a"], ["t1", "t0"]
+    )
+    controller = _controller(
+        initial=scrambled,
+        solved=[ObjectWorkload("a", read_rate=50),
+                ObjectWorkload("b", read_rate=50)],
+    )
+    assert controller.layout.object_names == ["a", "b"]
+    assert controller.layout.fraction("a", "t0") == 0.0
+    assert controller.layout.fraction("b", "t0") == 1.0
+
+
+def test_start_without_context_rejected():
+    controller = _controller(
+        initial=_layout([[1.0, 0.0], [0.0, 1.0]]),
+        solved=[ObjectWorkload("a", read_rate=50),
+                ObjectWorkload("b", read_rate=50)],
+    )
+    with pytest.raises(SimulationError):
+        controller.start()
+
+
+def test_empty_replay_is_a_noop():
+    controller = _controller(
+        initial=_layout([[1.0, 0.0], [0.0, 1.0]]),
+        solved=[ObjectWorkload("a", read_rate=50),
+                ObjectWorkload("b", read_rate=50)],
+    )
+    log = controller.replay([])
+    assert not log.of_kind("check")
+
+
+# ----------------------------------------------------------------------
+# Live mode
+# ----------------------------------------------------------------------
+
+def test_live_drift_migrates_through_the_simulator():
+    engine = SimulationEngine()
+    capacity = units.mib(256)
+    targets = [
+        StorageTarget(DiskDrive("t%d" % j, capacity), engine)
+        for j in range(2)
+    ]
+    initial = _layout([[1.0, 0.0], [1.0, 0.0]])
+    placement = PlacementMap(SIZES, initial.fractions_by_name(),
+                             [capacity] * 2)
+    ctx = SimContext(engine, placement, targets)
+    controller = OnlineController(
+        targets=_targets(), object_sizes=SIZES, initial_layout=initial,
+        solved_workloads=[ObjectWorkload("a", read_rate=30),
+                          ObjectWorkload("b")],
+        ctx=ctx,
+        config=_config(
+            check_interval_s=2.0, monitor_halflife_s=4.0, patience=2,
+            cooldown_s=10.0, migration_chunk=units.mib(1),
+            migration_pace_s=0.1,
+        ),
+    ).start()
+
+    rng = np.random.default_rng(7)
+    SteadyStream(ctx, "a", rng=rng, think_s=0.03).start()
+
+    def wake_b():
+        for seed in range(3):
+            SteadyStream(ctx, "b", rng=np.random.default_rng(seed),
+                         think_s=0.002).start()
+
+    engine.schedule(10.0, wake_b)
+    engine.run(until=60.0)
+    controller.stop()
+
+    log = controller.log
+    migrated = [e for e in log.of_kind("migrated") if not e["virtual"]]
+    assert controller.resolves >= 1
+    assert migrated, "no real migration happened"
+    assert migrated[0]["bytes_moved"] > 0
+    assert migrated[0]["elapsed_s"] > 0
+    # The placement map now routes "b" to the second disk too.
+    assert 1 in ctx.placement.targets_of("b")
+    # While the copy was in flight, checks stood aside.
+    assert any(e.get("migrating") for e in log.of_kind("check"))
+
+
+def test_stop_detaches_the_monitor():
+    engine = SimulationEngine()
+    capacity = units.mib(256)
+    targets = [StorageTarget(DiskDrive("t%d" % j, capacity), engine)
+               for j in range(2)]
+    initial = _layout([[1.0, 0.0], [0.0, 1.0]])
+    placement = PlacementMap(SIZES, initial.fractions_by_name(),
+                             [capacity] * 2)
+    ctx = SimContext(engine, placement, targets)
+    controller = OnlineController(
+        targets=_targets(), object_sizes=SIZES, initial_layout=initial,
+        solved_workloads=[ObjectWorkload("a", read_rate=30),
+                          ObjectWorkload("b")],
+        ctx=ctx, config=_config(check_interval_s=2.0),
+    ).start()
+    controller.stop()
+    assert not engine.has_completion_observers
+    # Idempotent.
+    controller.stop()

@@ -1,0 +1,142 @@
+"""Tests for the workload-drift detector."""
+
+import pytest
+
+from repro.online.drift import DriftDetector, rate_divergence
+from repro.workload.spec import ObjectWorkload
+
+
+def _w(name, rate):
+    return ObjectWorkload(name, read_rate=rate)
+
+
+def _detector(**kwargs):
+    defaults = dict(util_degradation=0.25, divergence_threshold=0.5,
+                    util_ceiling=0.95, patience=2, cooldown_s=0.0)
+    defaults.update(kwargs)
+    return DriftDetector(**defaults)
+
+
+# ----------------------------------------------------------------------
+# rate_divergence
+# ----------------------------------------------------------------------
+
+def test_divergence_zero_for_identical_rates():
+    specs = [_w("a", 100), _w("b", 50)]
+    assert rate_divergence(specs, specs) == 0.0
+
+
+def test_divergence_one_for_disjoint_sets():
+    assert rate_divergence([_w("a", 100)], [_w("b", 100)]) == 1.0
+
+
+def test_divergence_partial_and_bounded():
+    value = rate_divergence([_w("a", 100), _w("b", 100)],
+                            [_w("a", 100), _w("b", 300)])
+    assert value == pytest.approx(200 / 400)
+    assert 0.0 <= value <= 1.0
+
+
+def test_divergence_empty_is_zero():
+    assert rate_divergence([], []) == 0.0
+    assert rate_divergence([_w("a", 0.0)], []) == 0.0
+
+
+# ----------------------------------------------------------------------
+# Triggers and hysteresis
+# ----------------------------------------------------------------------
+
+def test_utilization_degradation_needs_patience():
+    det = _detector(divergence_threshold=0.99)
+    det.rebase([_w("a", 100)], solved_util=0.4, now=0.0)
+    fitted = [_w("a", 100)]
+    first = det.check(1.0, fitted, predicted_util=0.6)
+    assert not first.fired
+    assert first.reason == "utilization"
+    assert first.streak == 1
+    second = det.check(2.0, fitted, predicted_util=0.6)
+    assert second.fired
+    assert second.reason == "utilization"
+    assert second.streak == 2
+
+
+def test_no_fire_when_within_thresholds():
+    det = _detector()
+    det.rebase([_w("a", 100)], solved_util=0.4, now=0.0)
+    for t in (1.0, 2.0, 3.0):
+        signal = det.check(t, [_w("a", 100)], predicted_util=0.45)
+        assert not signal.fired
+        assert signal.streak == 0
+
+
+def test_ceiling_fires_even_without_relative_degradation():
+    # Solved near saturation already: +25% will never happen, but a
+    # predicted-saturated target is a problem in absolute terms.
+    det = _detector()
+    det.rebase([_w("a", 100)], solved_util=0.90, now=0.0)
+    fitted = [_w("a", 100)]
+    det.check(1.0, fitted, predicted_util=0.96)
+    signal = det.check(2.0, fitted, predicted_util=0.96)
+    assert signal.fired
+    assert signal.reason == "utilization"
+
+
+def test_divergence_fires_without_utilization_change():
+    det = _detector()
+    det.rebase([_w("a", 100), _w("b", 0)], solved_util=0.4, now=0.0)
+    fitted = [_w("a", 0), _w("b", 100)]
+    det.check(1.0, fitted, predicted_util=0.4)
+    signal = det.check(2.0, fitted, predicted_util=0.4)
+    assert signal.fired
+    assert signal.reason == "divergence"
+    assert signal.divergence == pytest.approx(1.0)
+
+
+def test_streak_resets_on_clean_check():
+    det = _detector()
+    det.rebase([_w("a", 100)], solved_util=0.4, now=0.0)
+    det.check(1.0, [_w("a", 100)], predicted_util=0.9)
+    det.check(2.0, [_w("a", 100)], predicted_util=0.41)   # back to normal
+    signal = det.check(3.0, [_w("a", 100)], predicted_util=0.9)
+    assert not signal.fired
+    assert signal.streak == 1
+
+
+def test_cooldown_suppresses_streak_building():
+    det = _detector(cooldown_s=100.0)
+    det.rebase([_w("a", 100)], solved_util=0.4, now=0.0)
+    for t in (10.0, 20.0, 30.0):
+        signal = det.check(t, [_w("a", 100)], predicted_util=0.9)
+        assert not signal.fired
+        assert signal.streak == 0
+    det.check(150.0, [_w("a", 100)], predicted_util=0.9)
+    assert det.check(160.0, [_w("a", 100)], predicted_util=0.9).fired
+
+
+def test_hold_restarts_cooldown_without_rebase():
+    det = _detector(cooldown_s=50.0)
+    det.rebase([_w("a", 100)], solved_util=0.4, now=0.0)
+    assert det.in_cooldown(10.0)
+    assert not det.in_cooldown(60.0)
+    det.hold(60.0)
+    assert det.in_cooldown(100.0)
+    assert det.solved_util == 0.4   # baseline untouched
+
+
+def test_rebase_installs_new_baseline():
+    det = _detector()
+    det.rebase([_w("a", 100)], solved_util=0.4, now=0.0)
+    det.rebase([_w("b", 300)], solved_util=0.7, now=5.0)
+    assert det.solved_util == 0.7
+    signal = det.check(6.0, [_w("b", 300)], predicted_util=0.7)
+    assert signal.divergence == 0.0
+    assert not signal.fired
+
+
+def test_signal_payload_is_json_friendly():
+    det = _detector()
+    det.rebase([_w("a", 100)], solved_util=0.4, now=0.0)
+    payload = det.check(1.0, [_w("a", 100)], 0.45).as_payload()
+    assert set(payload) == {"fired", "reason", "predicted_util",
+                            "solved_util", "divergence", "streak"}
+    assert payload["fired"] is False

@@ -1,0 +1,124 @@
+"""Tests for the throttled migration executor."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.core.layout import Layout
+from repro.core.migration import MigrationPlan, plan_migration
+from repro.errors import SimulationError
+from repro.online.executor import ThrottledMigrator
+from repro.online.monitor import WorkloadMonitor
+from repro.storage.disk import DiskDrive
+from repro.storage.engine import SimulationEngine
+from repro.storage.mapping import PlacementMap
+from repro.storage.streams import SimContext
+from repro.storage.target import StorageTarget
+
+SIZE = units.mib(32)
+
+
+def _ctx():
+    engine = SimulationEngine()
+    targets = [
+        StorageTarget(DiskDrive("t%d" % j, units.mib(256)), engine, trace=[])
+        for j in range(2)
+    ]
+    placement = PlacementMap(
+        {"a": SIZE}, {"a": [1.0, 0.0]}, [units.mib(256)] * 2
+    )
+    return SimContext(engine, placement, targets)
+
+
+def _relocation_plan():
+    current = Layout(np.array([[1.0, 0.0]]), ["a"], ["t0", "t1"])
+    target = Layout(np.array([[0.0, 1.0]]), ["a"], ["t0", "t1"])
+    return plan_migration(current, target, {"a": SIZE})
+
+
+def test_copies_every_byte():
+    ctx = _ctx()
+    done = []
+    migrator = ThrottledMigrator(
+        ctx, _relocation_plan(), chunk=units.mib(1), window=2,
+        on_done=done.append,
+    ).start()
+    ctx.engine.run()
+    assert migrator.finished
+    assert done == [migrator]
+    assert migrator.bytes_moved == SIZE
+    assert migrator.chunks_done == migrator.total_chunks == 32
+    assert migrator.elapsed_s > 0
+
+
+def test_migration_traffic_is_untagged():
+    ctx = _ctx()
+    ThrottledMigrator(ctx, _relocation_plan(), chunk=units.mib(1)).start()
+    ctx.engine.run()
+    records = ctx.targets[0].trace + ctx.targets[1].trace
+    assert records
+    assert all(r.obj is None for r in records)
+    # ... so the workload monitor never sees rebalancing I/O.
+    monitor = WorkloadMonitor()
+    for record in records:
+        monitor.observe(record)
+    assert monitor.observed == 0
+
+
+def test_reads_at_source_writes_at_destination():
+    ctx = _ctx()
+    ThrottledMigrator(ctx, _relocation_plan(), chunk=units.mib(1)).start()
+    ctx.engine.run()
+    assert all(r.kind == "read" for r in ctx.targets[0].trace)
+    assert all(r.kind == "write" for r in ctx.targets[1].trace)
+    assert sum(r.size for r in ctx.targets[1].trace) == SIZE
+
+
+def test_pace_throttles_the_copy():
+    fast_ctx = _ctx()
+    fast = ThrottledMigrator(fast_ctx, _relocation_plan(),
+                             chunk=units.mib(1)).start()
+    fast_ctx.engine.run()
+
+    slow_ctx = _ctx()
+    slow = ThrottledMigrator(slow_ctx, _relocation_plan(),
+                             chunk=units.mib(1), pace_s=0.05).start()
+    slow_ctx.engine.run()
+
+    assert slow.elapsed_s > fast.elapsed_s
+    assert slow.elapsed_s >= (slow.total_chunks - 1) * 0.05
+
+
+def test_chunk_larger_than_move_is_one_chunk():
+    ctx = _ctx()
+    migrator = ThrottledMigrator(ctx, _relocation_plan(),
+                                 chunk=units.mib(256)).start()
+    ctx.engine.run()
+    assert migrator.total_chunks == 1
+    assert migrator.bytes_moved == SIZE
+
+
+def test_empty_plan_finishes_immediately():
+    ctx = _ctx()
+    done = []
+    migrator = ThrottledMigrator(ctx, MigrationPlan(),
+                                 on_done=done.append).start()
+    assert migrator.finished
+    assert done == [migrator]
+    assert migrator.elapsed_s == 0.0
+    assert migrator.bytes_moved == 0
+
+
+def test_invalid_parameters_rejected():
+    ctx = _ctx()
+    with pytest.raises(SimulationError):
+        ThrottledMigrator(ctx, MigrationPlan(), window=0)
+    with pytest.raises(SimulationError):
+        ThrottledMigrator(ctx, MigrationPlan(), chunk=0)
+
+
+def test_double_start_rejected():
+    ctx = _ctx()
+    migrator = ThrottledMigrator(ctx, MigrationPlan()).start()
+    with pytest.raises(SimulationError):
+        migrator.start()

@@ -1,0 +1,158 @@
+"""Tests for the sliding-window workload monitor."""
+
+import pytest
+
+from repro.online.monitor import WorkloadMonitor, replay_into
+from repro.storage.request import CompletionRecord
+
+
+def _rec(t, obj="a", kind="read", size=8192, offset=None, stream=1):
+    return CompletionRecord(
+        submit_time=t - 0.001, finish_time=t, target="t0", obj=obj,
+        stream_id=stream, kind=kind, lba=0, logical_offset=offset,
+        size=size, service_time=0.001,
+    )
+
+
+def _feed(monitor, obj, rate, t0, t1, kind="read", size=8192):
+    n = int(round((t1 - t0) * rate))
+    for i in range(n):
+        monitor.observe(_rec(t0 + (i + 0.5) / rate, obj=obj, kind=kind,
+                             size=size))
+
+
+def test_steady_rate_is_unbiased():
+    monitor = WorkloadMonitor(window_s=1.0, halflife_s=10.0)
+    _feed(monitor, "a", rate=100.0, t0=0.0, t1=60.0)
+    monitor.advance(60.0)
+    spec = monitor.fit("a")
+    assert spec.read_rate == pytest.approx(100.0, rel=1e-6)
+    assert spec.write_rate == 0.0
+    assert spec.read_size == pytest.approx(8192)
+
+
+def test_mixed_kinds_and_sizes():
+    monitor = WorkloadMonitor(window_s=1.0, halflife_s=10.0)
+    records = (
+        [_rec((i + 0.5) / 40.0, kind="read", size=8192)
+         for i in range(40 * 30)]
+        + [_rec((i + 0.5) / 10.0, kind="write", size=4096)
+           for i in range(10 * 30)]
+    )
+    replay_into(monitor, records)
+    monitor.advance(30.0)
+    spec = monitor.fit("a")
+    assert spec.read_rate == pytest.approx(40.0, rel=1e-6)
+    assert spec.write_rate == pytest.approx(10.0, rel=1e-6)
+    assert spec.write_size == pytest.approx(4096)
+
+
+def test_old_phase_decays_away():
+    monitor = WorkloadMonitor(window_s=1.0, halflife_s=10.0)
+    _feed(monitor, "a", rate=50.0, t0=0.0, t1=10.0)
+    monitor.advance(110.0)   # ten half-lives of silence
+    assert monitor.decayed_rate("a") < 0.5
+    assert monitor.fit("a").read_rate < 0.5
+
+
+def test_drift_is_tracked():
+    monitor = WorkloadMonitor(window_s=1.0, halflife_s=5.0)
+    _feed(monitor, "a", rate=200.0, t0=0.0, t1=30.0)
+    _feed(monitor, "a", rate=20.0, t0=30.0, t1=90.0)
+    monitor.advance(90.0)
+    # Several half-lives after the switch the estimate follows the new
+    # phase, not the average of both.
+    assert monitor.fit("a").read_rate == pytest.approx(20.0, rel=0.05)
+
+
+def test_untagged_records_ignored():
+    monitor = WorkloadMonitor()
+    monitor.observe(_rec(1.0, obj=None))
+    assert monitor.observed == 0
+    assert monitor.objects == []
+
+
+def test_run_detection_sequential_vs_random():
+    monitor = WorkloadMonitor(window_s=1.0, halflife_s=10.0)
+    # Four runs of eight contiguous pages.
+    t = 0.0
+    for run in range(4):
+        base = run * 100 * 8192
+        for i in range(8):
+            t += 0.01
+            monitor.observe(_rec(t, obj="seq", offset=base + i * 8192))
+    # Pure random: every offset discontiguous.
+    for i in range(32):
+        monitor.observe(_rec(i * 0.01, obj="rnd", offset=i * 3 * 8192))
+    monitor.advance(10.0)
+    assert monitor.fit("seq").run_count == pytest.approx(8.0)
+    assert monitor.fit("rnd").run_count == pytest.approx(1.0)
+
+
+def test_fit_unobserved_object_is_zero_rate():
+    monitor = WorkloadMonitor()
+    spec = monitor.fit("ghost")
+    assert spec.name == "ghost"
+    assert spec.total_rate == 0.0
+
+
+def test_workloads_cover_requested_catalog():
+    monitor = WorkloadMonitor(window_s=1.0, halflife_s=10.0)
+    _feed(monitor, "a", rate=10.0, t0=0.0, t1=5.0)
+    monitor.advance(5.0)
+    specs = monitor.workloads(["a", "never"])
+    assert [s.name for s in specs] == ["a", "never"]
+    assert specs[0].read_rate > 0
+    assert specs[1].total_rate == 0.0
+
+
+def test_overlap_of_concurrent_objects():
+    monitor = WorkloadMonitor(window_s=1.0, halflife_s=10.0)
+    records = (
+        [_rec((i + 0.5) / 10.0, obj="a") for i in range(100)]
+        + [_rec((i + 0.5) / 10.0, obj="b") for i in range(100)]
+        + [_rec(20.0 + (i + 0.5) / 10.0, obj="c") for i in range(100)]
+    )
+    replay_into(monitor, records)
+    monitor.advance(30.0)
+    assert monitor.overlap("a", "b") == pytest.approx(1.0)
+    assert monitor.overlap("a", "c") == 0.0
+    fitted = monitor.fit("a")
+    assert fitted.overlap.get("b", 0.0) == pytest.approx(1.0)
+    assert "c" not in fitted.overlap
+
+
+def test_replay_into_sorts_out_of_order_records():
+    records = [_rec(t) for t in (5.0, 1.0, 3.0, 2.0, 4.0)]
+    sorted_monitor = replay_into(WorkloadMonitor(window_s=1.0), sorted(
+        records, key=lambda r: r.finish_time))
+    shuffled_monitor = replay_into(WorkloadMonitor(window_s=1.0), records)
+    sorted_monitor.advance(6.0)
+    shuffled_monitor.advance(6.0)
+    assert (shuffled_monitor.fit("a").read_rate
+            == pytest.approx(sorted_monitor.fit("a").read_rate))
+
+
+def test_horizon_is_bounded_by_decay_sum():
+    monitor = WorkloadMonitor(window_s=1.0, halflife_s=10.0)
+    _feed(monitor, "a", rate=10.0, t0=0.0, t1=500.0)
+    monitor.advance(500.0)
+    limit = monitor.window_s / (1.0 - monitor.window_decay)
+    assert monitor.horizon_s <= limit + 1e-9
+    assert monitor.horizon_s == pytest.approx(limit, rel=0.01)
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        WorkloadMonitor(window_s=0.0)
+    with pytest.raises(ValueError):
+        WorkloadMonitor(halflife_s=0.0)
+
+
+def test_snapshot_shape():
+    monitor = WorkloadMonitor(window_s=1.0, halflife_s=10.0)
+    _feed(monitor, "a", rate=10.0, t0=0.0, t1=5.0)
+    monitor.advance(5.0)
+    snap = monitor.snapshot()
+    assert set(snap) == {"a"}
+    assert set(snap["a"]) == {"read_rate", "write_rate", "run_count"}

@@ -90,3 +90,73 @@ def test_zero_delay_event_runs_now(engine):
     engine.schedule(1.0, lambda: engine.schedule(0.0, lambda: None))
     engine.run()
     assert engine.now == 1.0
+
+
+# ----------------------------------------------------------------------
+# Completion observers (the online monitor's attachment point)
+# ----------------------------------------------------------------------
+
+def _request(obj="x", on_complete=None):
+    from repro.storage.request import IORequest
+
+    return IORequest(stream_id=1, kind="read", lba=0, size=8192, obj=obj,
+                     logical_offset=0, on_complete=on_complete)
+
+
+def _target(engine, trace=None):
+    from repro import units
+    from repro.storage.disk import DiskDrive
+    from repro.storage.target import StorageTarget
+
+    return StorageTarget(DiskDrive("d0", units.mib(64)), engine, trace=trace)
+
+
+def test_no_observers_by_default(engine):
+    assert not engine.has_completion_observers
+
+
+def test_observer_sees_completions_without_a_trace(engine):
+    target = _target(engine)        # no trace configured
+    seen = []
+    engine.add_completion_observer(seen.append)
+    target.submit(_request())
+    engine.run()
+    assert len(seen) == 1
+    assert seen[0].obj == "x"
+    assert seen[0].target == "d0"
+
+
+def test_observers_and_trace_see_the_same_record(engine):
+    trace = []
+    target = _target(engine, trace=trace)
+    seen = []
+    engine.add_completion_observer(seen.append)
+    target.submit(_request())
+    engine.run()
+    assert seen == trace
+
+
+def test_multiple_observers_all_notified(engine):
+    target = _target(engine)
+    first, second = [], []
+    engine.add_completion_observer(first.append)
+    engine.add_completion_observer(second.append)
+    target.submit(_request())
+    engine.run()
+    assert len(first) == len(second) == 1
+
+
+def test_removed_observer_stops_seeing(engine):
+    target = _target(engine)
+    seen = []
+    engine.add_completion_observer(seen.append)
+    engine.remove_completion_observer(seen.append)
+    assert not engine.has_completion_observers
+    target.submit(_request())
+    engine.run()
+    assert seen == []
+
+
+def test_remove_unknown_observer_is_a_noop(engine):
+    engine.remove_completion_observer(lambda record: None)
+    assert not engine.has_completion_observers

@@ -80,3 +80,57 @@ def test_target_busy_series_bounded_by_one():
     series = target_busy_series(trace, window_s=1.0)
     assert series["t0"][0][1] == 1.0  # clamped: 1.3 s busy in a 1 s window
     assert series["t1"][1][1] == pytest.approx(0.2)
+
+# ----------------------------------------------------------------------
+# Round-trip property: save_trace / load_trace preserve every field
+# ----------------------------------------------------------------------
+
+from hypothesis import given, settings, strategies as st
+
+_names = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+    min_size=1, max_size=12,
+)
+_times = st.floats(min_value=0.0, max_value=1e6,
+                   allow_nan=False, allow_infinity=False)
+
+_records_strategy = st.builds(
+    CompletionRecord,
+    submit_time=_times,
+    finish_time=_times,
+    target=_names,
+    obj=st.one_of(st.none(), _names),
+    stream_id=st.integers(min_value=0, max_value=1 << 31),
+    kind=st.sampled_from(["read", "write"]),
+    lba=st.integers(min_value=0, max_value=1 << 48),
+    logical_offset=st.one_of(
+        st.none(), st.integers(min_value=0, max_value=1 << 48)
+    ),
+    size=st.integers(min_value=1, max_value=1 << 24),
+    service_time=_times,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(trace=st.lists(_records_strategy, max_size=25))
+def test_round_trip_preserves_all_fields(tmp_path_factory, trace):
+    path = str(tmp_path_factory.mktemp("trace") / "trace.jsonl")
+    save_trace(trace, path)
+    assert load_trace(path) == trace
+
+
+def test_round_trip_empty_trace(tmp_path):
+    path = str(tmp_path / "empty.jsonl")
+    save_trace([], path)
+    assert load_trace(path) == []
+
+
+def test_round_trip_preserves_out_of_order_timestamps(tmp_path):
+    # Persistence is not allowed to reorder: analyzers decide for
+    # themselves whether to sort.
+    trace = [_record(t=5.0), _record(t=1.0), _record(t=3.0)]
+    path = str(tmp_path / "ooo.jsonl")
+    save_trace(trace, path)
+    loaded = load_trace(path)
+    assert loaded == trace
+    assert [r.finish_time for r in loaded] == [5.0, 1.0, 3.0]
