@@ -1,0 +1,201 @@
+"""Solver scaling benchmark: incremental vs full objective evaluation.
+
+Sweeps the number of objects N (the paper's Figure 19 axis) on synthetic
+ring-overlap problems and times the same multi-start coordinate solve
+twice: once against the pre-incremental full-rebuild evaluation path
+(``ObjectiveEvaluator(problem, incremental=False)``) and once against
+the incremental µ_ij cache (plus the parallel restart portfolio when
+more than one CPU is available).  Both paths run the identical search,
+so the wall-clock ratio isolates the evaluation-layer speedup, and the
+two objectives must agree to 1e-9 — the incremental path is a
+performance layer, never a different model.
+
+Writes machine-readable results to ``benchmarks/results/BENCH_solver.json``:
+per-N wall clock, evaluation counts, objective parity, and direct probe
+parity (random candidate rows evaluated through both paths).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_solver_scaling.py \
+        [--sizes 10 20 40 80] [--targets 8] [--restarts 2] [--out FILE]
+
+The module is also pytest-collectable: ``test_solver_scaling_smoke``
+runs a tiny sweep and asserts the parity invariant (the CI smoke job).
+"""
+
+import argparse
+import json
+import os
+import time
+
+import numpy as np
+
+from repro import units
+from repro.core.objective import ObjectiveEvaluator
+from repro.core.problem import LayoutProblem, TargetSpec
+from repro.core.solver import solve
+from repro.models.analytic import analytic_disk_target_model
+from repro.workload.spec import ObjectWorkload
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+DEFAULT_OUT = os.path.join(RESULTS_DIR, "BENCH_solver.json")
+
+#: Parity budget between the incremental and full evaluation paths.
+PARITY_TOL = 1e-9
+
+
+def make_scaling_problem(n_objects, n_targets=8, seed=0):
+    """Synthetic problem with ring overlaps (overlap degree 2 per object)."""
+    rng = np.random.default_rng(seed)
+    names = ["obj%03d" % i for i in range(n_objects)]
+    sizes = {}
+    workloads = []
+    for i, name in enumerate(names):
+        sizes[name] = units.mib(int(rng.integers(20, 120)))
+        overlap = {
+            names[(i - 1) % n_objects]: float(rng.uniform(0.2, 0.8)),
+            names[(i + 1) % n_objects]: float(rng.uniform(0.2, 0.8)),
+        }
+        workloads.append(ObjectWorkload(
+            name,
+            read_rate=float(rng.integers(50, 500)),
+            write_rate=float(rng.integers(0, 120)),
+            run_count=float(rng.integers(1, 64)),
+            overlap=overlap,
+        ))
+    per_target = sum(sizes.values()) / n_targets
+    targets = [
+        TargetSpec("t%d" % j, int(per_target * 2.5),
+                   analytic_disk_target_model("t%d" % j))
+        for j in range(n_targets)
+    ]
+    return LayoutProblem(sizes, targets, workloads)
+
+
+def _timed_solve(problem, evaluator, restarts, workers):
+    started = time.perf_counter()
+    result = solve(problem, method="coordinate", restarts=restarts, seed=0,
+                   evaluator=evaluator, workers=workers)
+    return time.perf_counter() - started, result
+
+
+def _probe_parity(problem, n_probes=32, seed=1):
+    """Max |incremental - full| over random candidate-row evaluations."""
+    rng = np.random.default_rng(seed)
+    n, m = problem.n_objects, problem.n_targets
+    matrix = rng.random((n, m)) + 1e-6
+    matrix /= matrix.sum(axis=1, keepdims=True)
+    fast = ObjectiveEvaluator(problem)
+    full = ObjectiveEvaluator(problem, incremental=False)
+    worst = 0.0
+    for _ in range(n_probes):
+        i = int(rng.integers(n))
+        row = rng.random(m) + 1e-6
+        row /= row.sum()
+        a = fast.utilizations_with_row(matrix, i, row)
+        b = full.utilizations_with_row(matrix, i, row)
+        worst = max(worst, float(np.max(np.abs(a - b))))
+    return worst
+
+
+def run_sweep(sizes, n_targets=8, restarts=2, workers=None):
+    """Run the sweep and return the BENCH_solver payload (not written)."""
+    if workers is None:
+        workers = os.cpu_count() or 1
+    sweep = []
+    for n in sizes:
+        problem = make_scaling_problem(n, n_targets=n_targets)
+
+        full_eval = ObjectiveEvaluator(problem, incremental=False)
+        base_wall, base = _timed_solve(problem, full_eval, restarts,
+                                       workers=1)
+
+        fast_eval = ObjectiveEvaluator(problem)
+        fast_wall, fast = _timed_solve(problem, fast_eval, restarts,
+                                       workers=workers)
+
+        entry = {
+            "n_objects": n,
+            "n_targets": n_targets,
+            "variables": n * n_targets,
+            "baseline": {
+                "wall_s": base_wall,
+                "evaluations": base.evaluations,
+                "objective": base.objective,
+            },
+            "incremental": {
+                "wall_s": fast_wall,
+                "evaluations": fast.evaluations,
+                "full_evaluations": fast_eval.full_evaluations,
+                "incremental_evaluations": fast_eval.incremental_evaluations,
+                "objective": fast.objective,
+            },
+            "speedup": base_wall / fast_wall if fast_wall > 0 else float("inf"),
+            "objective_abs_diff": abs(base.objective - fast.objective),
+            "probe_parity_max_abs": _probe_parity(problem),
+        }
+        sweep.append(entry)
+        print("N=%-4d vars=%-5d  full %.3fs  incremental %.3fs  "
+              "speedup %.2fx  parity %.2e"
+              % (n, entry["variables"], base_wall, fast_wall,
+                 entry["speedup"], max(entry["objective_abs_diff"],
+                                       entry["probe_parity_max_abs"])))
+    return {
+        "benchmark": "solver_scaling",
+        "config": {
+            "method": "coordinate",
+            "restarts": restarts,
+            "workers": workers,
+            "n_targets": n_targets,
+            "parity_tolerance": PARITY_TOL,
+        },
+        "sweep": sweep,
+        "largest_n": sweep[-1]["n_objects"],
+        "largest_n_speedup": sweep[-1]["speedup"],
+    }
+
+
+def check_parity(payload):
+    """Raise AssertionError unless every swept size meets the 1e-9 budget."""
+    for entry in payload["sweep"]:
+        assert entry["objective_abs_diff"] <= PARITY_TOL, entry
+        assert entry["probe_parity_max_abs"] <= PARITY_TOL, entry
+
+
+def test_solver_scaling_smoke(tmp_path):
+    """CI smoke: a tiny sweep still upholds the parity invariant."""
+    payload = run_sweep([6, 10], n_targets=4, restarts=1)
+    check_parity(payload)
+    assert all(e["speedup"] > 0 for e in payload["sweep"])
+    out = tmp_path / "BENCH_solver.json"
+    out.write_text(json.dumps(payload, indent=2))
+    assert json.loads(out.read_text())["benchmark"] == "solver_scaling"
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sizes", type=int, nargs="+",
+                        default=[10, 20, 40, 80],
+                        help="object counts N to sweep")
+    parser.add_argument("--targets", type=int, default=8)
+    parser.add_argument("--restarts", type=int, default=2)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="portfolio processes (default: cpu count)")
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help="output JSON path (default %s)" % DEFAULT_OUT)
+    args = parser.parse_args(argv)
+
+    payload = run_sweep(args.sizes, n_targets=args.targets,
+                        restarts=args.restarts, workers=args.workers)
+    check_parity(payload)
+    os.makedirs(os.path.dirname(args.out), exist_ok=True)
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print("wrote %s (largest-N speedup %.2fx)"
+          % (args.out, payload["largest_n_speedup"]))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

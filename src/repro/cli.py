@@ -127,6 +127,7 @@ def advise(args):
     problem = load_problem(data, calibrate=args.calibrate)
     result = LayoutAdvisor(
         problem, regular=not args.non_regular, restarts=args.restarts,
+        workers=args.workers,
     ).recommend()
 
     if args.json:
@@ -225,6 +226,9 @@ def main(argv=None):
                                help="skip the regularization step")
     advise_parser.add_argument("--restarts", type=int, default=1,
                                help="solver starting points (default 1)")
+    advise_parser.add_argument("--workers", type=int, default=1,
+                               help="processes for the multi-start solver "
+                                    "portfolio (default 1: serial)")
     advise_parser.add_argument("--calibrate", action="store_true",
                                help="calibrate simulated device models "
                                     "instead of using analytic ones")

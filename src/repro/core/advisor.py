@@ -102,16 +102,21 @@ class LayoutAdvisor:
         seed: RNG seed for restart jitter.
         expert_layouts: Optional domain-expert starting layouts, used as
             extra solver restarts (paper §4.1).
+        workers: Process count for the solver's multi-start portfolio;
+            ``1`` (the default) keeps every restart in-process, larger
+            values fan restarts out over a process pool with
+            deterministic per-restart seeds.
     """
 
     def __init__(self, problem, regular=True, restarts=1, method="auto",
-                 seed=0, expert_layouts=()):
+                 seed=0, expert_layouts=(), workers=1):
         self.problem = problem
         self.regular = regular
         self.restarts = restarts
         self.method = method
         self.seed = seed
         self.expert_layouts = tuple(expert_layouts)
+        self.workers = workers
 
     def recommend(self):
         """Run the pipeline and return an :class:`AdvisorResult`."""
@@ -135,6 +140,7 @@ class LayoutAdvisor:
             seed=self.seed,
             evaluator=evaluator,
             expert_layouts=self.expert_layouts,
+            workers=self.workers,
         )
         # Wall time of the whole solve step (all portfolio starts), the
         # quantity the paper's Figure 19 reports — not just the winning

@@ -86,7 +86,7 @@ def solve_anneal(problem, initial, evaluator=None, iterations=3000,
     for i, row in fixed_rows.items():
         matrix[i] = row
 
-    current = evaluator.objective(matrix)
+    current = float(evaluator.utilizations_for(matrix).max())
     best_matrix = matrix.copy()
     best_value = current
 
@@ -101,7 +101,7 @@ def solve_anneal(problem, initial, evaluator=None, iterations=3000,
     assigned = problem.sizes @ matrix
     for _ in range(iterations):
         i = int(rng.choice(movable))
-        utilizations = evaluator.utilizations(matrix)
+        utilizations = evaluator.utilizations_for(matrix)
         row = _neighbour(rng, matrix, i, utilizations, upper[i])
 
         trial_assigned = assigned - problem.sizes[i] * matrix[i] \
@@ -110,21 +110,21 @@ def solve_anneal(problem, initial, evaluator=None, iterations=3000,
             temperature *= cooling
             continue
 
-        old_row = matrix[i].copy()
-        matrix[i] = row
-        value = evaluator.objective(matrix)
+        # Incremental single-row probe: only object i and its
+        # overlap-coupled peers are re-evaluated.
+        value = evaluator.objective_with_row(matrix, i, row)
         accept = value < current or (
             temperature > 0
             and rng.random() < math.exp(-(value - current) / temperature)
         )
         if accept:
+            matrix[i] = row
+            evaluator.commit_row(i, row)
             current = value
             assigned = trial_assigned
             if value < best_value:
                 best_value = value
                 best_matrix = matrix.copy()
-        else:
-            matrix[i] = old_row
         temperature *= cooling
 
     layout = problem.make_layout(best_matrix)

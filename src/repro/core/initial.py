@@ -39,6 +39,14 @@ def initial_layout(problem, rng=None, jitter=0.0):
         problem.object_names, problem.target_names
     )
 
+    # Tie-breaking jitter must be relative to the workload's rate scale:
+    # an absolute perturbation would swamp the real load differences of
+    # low-rate workloads (and could drive load totals negative), turning
+    # perturbed-greedy into a uniformly random assignment.
+    rate_scale = max((w.total_rate for w in problem.workloads), default=0.0)
+    if rate_scale <= 0:
+        rate_scale = 1.0
+
     for i in problem.objects_by_rate():
         if i in fixed_rows:
             matrix[i] = fixed_rows[i]
@@ -54,8 +62,11 @@ def initial_layout(problem, rng=None, jitter=0.0):
             loads = assigned_rate[candidates]
             if jitter > 0 and rng is not None:
                 loads = loads * (1.0 + jitter * rng.standard_normal(len(candidates)))
-                # Jitter may also shuffle exact ties among zero loads.
-                loads = loads + jitter * rng.standard_normal(len(candidates))
+                # Shuffle exact ties (all-zero loads) with noise small
+                # relative to the rate scale, so it breaks ties without
+                # reordering genuinely different load totals.
+                loads = loads + jitter * 1e-3 * rate_scale \
+                    * rng.standard_normal(len(candidates))
             j = candidates[int(np.argmin(loads))]
             matrix[i, j] = 1.0
             remaining[j] -= problem.sizes[i]

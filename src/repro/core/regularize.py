@@ -12,7 +12,9 @@ fractional layout object by object:
 * for each object, 2M candidates are generated — M *consistent* layouts
   (equal shares over the top-k targets in the solver's own weight order,
   ties broken by target id) and M *balancing* layouts (equal shares over
-  the k currently least-utilized targets);
+  the k currently least-utilized targets, utilizations measured with the
+  object's own fractional row removed so its current placement cannot
+  bias the target order);
 * capacity-violating candidates are discarded and the survivor
   minimizing the maximum target utilization wins.
 """
@@ -84,7 +86,7 @@ def regularize(problem, solved_layout, evaluator=None):
     )
 
     matrix = solved_layout.matrix.copy()
-    loads = evaluator.object_loads(matrix)
+    loads = evaluator.object_loads_for(matrix)
     order = list(np.argsort(-loads, kind="stable"))
 
     # Bytes already committed by regularized (and fixed) objects.
@@ -97,33 +99,36 @@ def regularize(problem, solved_layout, evaluator=None):
     for i in order:
         if i in processed:
             continue
-        utilizations = evaluator.utilizations(matrix)
+        # Balancing targets are ranked with object i's own fractional
+        # row removed: ranking by the full utilizations would let the
+        # object's current placement inflate its own targets and push
+        # them to the back of the "least utilized" order.
+        utilizations = evaluator.utilizations_without_row(matrix, i)
         candidates = consistent_candidates(matrix[i], m)
         candidates += balancing_candidates(utilizations, m)
         free = problem.capacities - committed
         candidates += feasibility_candidates(problem.sizes[i], free, m)
 
-        best_row = None
-        best_value = np.inf
-        for row in candidates:
-            if np.any((row > 0) & (upper[i] <= 0)):
-                continue
-            assigned = committed + problem.sizes[i] * row
-            if np.any(assigned > problem.capacities * (1 + 1e-9)):
-                continue
-            old_row = matrix[i].copy()
-            matrix[i] = row
-            value = evaluator.objective(matrix)
-            matrix[i] = old_row
-            if value < best_value - 1e-12:
-                best_value = value
-                best_row = row
-        if best_row is None:
+        feasible = [
+            row for row in candidates
+            if not np.any((row > 0) & (upper[i] <= 0))
+            and not np.any(committed + problem.sizes[i] * row
+                           > problem.capacities * (1 + 1e-9))
+        ]
+        if not feasible:
             raise RegularizationError(
                 "no valid regular candidate for object %s; space constraints "
                 "are too tight" % problem.object_names[i]
             )
+        # All 2M+k surviving candidates in one vectorized pass; ties
+        # within 1e-12 keep the earliest candidate (consistent layouts
+        # are generated before balancing ones).
+        values = evaluator.evaluate_rows(matrix, i, np.array(feasible))
+        best_row = feasible[
+            int(np.argmax(values <= values.min() + 1e-12))
+        ]
         matrix[i] = best_row
+        evaluator.commit_row(i, best_row)
         committed += problem.sizes[i] * best_row
         processed.add(i)
 

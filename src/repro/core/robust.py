@@ -58,6 +58,43 @@ class RobustEvaluator:
         """The max utilization under each scenario separately."""
         return [e.objective(matrix) for e in self.evaluators]
 
+    # -- incremental evaluation: scenario-wise max of the per-scenario
+    #    incremental caches (see ObjectiveEvaluator) -------------------
+
+    def utilizations_with_rows(self, matrix, i, rows):
+        stacked = [
+            e.utilizations_with_rows(matrix, i, rows) for e in self.evaluators
+        ]
+        return np.maximum.reduce(stacked)
+
+    def evaluate_rows(self, matrix, i, rows):
+        self.evaluations += np.atleast_2d(np.asarray(rows)).shape[0]
+        return self.utilizations_with_rows(matrix, i, rows).max(axis=1)
+
+    def utilizations_with_row(self, matrix, i, row):
+        return self.utilizations_with_rows(matrix, i, row)[0]
+
+    def objective_with_row(self, matrix, i, row):
+        return float(self.utilizations_with_row(matrix, i, row).max())
+
+    def utilizations_without_row(self, matrix, i):
+        stacked = [
+            e.utilizations_without_row(matrix, i) for e in self.evaluators
+        ]
+        return np.maximum.reduce(stacked)
+
+    def commit_row(self, i, row):
+        for e in self.evaluators:
+            e.commit_row(i, row)
+
+    def utilizations_for(self, matrix):
+        stacked = [e.utilizations_for(matrix) for e in self.evaluators]
+        return np.maximum.reduce(stacked)
+
+    def object_loads_for(self, matrix):
+        stacked = [e.object_loads_for(matrix) for e in self.evaluators]
+        return np.maximum.reduce(stacked)
+
 
 class RobustProblem(LayoutProblem):
     """A layout problem with several workload scenarios.

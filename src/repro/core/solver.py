@@ -12,8 +12,9 @@ candidates, which the paper's related-work section sketches as the
 randomized-search alternative to an NLP solver.
 """
 
+import pickle
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 from scipy.optimize import minimize
@@ -29,6 +30,10 @@ SLSQP_VARIABLE_LIMIT = 600
 #: Entries below this are snapped to zero after the continuous solve.
 SNAP_THRESHOLD = 1e-4
 
+#: Problems with fewer layout variables than this never use the process
+#: pool: worker startup would dwarf the solve itself.
+PARALLEL_MIN_VARIABLES = 64
+
 
 @dataclass
 class SolveResult:
@@ -43,20 +48,58 @@ class SolveResult:
     success: bool
 
 
+def _renormalize_row(row, upper):
+    """Scale one row to sum one without pushing entries above their caps.
+
+    Dividing the whole row by its sum is only safe when the sum exceeds
+    one (entries shrink) or no entry is near its upper bound; scaling a
+    short row *up* can push a just-clamped entry back over its cap
+    (e.g. ``[0.5, 0.3]`` with caps ``[0.5, 1.0]`` would renormalize to
+    ``[0.625, 0.375]``).  Instead the deficit is spread over the entries
+    with slack — proportionally to their mass, or to their remaining
+    headroom when the slack entries carry no mass — re-clamping and
+    repeating as entries hit their caps.
+    """
+    total = row.sum()
+    if total <= 0:
+        # A fully-zero row can only appear from pathological inputs;
+        # spread it over the allowed targets, headroom-proportionally so
+        # fractional caps are respected whenever the caps admit any
+        # valid row at all.
+        headroom = np.maximum(upper, 0.0)
+        if headroom.sum() <= 0:
+            return row
+        return np.minimum(headroom / headroom.sum(), headroom)
+    scaled = row / total
+    if np.all(scaled <= upper + 1e-12):
+        return scaled
+    row = row.copy()
+    for _ in range(row.size + 1):
+        deficit = 1.0 - row.sum()
+        if deficit <= 1e-12:
+            break
+        free = row < upper - 1e-12
+        if not free.any():
+            # Caps sum to less than one: no valid row exists, return the
+            # clamped best effort and let layout validation flag it.
+            break
+        mass = row[free].sum()
+        if mass > 0:
+            grown = row[free] * (mass + deficit) / mass
+        else:
+            head = upper[free] - row[free]
+            grown = row[free] + deficit * head / head.sum()
+        row[free] = np.minimum(grown, upper[free])
+    return row
+
+
 def _snap(matrix, upper):
     """Zero out dust entries and renormalize rows within pin bounds."""
     matrix = np.where(matrix < SNAP_THRESHOLD, 0.0, matrix)
     matrix = np.minimum(matrix, upper)
-    sums = matrix.sum(axis=1, keepdims=True)
-    degenerate = sums[:, 0] <= 0
-    if degenerate.any():
-        # A fully-zero row can only appear from pathological inputs;
-        # spread it over the allowed targets.
-        for i in np.where(degenerate)[0]:
-            allowed = upper[i] > 0
-            matrix[i, allowed] = 1.0 / allowed.sum()
-        sums = matrix.sum(axis=1, keepdims=True)
-    return matrix / sums
+    for i in range(matrix.shape[0]):
+        matrix[i] = _renormalize_row(matrix[i], upper[i])
+    return matrix
 
 
 def solve_slsqp(problem, initial, evaluator=None, max_iter=150):
@@ -205,30 +248,32 @@ def solve_coordinate(problem, initial, evaluator=None, max_rounds=25):
     for i, row in fixed_rows.items():
         matrix[i] = row
 
-    current = evaluator.objective(matrix)
+    current = float(evaluator.utilizations_for(matrix).max())
     for _ in range(max_rounds):
         improved = False
-        loads = evaluator.object_loads(matrix)
+        loads = evaluator.object_loads_for(matrix)
         order = list(np.argsort(-loads, kind="stable"))
         for i in order:
             if i in fixed_rows:
                 continue
-            utilizations = evaluator.utilizations(matrix)
+            utilizations = evaluator.utilizations_for(matrix)
             other_bytes = problem.sizes @ matrix - problem.sizes[i] * matrix[i]
-            best_row = None
-            for row in _row_candidates(problem, matrix, i, utilizations, upper):
-                assigned = other_bytes + problem.sizes[i] * row
-                if np.any(assigned > problem.capacities * (1 + 1e-9)):
-                    continue
-                old_row = matrix[i].copy()
-                matrix[i] = row
-                value = evaluator.objective(matrix)
-                matrix[i] = old_row
-                if value < current - 1e-9:
-                    current = value
-                    best_row = row
-            if best_row is not None:
-                matrix[i] = best_row
+            candidates = [
+                row
+                for row in _row_candidates(problem, matrix, i, utilizations,
+                                           upper)
+                if not np.any(other_bytes + problem.sizes[i] * row
+                              > problem.capacities * (1 + 1e-9))
+            ]
+            if not candidates:
+                continue
+            # One vectorized incremental pass over every candidate row.
+            values = evaluator.evaluate_rows(matrix, i, np.array(candidates))
+            pick = int(np.argmin(values))
+            if values[pick] < current - 1e-9:
+                matrix[i] = candidates[pick]
+                evaluator.commit_row(i, candidates[pick])
+                current = float(values[pick])
                 improved = True
         if not improved:
             break
@@ -247,9 +292,53 @@ def solve_coordinate(problem, initial, evaluator=None, max_rounds=25):
     )
 
 
+def _portfolio_attempt(problem, start_layout, method, attempt_seed,
+                       max_iter):
+    """Run one restart with its own evaluator (worker-process entry).
+
+    Module-level so :class:`~concurrent.futures.ProcessPoolExecutor`
+    can pickle it; each worker builds a private evaluator because the
+    incremental µ_ij cache cannot be shared across processes.
+    """
+    if method == "slsqp":
+        return solve_slsqp(problem, start_layout, max_iter=max_iter)
+    if method == "anneal":
+        from repro.core.anneal import solve_anneal
+
+        return solve_anneal(problem, start_layout, seed=attempt_seed)
+    return solve_coordinate(problem, start_layout)
+
+
+def _run_portfolio_parallel(problem, starts, method, seed, max_iter,
+                            workers):
+    """Fan the start portfolio out over a process pool.
+
+    Per-restart seeds are assigned deterministically (``seed + attempt``)
+    in the parent, so the result is identical to the serial loop
+    regardless of worker count.  Returns None when the pool cannot be
+    used (unpicklable problem, restricted OS), letting the caller fall
+    back to the serial path; solver errors inside an attempt propagate.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures.process import BrokenProcessPool
+
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(int(workers), len(starts))
+        ) as pool:
+            futures = [
+                pool.submit(_portfolio_attempt, problem, start, method,
+                            seed + attempt, max_iter)
+                for attempt, start in enumerate(starts)
+            ]
+            return [future.result() for future in futures]
+    except (OSError, BrokenProcessPool, pickle.PicklingError):
+        return None
+
+
 def solve(problem, initial=None, method="auto", restarts=1, seed=0,
           evaluator=None, max_iter=150, expert_layouts=(),
-          warm_start=False):
+          warm_start=False, workers=1):
     """Solve the layout NLP, optionally from multiple starting points.
 
     Args:
@@ -279,6 +368,12 @@ def solve(problem, initial=None, method="auto", restarts=1, seed=0,
             Requesting ``restarts > 1`` still adds jittered greedy
             starts — an explicit ask for exploration wins over
             warmness.
+        workers: Process count for the start portfolio.  With
+            ``workers > 1`` the restarts run concurrently in a
+            ``ProcessPoolExecutor`` with deterministic per-restart seeds,
+            so results match the serial path exactly; ``workers=1`` (the
+            default), a single start, or a problem smaller than
+            :data:`PARALLEL_MIN_VARIABLES` layout variables run serially.
 
     Returns:
         The best :class:`SolveResult` across all starting points.
@@ -336,10 +431,24 @@ def solve(problem, initial=None, method="auto", restarts=1, seed=0,
         starts.append(expert)
 
     best = None
-    for attempt, start_layout in enumerate(starts):
-        result = run(start_layout, seed + attempt)
-        if best is None or result.objective < best.objective:
-            best = result
+    use_pool = (
+        workers is not None and workers > 1 and len(starts) > 1
+        and problem.n_objects * problem.n_targets >= PARALLEL_MIN_VARIABLES
+    )
+    if use_pool:
+        results = _run_portfolio_parallel(problem, starts, method, seed,
+                                          max_iter, workers)
+        if results is not None:
+            evaluator.evaluations += sum(r.evaluations for r in results)
+            for result in results:
+                if best is None or result.objective < best.objective:
+                    best = result
+            best = replace(best, evaluations=evaluator.evaluations)
+    if best is None:
+        for attempt, start_layout in enumerate(starts):
+            result = run(start_layout, seed + attempt)
+            if best is None or result.objective < best.objective:
+                best = result
     if best is None:
         raise SolverError("no solve attempt produced a layout")
 

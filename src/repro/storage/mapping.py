@@ -116,19 +116,43 @@ class PlacementMap:
         order = [
             (rotation + j) % self.n_targets for j in range(self.n_targets)
         ]
+        if not any(row[j] > 0.0 for j in order):
+            raise LayoutError("object %s has no positive fraction" % name)
+
+        # Largest-remainder quotas pin each target's total to within one
+        # stripe of row[j] * n_stripes.  (A pure smooth-round-robin deal
+        # can drift up to n_targets - 1 stripes below a target's share,
+        # because credits only sum to zero jointly.)
+        quota = [
+            math.floor(row[j] * n_stripes) if row[j] > 0.0 else 0
+            for j in range(self.n_targets)
+        ]
+        leftover = n_stripes - sum(quota)
+        by_remainder = sorted(
+            (j for j in order if row[j] > 0.0),
+            key=lambda j: -(row[j] * n_stripes - quota[j]),
+        )
+        while leftover > 0:
+            for j in by_remainder:
+                if leftover <= 0:
+                    break
+                quota[j] += 1
+                leftover -= 1
+
+        # Smooth weighted round-robin interleave, constrained to the
+        # quotas so the totals stay exact while consecutive stripes still
+        # spread across targets roughly in proportion.
         credit = [0.0] * self.n_targets
         stripe_targets = []
         per_target_count = [0] * self.n_targets
         for _ in range(n_stripes):
             best = None
             for j in order:
-                if row[j] <= 0.0:
+                if per_target_count[j] >= quota[j]:
                     continue
                 credit[j] += row[j]
                 if best is None or credit[j] > credit[best]:
                     best = j
-            if best is None:
-                raise LayoutError("object %s has no positive fraction" % name)
             credit[best] -= 1.0
             stripe_targets.append(best)
             per_target_count[best] += 1

@@ -98,3 +98,40 @@ def test_zero_jitter_is_deterministic(small_problem):
     a = initial_layout(small_problem)
     b = initial_layout(small_problem)
     assert np.array_equal(a.matrix, b.matrix)
+
+
+def _rate_scaled_problem(scale, n_objects=6, n_targets=3):
+    """Identical problems up to a multiplicative request-rate scale."""
+    rates = [5.0, 4.0, 3.0, 2.0, 1.0, 0.5][:n_objects]
+    sizes = {"o%d" % i: units.mib(40 + 5 * i) for i in range(n_objects)}
+    workloads = [
+        ObjectWorkload("o%d" % i, read_rate=rates[i] * scale, run_count=1.0)
+        for i in range(n_objects)
+    ]
+    targets = [
+        TargetSpec("t%d" % j, units.gib(2),
+                   analytic_disk_target_model("t%d" % j))
+        for j in range(n_targets)
+    ]
+    return LayoutProblem(sizes, targets, workloads)
+
+
+def test_jitter_is_relative_to_rate_scale():
+    """Regression: the tie-break perturbation must scale with the
+    workload's request rates.  An absolute (requests/second) noise term
+    swamps the real load differences of low-rate workloads, turning
+    perturbed-greedy placement into a uniformly random one — the same
+    seed then places a milli-request-scale workload differently from the
+    identically-shaped kilo-request-scale workload."""
+    low = initial_layout(_rate_scaled_problem(1e-3),
+                         rng=np.random.default_rng(7), jitter=0.3)
+    high = initial_layout(_rate_scaled_problem(1e3),
+                          rng=np.random.default_rng(7), jitter=0.3)
+    assert np.allclose(low.matrix, high.matrix)
+
+
+def test_jitter_same_seed_same_layout():
+    problem = _rate_scaled_problem(1.0)
+    first = initial_layout(problem, rng=np.random.default_rng(3), jitter=0.3)
+    second = initial_layout(problem, rng=np.random.default_rng(3), jitter=0.3)
+    assert np.array_equal(first.matrix, second.matrix)

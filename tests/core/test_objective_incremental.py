@@ -1,0 +1,194 @@
+"""Parity tests for the incremental objective-evaluation cache.
+
+Every probe answered from the µ_ij cache must agree with a full (N, M)
+rebuild to well under the solver's 1e-9 comparison tolerance — the
+incremental path is a performance layer, never a different model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.objective import ObjectiveEvaluator
+
+from tests.conftest import make_problem
+
+
+def _random_matrix(rng, n, m):
+    matrix = rng.random((n, m)) + 1e-6
+    return matrix / matrix.sum(axis=1, keepdims=True)
+
+
+def _random_row(rng, m):
+    row = rng.random(m) + 1e-6
+    return row / row.sum()
+
+
+def _full_utilizations_with_row(problem, matrix, i, row):
+    scratch = matrix.copy()
+    scratch[i] = row
+    return ObjectiveEvaluator(problem).utilizations(scratch)
+
+
+@pytest.fixture
+def problem():
+    return make_problem()
+
+
+def test_utilizations_with_row_matches_full(problem):
+    rng = np.random.default_rng(0)
+    n, m = problem.n_objects, problem.n_targets
+    evaluator = problem.evaluator()
+    for trial in range(20):
+        matrix = _random_matrix(rng, n, m)
+        i = int(rng.integers(n))
+        row = _random_row(rng, m)
+        fast = evaluator.utilizations_with_row(matrix, i, row)
+        slow = _full_utilizations_with_row(problem, matrix, i, row)
+        assert np.max(np.abs(fast - slow)) < 1e-9
+
+
+def test_objective_with_row_matches_full(problem):
+    rng = np.random.default_rng(1)
+    n, m = problem.n_objects, problem.n_targets
+    evaluator = problem.evaluator()
+    matrix = _random_matrix(rng, n, m)
+    for i in range(n):
+        row = _random_row(rng, m)
+        fast = evaluator.objective_with_row(matrix, i, row)
+        slow = float(_full_utilizations_with_row(problem, matrix, i, row).max())
+        assert fast == pytest.approx(slow, abs=1e-9)
+
+
+def test_evaluate_rows_batch_matches_full(problem):
+    """The batched pass over K candidate rows equals K full rebuilds."""
+    rng = np.random.default_rng(2)
+    n, m = problem.n_objects, problem.n_targets
+    evaluator = problem.evaluator()
+    matrix = _random_matrix(rng, n, m)
+    i = 1
+    rows = np.stack([_random_row(rng, m) for _ in range(9)])
+    fast = evaluator.evaluate_rows(matrix, i, rows)
+    slow = np.array([
+        float(_full_utilizations_with_row(problem, matrix, i, row).max())
+        for row in rows
+    ])
+    assert fast.shape == (9,)
+    assert np.max(np.abs(fast - slow)) < 1e-9
+
+
+def test_zero_and_degenerate_rows(problem):
+    """Zero rows and single-target rows stay in the model's domain."""
+    rng = np.random.default_rng(3)
+    n, m = problem.n_objects, problem.n_targets
+    evaluator = problem.evaluator()
+    matrix = _random_matrix(rng, n, m)
+    one_hot = np.zeros(m)
+    one_hot[2] = 1.0
+    for row in (np.zeros(m), one_hot):
+        for i in range(n):
+            fast = evaluator.utilizations_with_row(matrix, i, row)
+            slow = _full_utilizations_with_row(problem, matrix, i, row)
+            assert np.max(np.abs(fast - slow)) < 1e-9
+
+
+def test_utilizations_without_row_matches_zeroed_rebuild(problem):
+    rng = np.random.default_rng(4)
+    n, m = problem.n_objects, problem.n_targets
+    evaluator = problem.evaluator()
+    matrix = _random_matrix(rng, n, m)
+    for i in range(n):
+        fast = evaluator.utilizations_without_row(matrix, i)
+        slow = _full_utilizations_with_row(problem, matrix, i, np.zeros(m))
+        assert np.max(np.abs(fast - slow)) < 1e-9
+
+
+def test_commit_row_keeps_cache_exact(problem):
+    """A long random probe/commit walk never drifts from full parity."""
+    rng = np.random.default_rng(5)
+    n, m = problem.n_objects, problem.n_targets
+    evaluator = problem.evaluator()
+    matrix = _random_matrix(rng, n, m)
+    evaluator.bind(matrix)
+    oracle = ObjectiveEvaluator(problem, incremental=False)
+    for step in range(60):
+        i = int(rng.integers(n))
+        row = _random_row(rng, m)
+        matrix[i] = row
+        evaluator.commit_row(i, row)
+        fast = evaluator.utilizations_for(matrix)
+        slow = oracle.utilizations(matrix)
+        assert np.max(np.abs(fast - slow)) < 1e-9, "drift at step %d" % step
+
+
+def test_rebind_on_foreign_matrix(problem):
+    """Probing a matrix that differs from the bound base rebinds."""
+    rng = np.random.default_rng(6)
+    n, m = problem.n_objects, problem.n_targets
+    evaluator = problem.evaluator()
+    first = _random_matrix(rng, n, m)
+    second = _random_matrix(rng, n, m)
+    row = _random_row(rng, m)
+    evaluator.utilizations_with_row(first, 0, row)
+    fast = evaluator.utilizations_with_row(second, 0, row)
+    slow = _full_utilizations_with_row(problem, second, 0, row)
+    assert np.max(np.abs(fast - slow)) < 1e-9
+
+
+def test_probes_avoid_full_rebuilds(problem):
+    rng = np.random.default_rng(7)
+    n, m = problem.n_objects, problem.n_targets
+    evaluator = problem.evaluator()
+    matrix = _random_matrix(rng, n, m)
+    evaluator.bind(matrix)
+    full_before = evaluator.full_evaluations
+    rows = np.stack([_random_row(rng, m) for _ in range(25)])
+    evaluator.evaluate_rows(matrix, 0, rows)
+    assert evaluator.full_evaluations == full_before
+    assert evaluator.incremental_evaluations == 25
+    assert evaluator.evaluations >= 25
+
+
+def test_non_incremental_fallback_matches(problem):
+    rng = np.random.default_rng(8)
+    n, m = problem.n_objects, problem.n_targets
+    fast = ObjectiveEvaluator(problem)
+    slow = ObjectiveEvaluator(problem, incremental=False)
+    matrix = _random_matrix(rng, n, m)
+    rows = np.stack([_random_row(rng, m) for _ in range(5)])
+    assert np.max(np.abs(
+        fast.evaluate_rows(matrix, 2, rows) - slow.evaluate_rows(matrix, 2, rows)
+    )) < 1e-9
+    assert np.max(np.abs(
+        fast.utilizations_for(matrix) - slow.utilizations_for(matrix)
+    )) < 1e-9
+    assert np.max(np.abs(
+        fast.object_loads_for(matrix) - slow.object_loads_for(matrix)
+    )) < 1e-9
+
+
+def test_no_overlap_probe_touches_only_own_row():
+    """Without overlaps a probe has no coupled neighbours, and parity
+    still holds (the delta reduces to object i's own contribution)."""
+    from repro import units
+    from repro.core.problem import LayoutProblem, TargetSpec
+    from repro.models.analytic import analytic_disk_target_model
+    from repro.workload.spec import ObjectWorkload
+
+    workloads = [
+        ObjectWorkload("a", read_rate=200.0, run_count=8.0),
+        ObjectWorkload("b", read_rate=100.0, write_rate=30.0, run_count=2.0),
+    ]
+    targets = [
+        TargetSpec("t%d" % j, units.gib(2), analytic_disk_target_model("t%d" % j))
+        for j in range(3)
+    ]
+    problem = LayoutProblem(
+        {"a": units.mib(200), "b": units.mib(100)}, targets, workloads
+    )
+    rng = np.random.default_rng(9)
+    evaluator = problem.evaluator()
+    matrix = _random_matrix(rng, 2, 3)
+    row = _random_row(rng, 3)
+    fast = evaluator.utilizations_with_row(matrix, 0, row)
+    slow = _full_utilizations_with_row(problem, matrix, 0, row)
+    assert np.max(np.abs(fast - slow)) < 1e-9

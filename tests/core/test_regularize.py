@@ -125,3 +125,58 @@ def test_consistent_candidates_always_regular(row):
         positive = candidate[candidate > 0]
         assert np.allclose(positive, positive[0])
         assert candidate.sum() == pytest.approx(1.0)
+
+
+def test_balancing_order_ignores_own_fractional_row():
+    """Regression: the balancing target order must be ranked with the
+    object's own fractional row removed.  Ranking by the full
+    utilizations lets the object's current placement inflate its own
+    targets and push the genuinely attractive combination out of the
+    candidate set entirely.
+
+    Setup (identical targets, run_count=1, no overlap, so µ_j is exactly
+    proportional to the assigned request rate): fixed background loads
+    are a=300 on t0, b=50 on t1, c=100 on t2, and the object x (rate
+    350) currently sits wholly on t2.
+
+    * Unbiased least-utilized order (x removed): t1(50), t2(100),
+      t0(300) — its 2-target candidate {t1, t2} splits x into 175+175
+      and the worst target becomes t0 at 300.
+    * Biased order (x's 350 counted on t2): t1, t0, t2 — {t1, t2} is
+      never generated, and the best available candidate ({t1} alone,
+      worst target 400) loses a third of the headroom.
+    """
+    from repro.core.pinning import PinningConstraints
+    from repro.core.problem import LayoutProblem, TargetSpec
+    from repro.models.analytic import analytic_disk_target_model
+    from repro.workload.spec import ObjectWorkload
+
+    targets = [
+        TargetSpec("t%d" % j, units.gib(1),
+                   analytic_disk_target_model("t%d" % j))
+        for j in range(3)
+    ]
+    sizes = {name: units.mib(100) for name in ("a", "b", "c", "x")}
+    workloads = [
+        ObjectWorkload("a", read_rate=300.0, run_count=1.0),
+        ObjectWorkload("b", read_rate=50.0, run_count=1.0),
+        ObjectWorkload("c", read_rate=100.0, run_count=1.0),
+        ObjectWorkload("x", read_rate=350.0, run_count=1.0),
+    ]
+    pinning = PinningConstraints(fixed={
+        "a": [1.0, 0.0, 0.0],
+        "b": [0.0, 1.0, 0.0],
+        "c": [0.0, 0.0, 1.0],
+    })
+    problem = LayoutProblem(sizes, targets, workloads, pinning=pinning)
+    solved = Layout(
+        np.array([
+            [1.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0],
+            [0.0, 0.0, 1.0],
+            [0.0, 0.0, 1.0],
+        ]),
+        problem.object_names, problem.target_names,
+    )
+    regular = regularize(problem, solved)
+    assert regular.row("x") == pytest.approx([0.0, 0.5, 0.5])

@@ -7,13 +7,44 @@ from repro import units
 from repro.core.initial import initial_layout
 from repro.core.pinning import PinningConstraints
 from repro.core.solver import (
+    PARALLEL_MIN_VARIABLES,
     SLSQP_VARIABLE_LIMIT,
+    _renormalize_row,
+    _snap,
     solve,
     solve_coordinate,
     solve_slsqp,
 )
 
 from tests.conftest import make_problem
+
+
+def make_wide_problem(n_objects=16, n_targets=4):
+    """A problem with enough layout variables to engage the process pool."""
+    from repro.core.problem import LayoutProblem, TargetSpec
+    from repro.models.analytic import analytic_disk_target_model
+    from repro.workload.spec import ObjectWorkload
+
+    rng = np.random.default_rng(42)
+    sizes = {}
+    workloads = []
+    names = ["obj%02d" % i for i in range(n_objects)]
+    for i, name in enumerate(names):
+        sizes[name] = units.mib(50 + 10 * i)
+        overlap = {names[(i + 1) % n_objects]: 0.5} if i % 2 == 0 else {}
+        workloads.append(ObjectWorkload(
+            name,
+            read_rate=float(rng.integers(50, 400)),
+            write_rate=float(rng.integers(0, 100)),
+            run_count=float(rng.integers(1, 32)),
+            overlap=overlap,
+        ))
+    targets = [
+        TargetSpec("t%d" % j, units.gib(8),
+                   analytic_disk_target_model("t%d" % j))
+        for j in range(n_targets)
+    ]
+    return LayoutProblem(sizes, targets, workloads)
 
 
 @pytest.fixture
@@ -214,3 +245,109 @@ def test_warm_start_same_seed_same_portfolio(problem):
     second = solve(problem, initial=prior, warm_start=True, restarts=3,
                    seed=11, method="slsqp")
     assert np.allclose(first.layout.matrix, second.layout.matrix)
+
+
+# ----------------------------------------------------------------------
+# Row renormalization within pinning caps (_snap)
+# ----------------------------------------------------------------------
+
+def test_renormalize_respects_fractional_caps():
+    """Regression: dividing a short row by its sum can push an entry
+    back over a cap it was just clamped to."""
+    row = np.array([0.5, 0.3])
+    upper = np.array([0.5, 1.0])
+    fixed = _renormalize_row(row, upper)
+    assert fixed.sum() == pytest.approx(1.0)
+    assert np.all(fixed <= upper + 1e-12)
+    assert fixed == pytest.approx([0.5, 0.5])
+
+
+def test_renormalize_scaling_down_unchanged():
+    row = np.array([0.8, 0.8])
+    fixed = _renormalize_row(row, np.array([1.0, 1.0]))
+    assert fixed == pytest.approx([0.5, 0.5])
+
+
+def test_renormalize_cascading_caps():
+    """Growing the slack entries can push another entry to its cap; the
+    deficit must keep flowing to whatever slack remains."""
+    row = np.array([0.4, 0.29, 0.01])
+    upper = np.array([0.4, 0.3, 1.0])
+    fixed = _renormalize_row(row, upper)
+    assert fixed.sum() == pytest.approx(1.0)
+    assert np.all(fixed <= upper + 1e-12)
+    assert fixed == pytest.approx([0.4, 0.3, 0.3])
+
+
+def test_renormalize_zero_mass_slack():
+    """When all row mass sits on capped entries, the deficit spreads
+    over zero-mass slack entries headroom-proportionally."""
+    row = np.array([0.5, 0.0, 0.0])
+    upper = np.array([0.5, 0.3, 1.0])
+    fixed = _renormalize_row(row, upper)
+    assert fixed.sum() == pytest.approx(1.0)
+    assert np.all(fixed <= upper + 1e-12)
+    assert fixed[0] == pytest.approx(0.5)
+
+
+def test_renormalize_zero_row():
+    fixed = _renormalize_row(np.zeros(3), np.array([0.2, 0.5, 1.0]))
+    assert fixed.sum() == pytest.approx(1.0)
+    assert np.all(fixed <= np.array([0.2, 0.5, 1.0]) + 1e-12)
+
+
+def test_snap_rows_sum_to_one_within_caps():
+    rng = np.random.default_rng(0)
+    matrix = rng.random((6, 4))
+    matrix[0, 0] = 1e-5     # dust entry below SNAP_THRESHOLD gets zeroed
+    upper = np.clip(rng.random((6, 4)) + 0.4, 0.0, 1.0)
+    snapped = _snap(matrix, upper)
+    assert np.allclose(snapped.sum(axis=1), 1.0)
+    assert np.all(snapped <= upper + 1e-9)
+    assert snapped[0, 0] == 0.0 or upper[0, 0] == 0.0
+
+
+# ----------------------------------------------------------------------
+# Parallel multi-start portfolio
+# ----------------------------------------------------------------------
+
+def test_parallel_portfolio_matches_serial():
+    """workers > 1 fans restarts over a process pool with deterministic
+    per-restart seeds, so the result is identical to the serial path."""
+    wide = make_wide_problem()
+    assert wide.n_objects * wide.n_targets >= PARALLEL_MIN_VARIABLES
+    serial = solve(wide, method="coordinate", restarts=2, seed=7, workers=1)
+    pooled = solve(wide, method="coordinate", restarts=2, seed=7, workers=2)
+    assert pooled.objective == pytest.approx(serial.objective, abs=1e-12)
+    assert np.allclose(pooled.layout.matrix, serial.layout.matrix)
+
+
+def test_tiny_problem_skips_pool(problem, monkeypatch):
+    """Below PARALLEL_MIN_VARIABLES the pool is never engaged."""
+    import repro.core.solver as solver_module
+
+    def boom(*args, **kwargs):
+        raise AssertionError("pool used for a tiny problem")
+
+    monkeypatch.setattr(solver_module, "_run_portfolio_parallel", boom)
+    assert problem.n_objects * problem.n_targets < PARALLEL_MIN_VARIABLES
+    result = solve(problem, method="coordinate", restarts=2, workers=4)
+    assert result.success
+
+
+def test_pool_failure_falls_back_to_serial(monkeypatch):
+    """A pool that cannot start must not lose the solve."""
+    import repro.core.solver as solver_module
+
+    calls = []
+
+    def broken(*args, **kwargs):
+        calls.append(1)
+        return None
+
+    monkeypatch.setattr(solver_module, "_run_portfolio_parallel", broken)
+    wide = make_wide_problem()
+    result = solve(wide, method="coordinate", restarts=2, seed=7, workers=2)
+    assert calls, "pool path was not attempted"
+    serial = solve(wide, method="coordinate", restarts=2, seed=7, workers=1)
+    assert result.objective == pytest.approx(serial.objective, abs=1e-12)

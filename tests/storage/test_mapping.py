@@ -140,6 +140,25 @@ def test_weighted_round_robin_matches_fractions(weights, n_stripes):
         assert abs(actual - expected) <= 1.0
 
 
+def test_skewed_weights_stay_within_one_stripe():
+    """Regression: a smooth round-robin deal without quotas drifts more
+    than one stripe below a target's share for skewed weight vectors."""
+    weights = [0.875, 0.875, 0.25, 0.0078125, 0.0078125]
+    total = sum(weights)
+    fractions = [w / total for w in weights]
+    n_stripes = 120
+    pmap = PlacementMap(
+        {"obj": n_stripes * MIB},
+        {"obj": fractions},
+        [n_stripes * MIB * 2] * len(fractions),
+        stripe_size=MIB,
+    )
+    for j, fraction in enumerate(fractions):
+        expected = fraction * n_stripes
+        actual = pmap.bytes_on_target("obj", j) / MIB
+        assert abs(actual - expected) <= 1.0
+
+
 @settings(max_examples=60, deadline=None)
 @given(
     n_stripes=st.integers(1, 100),

@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import example, given, settings, strategies as st
 
 from repro import units
 from repro.workload.layout_model import (
@@ -124,3 +124,42 @@ def test_overlap_matrix_zero_diagonal():
     assert matrix[1, 1] == 0.0
     assert matrix[0, 1] == 0.5
     assert matrix[1, 0] == 0.7
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    q=st.floats(1.0, 5000.0),
+    read_size=st.sampled_from([512, 4096, 8192, 65536]),
+    read_rate=st.floats(1.0, 1000.0),
+    write_rate=st.floats(0.0, 500.0),
+    row=st.lists(st.floats(0.0, 1.0), min_size=2, max_size=4),
+    stripe=st.sampled_from([units.kib(64), units.mib(1), units.mib(4)]),
+)
+@example(q=128.0, read_size=8192, read_rate=10.0, write_rate=0.0,
+         row=[1.0, 0.0], stripe=units.mib(1))     # boundary: Q·B == Stripe
+@example(q=256.0, read_size=8192, read_rate=10.0, write_rate=0.0,
+         row=[0.5, 0.5], stripe=units.mib(1))     # boundary: Q·B == Stripe/L
+def test_scalar_reference_matches_vectorized_everywhere(
+        q, read_size, read_rate, write_rate, row, stripe):
+    """Property: the readable scalar reference (per_target_workload) and
+    the solver's vectorized transforms agree on every target, for every
+    stripe size, including both Figure-7 case boundaries."""
+    spec = ObjectWorkload(
+        "o", read_size=read_size, write_size=read_size,
+        read_rate=read_rate, write_rate=write_rate, run_count=q,
+    )
+    layout = np.array([row])
+    run_counts = per_target_run_counts(
+        [spec.run_count], [spec.mean_size], layout, stripe
+    )
+    read_rates = per_target_rates([spec.read_rate], layout)
+    write_rates = per_target_rates([spec.write_rate], layout)
+    for j in range(len(row)):
+        scalar = per_target_workload(spec, row, j, stripe_size=stripe)
+        vec_q = max(run_counts[0, j], 1.0)
+        scalar_q = max(scalar.run_count, 1.0)
+        assert scalar_q == pytest.approx(vec_q, rel=1e-12, abs=1e-12)
+        assert scalar.read_rate == pytest.approx(read_rates[0, j],
+                                                 rel=1e-12, abs=1e-12)
+        assert scalar.write_rate == pytest.approx(write_rates[0, j],
+                                                  rel=1e-12, abs=1e-12)
