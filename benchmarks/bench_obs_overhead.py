@@ -1,0 +1,203 @@
+"""Instrumentation overhead benchmark: the disabled path must be free.
+
+The observability layer (:mod:`repro.obs`) is opt-in: every hot path
+takes an ``obs`` bundle that defaults to the shared no-op
+``NULL_INSTRUMENTATION``, so a solve that never asked for tracing pays
+only a handful of attribute checks and no-op method calls.  This
+benchmark makes that contract measurable and regression-testable:
+
+* **disabled** — ``solve(...)`` with no ``obs`` argument, i.e. exactly
+  what every pre-existing caller runs.  Compared against the solver
+  wall-clock recorded in ``benchmarks/results/BENCH_solver.json``
+  (or an in-job regenerated baseline in CI) with a 2 % budget plus an
+  absolute noise floor, because sub-second timings on shared runners
+  jitter more than 2 % on their own.
+* **enabled** — the same solve under ``Instrumentation.on()`` with
+  spans, convergence series, and evaluator counters live.  Reported
+  (not bounded): tracing is allowed to cost, it just has to be paid
+  only by callers who asked for it.
+
+Instrumentation must never change results: the disabled and enabled
+runs share a seed and their objectives must agree bit-for-bit.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py \
+        [--n 10] [--targets 8] [--restarts 2] [--repeats 5] \
+        [--baseline benchmarks/results/BENCH_solver.json] [--out FILE]
+
+Pytest-collectable: ``test_obs_overhead_smoke`` runs a tiny config and
+asserts the objective-parity invariant (the CI smoke job additionally
+runs the CLI with ``--baseline`` against an in-job baseline).
+"""
+
+import argparse
+import json
+import os
+import time
+
+try:
+    from benchmarks.bench_solver_scaling import make_scaling_problem
+except ImportError:          # run directly: benchmarks/ is sys.path[0]
+    from bench_solver_scaling import make_scaling_problem
+
+from repro.core.solver import solve
+from repro.obs import Instrumentation
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+DEFAULT_OUT = os.path.join(RESULTS_DIR, "BENCH_obs_overhead.json")
+DEFAULT_BASELINE = os.path.join(RESULTS_DIR, "BENCH_solver.json")
+
+#: Relative overhead budget for the disabled path vs the baseline.
+OVERHEAD_BUDGET = 0.02
+#: Absolute wall-clock slack: two runs of a sub-second solve differ by
+#: more than 2 % from scheduler noise alone, even on the same machine.
+NOISE_FLOOR_S = 0.05
+
+
+def _timed_solve(problem, restarts, seed=0, obs=None):
+    evaluator = problem.evaluator(
+        metrics=obs.metrics if obs is not None else None
+    )
+    started = time.perf_counter()
+    result = solve(problem, method="coordinate", restarts=restarts,
+                   seed=seed, evaluator=evaluator, workers=1, obs=obs)
+    return time.perf_counter() - started, result
+
+
+def measure(n_objects=10, n_targets=8, restarts=2, repeats=5):
+    """Best-of-``repeats`` disabled and enabled solve timings.
+
+    Runs are interleaved (disabled, enabled, disabled, ...) so slow
+    drift in machine load hits both paths alike; best-of filters the
+    remaining one-sided noise.
+    """
+    problem = make_scaling_problem(n_objects, n_targets=n_targets)
+    disabled_walls, enabled_walls = [], []
+    disabled_objective = enabled_objective = None
+    spans = metrics = 0
+    for _ in range(repeats):
+        wall, result = _timed_solve(problem, restarts)
+        disabled_walls.append(wall)
+        disabled_objective = result.objective
+
+        obs = Instrumentation.on()
+        wall, result = _timed_solve(problem, restarts, obs=obs)
+        enabled_walls.append(wall)
+        enabled_objective = result.objective
+        spans = len(obs.tracer.spans)
+        metrics = sum(1 for _ in obs.metrics)
+
+    disabled = min(disabled_walls)
+    enabled = min(enabled_walls)
+    return {
+        "benchmark": "obs_overhead",
+        "config": {
+            "method": "coordinate",
+            "n_objects": n_objects,
+            "n_targets": n_targets,
+            "restarts": restarts,
+            "repeats": repeats,
+            "workers": 1,
+            "overhead_budget": OVERHEAD_BUDGET,
+            "noise_floor_s": NOISE_FLOOR_S,
+        },
+        "disabled_wall_s": disabled,
+        "enabled_wall_s": enabled,
+        "enabled_overhead": (enabled - disabled) / disabled
+        if disabled > 0 else float("inf"),
+        "objective_disabled": disabled_objective,
+        "objective_enabled": enabled_objective,
+        "enabled_spans": spans,
+        "enabled_metrics": metrics,
+    }
+
+
+def check_objective_parity(payload):
+    """Instrumentation must not change what the solver computes."""
+    assert payload["objective_disabled"] == payload["objective_enabled"], (
+        "instrumentation changed the solve: objective %r (disabled) "
+        "vs %r (enabled)"
+        % (payload["objective_disabled"], payload["objective_enabled"])
+    )
+
+
+def check_disabled_overhead(payload, baseline_payload):
+    """Assert the disabled path stays within budget of a solver baseline.
+
+    ``baseline_payload`` is a ``BENCH_solver.json``-shaped dict; the
+    sweep entry matching this measurement's ``n_objects`` supplies the
+    pre-instrumentation incremental wall clock.  The budget is
+    ``max(OVERHEAD_BUDGET * baseline, NOISE_FLOOR_S)``.
+    """
+    n = payload["config"]["n_objects"]
+    entry = next(
+        (e for e in baseline_payload["sweep"] if e["n_objects"] == n), None
+    )
+    assert entry is not None, (
+        "baseline has no sweep entry for n_objects=%d" % n
+    )
+    base = entry["incremental"]["wall_s"]
+    budget = max(OVERHEAD_BUDGET * base, NOISE_FLOOR_S)
+    measured = payload["disabled_wall_s"]
+    assert measured <= base + budget, (
+        "disabled-path solve took %.4fs vs baseline %.4fs "
+        "(budget %.4fs): instrumentation is taxing callers who "
+        "never asked for it" % (measured, base, budget)
+    )
+    return {"baseline_wall_s": base, "budget_s": budget,
+            "measured_wall_s": measured}
+
+
+def test_obs_overhead_smoke():
+    """CI smoke: instrumentation changes nothing and the null path runs."""
+    payload = measure(n_objects=6, n_targets=4, restarts=1, repeats=2)
+    check_objective_parity(payload)
+    assert payload["disabled_wall_s"] > 0
+    assert payload["enabled_spans"] > 0
+    assert payload["enabled_metrics"] > 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=10,
+                        help="object count (must exist in the baseline "
+                             "sweep when --baseline is used)")
+    parser.add_argument("--targets", type=int, default=8)
+    parser.add_argument("--restarts", type=int, default=2)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--baseline", default=None,
+                        help="BENCH_solver.json to assert the disabled "
+                             "path against (default: no assertion; pass "
+                             "%s for the stored one)" % DEFAULT_BASELINE)
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help="output JSON path (default %s)" % DEFAULT_OUT)
+    args = parser.parse_args(argv)
+
+    payload = measure(n_objects=args.n, n_targets=args.targets,
+                      restarts=args.restarts, repeats=args.repeats)
+    check_objective_parity(payload)
+    print("disabled %.4fs  enabled %.4fs  (+%.1f%%, %d spans, %d metrics)"
+          % (payload["disabled_wall_s"], payload["enabled_wall_s"],
+             100.0 * payload["enabled_overhead"],
+             payload["enabled_spans"], payload["enabled_metrics"]))
+
+    if args.baseline:
+        with open(args.baseline) as handle:
+            comparison = check_disabled_overhead(payload, json.load(handle))
+        payload["baseline_comparison"] = comparison
+        print("disabled path within budget: %.4fs vs baseline %.4fs "
+              "(+%.4fs allowed)"
+              % (comparison["measured_wall_s"],
+                 comparison["baseline_wall_s"], comparison["budget_s"]))
+
+    os.makedirs(os.path.dirname(args.out), exist_ok=True)
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print("wrote %s" % args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,7 +17,13 @@ parity (random candidate rows evaluated through both paths).
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_solver_scaling.py \
-        [--sizes 10 20 40 80] [--targets 8] [--restarts 2] [--out FILE]
+        [--sizes 10 20 40 80] [--targets 8] [--restarts 2] [--out FILE] \
+        [--trace FILE]
+
+``--trace`` additionally runs one fully instrumented solve of the
+largest swept size (outside the timed loop, so the recorded wall
+clocks stay clean) and writes the span/metric trace to the given JSONL
+path — render it with ``python -m repro.cli report FILE``.
 
 The module is also pytest-collectable: ``test_solver_scaling_smoke``
 runs a tiny sweep and asserts the parity invariant (the CI smoke job).
@@ -162,6 +168,31 @@ def check_parity(payload):
         assert entry["probe_parity_max_abs"] <= PARITY_TOL, entry
 
 
+def write_traced_solve(path, n_objects, n_targets=8, restarts=2):
+    """One instrumented solve of the benchmark problem, dumped as JSONL.
+
+    Runs outside :func:`run_sweep` so tracing never pollutes the timed
+    measurements; the trace is the artifact CI uploads for inspection
+    with ``python -m repro.cli report``.
+    """
+    from repro.obs import Instrumentation
+    from repro.obs.export import write_trace
+
+    problem = make_scaling_problem(n_objects, n_targets=n_targets)
+    obs = Instrumentation.on()
+    evaluator = problem.evaluator(metrics=obs.metrics)
+    result = solve(problem, method="coordinate", restarts=restarts, seed=0,
+                   evaluator=evaluator, workers=1, obs=obs)
+    write_trace(path, obs, meta={
+        "command": "bench_solver_scaling",
+        "n_objects": n_objects,
+        "n_targets": n_targets,
+        "restarts": restarts,
+        "objective": result.objective,
+    })
+    return result
+
+
 def test_solver_scaling_smoke(tmp_path):
     """CI smoke: a tiny sweep still upholds the parity invariant."""
     payload = run_sweep([6, 10], n_targets=4, restarts=1)
@@ -183,11 +214,20 @@ def main(argv=None):
                         help="portfolio processes (default: cpu count)")
     parser.add_argument("--out", default=DEFAULT_OUT,
                         help="output JSON path (default %s)" % DEFAULT_OUT)
+    parser.add_argument("--trace", default=None,
+                        help="also write an instrumented-solve JSONL "
+                             "trace of the largest size (untimed)")
     args = parser.parse_args(argv)
 
     payload = run_sweep(args.sizes, n_targets=args.targets,
                         restarts=args.restarts, workers=args.workers)
     check_parity(payload)
+    if args.trace:
+        traced = write_traced_solve(args.trace, max(args.sizes),
+                                    n_targets=args.targets,
+                                    restarts=args.restarts)
+        print("wrote %s (instrumented solve, objective %.6f)"
+              % (args.trace, traced.objective))
     os.makedirs(os.path.dirname(args.out), exist_ok=True)
     with open(args.out, "w") as handle:
         json.dump(payload, handle, indent=2)

@@ -29,9 +29,11 @@ build measured cost models from the simulator instead.
 Usage::
 
     python -m repro.cli advise problem.json [--non-regular] [--restarts N]
+        [--trace out.jsonl]
     python -m repro.cli monitor trace.jsonl [--window W] [--halflife H]
     python -m repro.cli replay-online problem.json trace.jsonl
-        [--interval S] [--events out.jsonl]
+        [--interval S] [--events out.jsonl] [--metrics out.jsonl|out.prom]
+    python -m repro.cli report out.jsonl [--tree]
 
 ``advise`` is the paper's one-shot offline tool.  ``monitor`` fits
 sliding-window workload estimates from an archived completion trace
@@ -40,6 +42,15 @@ sliding-window workload estimates from an archived completion trace
 current layout was solved for, replays the trace through the online
 controller (monitor → drift detection → warm-started re-solve →
 virtual migration), and reports every decision.
+
+Observability: ``advise --trace PATH`` records the full pipeline —
+stage/restart/round spans, evaluator cache counters, per-restart
+convergence series — into one JSONL trace file;
+``replay-online --metrics PATH`` does the same for the online loop plus
+per-target latency/byte metrics rebuilt from the trace (a ``.prom``
+extension selects Prometheus text exposition instead); ``report``
+renders a saved trace as a stage-time / cache-efficiency / convergence
+table.
 """
 
 import argparse
@@ -121,14 +132,41 @@ def load_problem(data, calibrate=False):
     )
 
 
+def _build_obs(path):
+    """Instrumentation bundle for an output path (None → disabled)."""
+    if not path:
+        return None
+    from repro.obs import Instrumentation
+
+    return Instrumentation.on()
+
+
+def _write_obs(path, obs, meta):
+    """Write an instrumentation bundle as JSONL trace or Prometheus text."""
+    from repro.obs.export import write_prometheus, write_trace
+
+    if path.endswith(".prom"):
+        write_prometheus(path, obs.metrics)
+    else:
+        write_trace(path, obs, meta=meta)
+
+
 def advise(args):
     with open(args.problem) as handle:
         data = json.load(handle)
     problem = load_problem(data, calibrate=args.calibrate)
+    obs = _build_obs(args.trace)
     result = LayoutAdvisor(
         problem, regular=not args.non_regular, restarts=args.restarts,
-        workers=args.workers,
+        workers=args.workers, obs=obs,
     ).recommend()
+    if obs is not None:
+        _write_obs(args.trace, obs, meta={
+            "command": "advise",
+            "problem": args.problem,
+            "restarts": args.restarts,
+            "regular": not args.non_regular,
+        })
 
     if args.json:
         print(json.dumps(result.to_payload(), indent=2))
@@ -137,6 +175,10 @@ def advise(args):
         print()
         for stage, values in result.utilizations.items():
             print("max utilization after %-8s %.4f" % (stage, values.max()))
+        if obs is not None:
+            print()
+            print("trace written to %s (%d spans)"
+                  % (args.trace, len(obs.tracer.spans)))
     return 0
 
 
@@ -174,7 +216,10 @@ def replay_online(args):
     with open(args.problem) as handle:
         data = json.load(handle)
     problem = load_problem(data, calibrate=args.calibrate)
-    advised = LayoutAdvisor(problem, regular=not args.non_regular).recommend()
+    obs = _build_obs(args.metrics)
+    advised = LayoutAdvisor(
+        problem, regular=not args.non_regular, obs=obs,
+    ).recommend()
 
     config = ControllerConfig(
         check_interval_s=args.interval,
@@ -193,8 +238,23 @@ def replay_online(args):
         solved_workloads=problem.workloads,
         stripe_size=problem.stripe_size,
         config=config,
+        obs=obs,
     )
-    log = controller.replay(load_trace(args.trace))
+    trace = load_trace(args.trace)
+    log = controller.replay(trace)
+    if obs is not None:
+        from repro.obs.sim import SimMetricsCollector
+
+        collector = SimMetricsCollector(obs.metrics)
+        collector.consume(trace)
+        elapsed = max((r.finish_time for r in trace), default=None)
+        collector.finalize(elapsed=elapsed)
+        _write_obs(args.metrics, obs, meta={
+            "command": "replay-online",
+            "problem": args.problem,
+            "trace": args.trace,
+            "records": len(trace),
+        })
     if args.events:
         log.to_jsonl(args.events)
     if args.json:
@@ -209,6 +269,18 @@ def replay_online(args):
         print()
         print("final layout:")
         print(controller.layout.describe())
+        if obs is not None:
+            print()
+            print("metrics written to %s" % args.metrics)
+    return 0
+
+
+def report(args):
+    from repro.obs.export import read_trace
+    from repro.obs.report import render_report
+
+    trace = read_trace(args.trace)
+    print(render_report(trace, tree=args.tree, max_depth=args.max_depth))
     return 0
 
 
@@ -234,6 +306,11 @@ def main(argv=None):
                                     "instead of using analytic ones")
     advise_parser.add_argument("--json", action="store_true",
                                help="emit machine-readable JSON")
+    advise_parser.add_argument("--trace",
+                               help="record pipeline spans, solver "
+                                    "convergence, and evaluator metrics "
+                                    "into this JSONL trace (or .prom for "
+                                    "Prometheus text)")
     advise_parser.set_defaults(func=advise)
 
     monitor_parser = subparsers.add_parser(
@@ -278,7 +355,25 @@ def main(argv=None):
                                     "instead of using analytic ones")
     replay_parser.add_argument("--json", action="store_true",
                                help="emit machine-readable JSON")
+    replay_parser.add_argument("--metrics",
+                               help="record controller events, re-solve "
+                                    "spans, and per-target simulator "
+                                    "metrics into this JSONL trace (or "
+                                    ".prom for Prometheus text)")
     replay_parser.set_defaults(func=replay_online)
+
+    report_parser = subparsers.add_parser(
+        "report", help="render a saved instrumentation trace as a "
+                       "stage-time / cache-efficiency / convergence report"
+    )
+    report_parser.add_argument("trace", help="trace JSONL written by "
+                                             "advise --trace or "
+                                             "replay-online --metrics")
+    report_parser.add_argument("--tree", action="store_true",
+                               help="also render the span tree")
+    report_parser.add_argument("--max-depth", type=int, default=3,
+                               help="span tree depth limit (default 3)")
+    report_parser.set_defaults(func=report)
 
     args = parser.parse_args(argv)
     try:

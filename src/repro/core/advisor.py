@@ -18,6 +18,7 @@ from repro.core.initial import initial_layout
 from repro.core.layout import Layout
 from repro.core.regularize import regularize
 from repro.core.solver import solve
+from repro.obs import ensure_obs
 
 
 @dataclass
@@ -106,10 +107,17 @@ class LayoutAdvisor:
             ``1`` (the default) keeps every restart in-process, larger
             values fan restarts out over a process pool with
             deterministic per-restart seeds.
+        obs: Optional :class:`~repro.obs.Instrumentation`.  When given,
+            the run is wrapped in an ``advise`` root span with
+            ``advise.initial`` / ``advise.solve`` / ``advise.regularize``
+            children, per-stage objectives land in the
+            ``repro_advise_objective`` gauge, and the evaluator/solver
+            feed their own metrics.  The default no-op bundle keeps the
+            pipeline uninstrumented at zero cost.
     """
 
     def __init__(self, problem, regular=True, restarts=1, method="auto",
-                 seed=0, expert_layouts=(), workers=1):
+                 seed=0, expert_layouts=(), workers=1, obs=None):
         self.problem = problem
         self.regular = regular
         self.restarts = restarts
@@ -117,31 +125,44 @@ class LayoutAdvisor:
         self.seed = seed
         self.expert_layouts = tuple(expert_layouts)
         self.workers = workers
+        self.obs = ensure_obs(obs)
 
     def recommend(self):
         """Run the pipeline and return an :class:`AdvisorResult`."""
         problem = self.problem
-        evaluator = problem.evaluator()
+        obs = self.obs
+        root = obs.tracer.start(
+            "advise", n_objects=problem.n_objects,
+            n_targets=problem.n_targets, method=self.method,
+            restarts=self.restarts, regular=self.regular,
+        )
+        evaluator = problem.evaluator(metrics=obs.metrics)
         utilizations = {
             "see": evaluator.utilizations(problem.see_layout().matrix)
         }
 
         start = time.perf_counter()
-        start_layout = initial_layout(problem)
+        with obs.tracer.span("advise.initial"):
+            start_layout = initial_layout(problem)
         initial_time = time.perf_counter() - start
         utilizations["initial"] = evaluator.utilizations(start_layout.matrix)
 
         solve_started = time.perf_counter()
-        solve_result = solve(
-            problem,
-            initial=start_layout,
-            method=self.method,
-            restarts=self.restarts,
-            seed=self.seed,
-            evaluator=evaluator,
-            expert_layouts=self.expert_layouts,
-            workers=self.workers,
-        )
+        with obs.tracer.span("advise.solve", restarts=self.restarts,
+                             workers=self.workers) as solve_span:
+            solve_result = solve(
+                problem,
+                initial=start_layout,
+                method=self.method,
+                restarts=self.restarts,
+                seed=self.seed,
+                evaluator=evaluator,
+                expert_layouts=self.expert_layouts,
+                workers=self.workers,
+                obs=obs,
+            )
+            solve_span.set_tag("objective", solve_result.objective)
+            solve_span.set_tag("method", solve_result.method)
         # Wall time of the whole solve step (all portfolio starts), the
         # quantity the paper's Figure 19 reports — not just the winning
         # attempt's share.
@@ -152,12 +173,13 @@ class LayoutAdvisor:
         regularization_time = 0.0
         if self.regular:
             start = time.perf_counter()
-            regular_layout = regularize(problem, solve_result.layout,
-                                        evaluator=evaluator)
+            with obs.tracer.span("advise.regularize"):
+                regular_layout = regularize(problem, solve_result.layout,
+                                            evaluator=evaluator, obs=obs)
             regularization_time = time.perf_counter() - start
             utilizations["regular"] = evaluator.utilizations(regular_layout.matrix)
 
-        return AdvisorResult(
+        result = AdvisorResult(
             initial=start_layout,
             solver=solve_result.layout,
             regular=regular_layout,
@@ -167,3 +189,24 @@ class LayoutAdvisor:
             regularization_time_s=regularization_time,
             method=solve_result.method,
         )
+        if obs.enabled:
+            for stage, values in utilizations.items():
+                obs.metrics.gauge("repro_advise_objective",
+                                  stage=stage).set(float(values.max()))
+            for stage, seconds in (
+                ("initial", initial_time),
+                ("solve", solve_wall_time),
+                ("regularize", regularization_time),
+            ):
+                obs.metrics.gauge("repro_advise_stage_seconds",
+                                  stage=stage).set(seconds)
+        obs.tracer.finish(
+            root, method=result.method,
+            objective=result.max_utilization(
+                "regular" if regular_layout is not None else "solver"
+            ),
+        )
+        return result
+
+    #: ``advise()`` is the operator-facing alias of :meth:`recommend`.
+    advise = recommend

@@ -21,6 +21,11 @@ import numpy as np
 
 from repro.core.layout import Layout
 from repro.core.solver import SolveResult
+from repro.obs import ensure_obs
+
+#: Record one convergence sample at least every this many proposals
+#: (accepted moves are always recorded).
+_TRAJECTORY_STRIDE = 100
 
 
 def _random_regular_row(rng, m, upper_row):
@@ -57,7 +62,7 @@ def _neighbour(rng, matrix, i, utilizations, upper_row):
 
 
 def solve_anneal(problem, initial, evaluator=None, iterations=3000,
-                 initial_temperature=0.2, seed=0):
+                 initial_temperature=0.2, seed=0, obs=None, attempt=0):
     """Simulated annealing over per-object layout moves.
 
     Args:
@@ -69,14 +74,20 @@ def solve_anneal(problem, initial, evaluator=None, iterations=3000,
             fraction of the initial objective; decays geometrically to
             near-zero.
         seed: RNG seed.
+        obs: Optional :class:`~repro.obs.Instrumentation`; records the
+            annealing trajectory (every accepted move, plus a sample
+            every :data:`_TRAJECTORY_STRIDE` proposals) as a
+            ``repro_solver_convergence`` series.
+        attempt: Restart index used to label the series.
 
     Returns:
         A :class:`~repro.core.solver.SolveResult` with
         ``method="anneal"``.
     """
     start = time.perf_counter()
+    obs = ensure_obs(obs)
     if evaluator is None:
-        evaluator = problem.evaluator()
+        evaluator = problem.evaluator(metrics=obs.metrics)
     rng = np.random.default_rng(seed)
     upper, fixed_rows = problem.pinning.resolve(
         problem.object_names, problem.target_names
@@ -98,8 +109,15 @@ def solve_anneal(problem, initial, evaluator=None, iterations=3000,
     if not movable:
         movable = list(range(problem.n_objects))
 
+    observing = obs.enabled
+    series = None
+    if observing:
+        series = obs.metrics.series("repro_solver_convergence",
+                                    attempt=attempt, method="anneal")
+        series.record(iteration=0, objective=current, accepted=False)
+
     assigned = problem.sizes @ matrix
-    for _ in range(iterations):
+    for proposal in range(iterations):
         i = int(rng.choice(movable))
         utilizations = evaluator.utilizations_for(matrix)
         row = _neighbour(rng, matrix, i, utilizations, upper[i])
@@ -125,6 +143,12 @@ def solve_anneal(problem, initial, evaluator=None, iterations=3000,
             if value < best_value:
                 best_value = value
                 best_matrix = matrix.copy()
+            if observing:
+                series.record(iteration=proposal + 1, objective=current,
+                              accepted=True)
+        elif observing and (proposal + 1) % _TRAJECTORY_STRIDE == 0:
+            series.record(iteration=proposal + 1, objective=current,
+                          accepted=False)
         temperature *= cooling
 
     layout = problem.make_layout(best_matrix)

@@ -17,12 +17,15 @@ O(N · M) rebuild, and a batch of K candidate rows for the same object is
 evaluated in one vectorized pass.
 """
 
+import warnings
+
 import numpy as np
 
 from repro.models.target_model import (
     estimate_utilization_matrix,
     workload_arrays,
 )
+from repro.obs.metrics import NULL_REGISTRY
 from repro.workload.layout_model import per_target_run_counts
 
 #: Denominator floor of the contention factor; must match
@@ -35,6 +38,10 @@ _CHI_FLOOR = 1e-9
 #: the solver's 1e-9 comparison tolerance.
 REFRESH_INTERVAL = 256
 
+#: Rebinds below this floor never warn: multi-restart portfolios
+#: legitimately rebind once per starting point.
+REBIND_WARN_FLOOR = 8
+
 
 class ObjectiveEvaluator:
     """Bound evaluator of µ_ij, µ_j and the minimax objective.
@@ -45,9 +52,13 @@ class ObjectiveEvaluator:
             ``False`` every probe falls back to a full (N, M) rebuild —
             the pre-optimization behaviour, kept for benchmarking and as
             a correctness oracle.
+        metrics: Optional :class:`~repro.obs.metrics.MetricsRegistry`;
+            the evaluator feeds ``repro_evaluator_*`` counters (probe
+            rows, full rebuilds, commits, rebinds, refreshes).  Defaults
+            to the shared no-op registry.
     """
 
-    def __init__(self, problem, incremental=True):
+    def __init__(self, problem, incremental=True, metrics=None):
         self.problem = problem
         self.arrays = workload_arrays(problem.workloads)
         self.incremental = bool(incremental)
@@ -57,6 +68,24 @@ class ObjectiveEvaluator:
         self.full_evaluations = 0
         #: Single-row probe evaluations served from the cache.
         self.incremental_evaluations = 0
+        #: Cache rebinds forced by a base-matrix mismatch (callers that
+        #: thrash this defeat the incremental layer; see _ensure_bound).
+        self.rebinds = 0
+        #: Periodic full rebuilds triggered by REFRESH_INTERVAL.
+        self.refreshes = 0
+        #: Lifetime committed row updates (never reset, unlike the
+        #: refresh countdown).
+        self.commits = 0
+        metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._m_probe_rows = metrics.counter(
+            "repro_evaluator_probe_rows_total")
+        self._m_full = metrics.counter(
+            "repro_evaluator_full_evaluations_total")
+        self._m_commits = metrics.counter("repro_evaluator_commits_total")
+        self._m_rebinds = metrics.counter("repro_evaluator_rebinds_total")
+        self._m_refreshes = metrics.counter(
+            "repro_evaluator_refreshes_total")
+        self._rebind_warned = False
         self._base = None
         self._mu = None
         self._colsums = None
@@ -73,6 +102,7 @@ class ObjectiveEvaluator:
         """µ_ij for a raw (N, M) layout matrix."""
         self.evaluations += 1
         self.full_evaluations += 1
+        self._m_full.inc()
         return estimate_utilization_matrix(
             self.problem.workloads,
             matrix,
@@ -128,7 +158,29 @@ class ObjectiveEvaluator:
         return self._colsums.copy()
 
     def _ensure_bound(self, matrix):
-        if self._base is None or not np.array_equal(self._base, matrix):
+        if self._base is None:
+            self.bind(matrix)
+        elif not np.array_equal(self._base, matrix):
+            # A silent rebind is correct but expensive (one full (N, M)
+            # rebuild); callers that alternate between base matrices
+            # instead of committing rows thrash the cache into
+            # worse-than-non-incremental behaviour.  Count every rebind
+            # and warn once when rebinds overtake committed updates.
+            self.rebinds += 1
+            self._m_rebinds.inc()
+            if (not self._rebind_warned
+                    and self.rebinds >= REBIND_WARN_FLOOR
+                    and self.rebinds > self.commits):
+                self._rebind_warned = True
+                warnings.warn(
+                    "ObjectiveEvaluator rebound its incremental cache %d "
+                    "times against %d committed row updates; a caller is "
+                    "probing alternating base matrices, which degrades "
+                    "the cache to full rebuilds (use commit_row, or a "
+                    "separate evaluator per base)"
+                    % (self.rebinds, self.commits),
+                    RuntimeWarning, stacklevel=3,
+                )
             self.bind(matrix)
 
     def _neighbor_indices(self, i):
@@ -239,6 +291,7 @@ class ObjectiveEvaluator:
         totals, _, _, _ = self._probe(i, rows)
         self.evaluations += rows.shape[0]
         self.incremental_evaluations += rows.shape[0]
+        self._m_probe_rows.inc(rows.shape[0])
         return totals
 
     def evaluate_rows(self, matrix, i, rows):
@@ -277,7 +330,11 @@ class ObjectiveEvaluator:
             raise ValueError("commit_row requires a bound base matrix")
         row = np.asarray(row, dtype=float)
         self._commits += 1
+        self.commits += 1
+        self._m_commits.inc()
         if self._commits >= REFRESH_INTERVAL:
+            self.refreshes += 1
+            self._m_refreshes.inc()
             base = self._base
             base[i] = row
             self.bind(base)

@@ -110,8 +110,13 @@ class LayoutProblem:
         rates = np.array([w.total_rate for w in self.workloads])
         return list(np.argsort(-rates, kind="stable"))
 
-    def evaluator(self):
-        """An :class:`ObjectiveEvaluator` bound to this problem."""
+    def evaluator(self, metrics=None):
+        """An :class:`ObjectiveEvaluator` bound to this problem.
+
+        Args:
+            metrics: Optional metrics registry forwarded to the
+                evaluator's ``repro_evaluator_*`` counters.
+        """
         from repro.core.objective import ObjectiveEvaluator
 
-        return ObjectiveEvaluator(self)
+        return ObjectiveEvaluator(self, metrics=metrics)

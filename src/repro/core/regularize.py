@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.errors import RegularizationError
 from repro.core.layout import Layout
+from repro.obs import ensure_obs
 
 
 def consistent_candidates(row, n_targets):
@@ -62,13 +63,16 @@ def feasibility_candidates(size, free, n_targets):
     return rows
 
 
-def regularize(problem, solved_layout, evaluator=None):
+def regularize(problem, solved_layout, evaluator=None, obs=None):
     """Regularize a solver layout (paper Figure 4's final step).
 
     Args:
         problem: The layout problem.
         solved_layout: The (possibly non-regular) solver layout.
         evaluator: Optional shared objective evaluator.
+        obs: Optional :class:`~repro.obs.Instrumentation`; wraps each
+            per-object pass in a ``regularize.object`` span and counts
+            objects/candidates in ``repro_regularize_*``.
 
     Returns:
         A regular, valid :class:`Layout`.
@@ -78,8 +82,12 @@ def regularize(problem, solved_layout, evaluator=None):
             violates capacity — possible under very tight space
             constraints, as the paper notes.
     """
+    obs = ensure_obs(obs)
     if evaluator is None:
-        evaluator = problem.evaluator()
+        evaluator = problem.evaluator(metrics=obs.metrics)
+    observing = obs.enabled
+    m_objects = obs.metrics.counter("repro_regularize_objects_total")
+    m_candidates = obs.metrics.counter("repro_regularize_candidates_total")
     n, m = problem.n_objects, problem.n_targets
     upper, fixed_rows = problem.pinning.resolve(
         problem.object_names, problem.target_names
@@ -99,6 +107,9 @@ def regularize(problem, solved_layout, evaluator=None):
     for i in order:
         if i in processed:
             continue
+        span = obs.tracer.start(
+            "regularize.object", object=problem.object_names[i]
+        ) if observing else None
         # Balancing targets are ranked with object i's own fractional
         # row removed: ranking by the full utilizations would let the
         # object's current placement inflate its own targets and push
@@ -116,6 +127,8 @@ def regularize(problem, solved_layout, evaluator=None):
                            > problem.capacities * (1 + 1e-9))
         ]
         if not feasible:
+            if observing:
+                obs.tracer.finish(span, error="RegularizationError")
             raise RegularizationError(
                 "no valid regular candidate for object %s; space constraints "
                 "are too tight" % problem.object_names[i]
@@ -131,6 +144,11 @@ def regularize(problem, solved_layout, evaluator=None):
         evaluator.commit_row(i, best_row)
         committed += problem.sizes[i] * best_row
         processed.add(i)
+        m_objects.inc()
+        m_candidates.inc(len(feasible))
+        if observing:
+            obs.tracer.finish(span, candidates=len(feasible),
+                              objective=float(values.min()))
 
     layout = problem.make_layout(matrix)
     problem.validate_layout(layout)

@@ -122,9 +122,11 @@ class RobustProblem(LayoutProblem):
             )
         self.n_scenarios = len(scenarios)
 
-    def evaluator(self):
+    def evaluator(self, metrics=None):
+        # Scenario evaluators share the registry: the counters total the
+        # real per-scenario evaluation work, one increment per scenario.
         return RobustEvaluator([
-            ObjectiveEvaluator(problem)
+            ObjectiveEvaluator(problem, metrics=metrics)
             for problem in self.scenario_problems
         ])
 

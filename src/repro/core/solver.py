@@ -22,6 +22,7 @@ from scipy.optimize import minimize
 from repro.errors import SolverError
 from repro.core.initial import initial_layout
 from repro.core.layout import Layout
+from repro.obs import ensure_obs
 
 #: Instances with more than this many layout variables use the
 #: coordinate method under ``method="auto"``.
@@ -102,7 +103,8 @@ def _snap(matrix, upper):
     return matrix
 
 
-def solve_slsqp(problem, initial, evaluator=None, max_iter=150):
+def solve_slsqp(problem, initial, evaluator=None, max_iter=150, obs=None,
+                attempt=0):
     """Solve the continuous layout NLP with SLSQP.
 
     Args:
@@ -111,10 +113,15 @@ def solve_slsqp(problem, initial, evaluator=None, max_iter=150):
         evaluator: Optional shared
             :class:`~repro.core.objective.ObjectiveEvaluator`.
         max_iter: SLSQP iteration cap.
+        obs: Optional :class:`~repro.obs.Instrumentation`; records the
+            epigraph-variable trajectory as a
+            ``repro_solver_convergence`` series.
+        attempt: Restart index used to label the convergence series.
     """
     start = time.perf_counter()
+    obs = ensure_obs(obs)
     if evaluator is None:
-        evaluator = problem.evaluator()
+        evaluator = problem.evaluator(metrics=obs.metrics)
     n, m = problem.n_objects, problem.n_targets
     nm = n * m
 
@@ -166,6 +173,18 @@ def solve_slsqp(problem, initial, evaluator=None, max_iter=150):
     objective_jac = np.zeros(nm + 1)
     objective_jac[-1] = 1.0
 
+    callback = None
+    if obs.enabled:
+        series = obs.metrics.series("repro_solver_convergence",
+                                    attempt=attempt, method="slsqp")
+        series.record(iteration=0, objective=float(x0[-1]), accepted=False)
+        state = {"iteration": 0}
+
+        def callback(xk):
+            state["iteration"] += 1
+            series.record(iteration=state["iteration"],
+                          objective=float(xk[-1]), accepted=True)
+
     result = minimize(
         lambda x: x[-1],
         x0,
@@ -173,6 +192,7 @@ def solve_slsqp(problem, initial, evaluator=None, max_iter=150):
         bounds=bounds,
         constraints=constraints,
         method="SLSQP",
+        callback=callback,
         options={"maxiter": max_iter, "ftol": 1e-6},
     )
 
@@ -230,16 +250,27 @@ def _row_candidates(problem, matrix, i, utilizations, upper):
     return candidates
 
 
-def solve_coordinate(problem, initial, evaluator=None, max_rounds=25):
+def solve_coordinate(problem, initial, evaluator=None, max_rounds=25,
+                     obs=None, attempt=0):
     """Block-coordinate descent over per-object row candidates.
 
     Scales to instances where SLSQP's dense quadratic subproblems become
     impractical; used for the paper's Figure 19 large synthetic
     workloads.
+
+    Args:
+        obs: Optional :class:`~repro.obs.Instrumentation`; wraps every
+            descent round in a ``solver.round`` span and records the
+            ``(iteration, objective, accepted-move)`` trajectory as a
+            ``repro_solver_convergence`` series.  The hot loop checks
+            ``obs.enabled`` once, so disabled instrumentation costs one
+            attribute read per solve.
+        attempt: Restart index used to label spans and series.
     """
     start = time.perf_counter()
+    obs = ensure_obs(obs)
     if evaluator is None:
-        evaluator = problem.evaluator()
+        evaluator = problem.evaluator(metrics=obs.metrics)
     upper, fixed_rows = problem.pinning.resolve(
         problem.object_names, problem.target_names
     )
@@ -248,14 +279,25 @@ def solve_coordinate(problem, initial, evaluator=None, max_rounds=25):
     for i, row in fixed_rows.items():
         matrix[i] = row
 
+    observing = obs.enabled
+    series = None
     current = float(evaluator.utilizations_for(matrix).max())
-    for _ in range(max_rounds):
+    if observing:
+        series = obs.metrics.series("repro_solver_convergence",
+                                    attempt=attempt, method="coordinate")
+        series.record(iteration=0, objective=current, accepted=False)
+    iteration = 0
+    for round_index in range(max_rounds):
         improved = False
+        round_span = obs.tracer.start("solver.round", attempt=attempt,
+                                      round=round_index) if observing \
+            else None
         loads = evaluator.object_loads_for(matrix)
         order = list(np.argsort(-loads, kind="stable"))
         for i in order:
             if i in fixed_rows:
                 continue
+            iteration += 1
             utilizations = evaluator.utilizations_for(matrix)
             other_bytes = problem.sizes @ matrix - problem.sizes[i] * matrix[i]
             candidates = [
@@ -275,6 +317,14 @@ def solve_coordinate(problem, initial, evaluator=None, max_rounds=25):
                 evaluator.commit_row(i, candidates[pick])
                 current = float(values[pick])
                 improved = True
+                if observing:
+                    series.record(iteration=iteration, objective=current,
+                                  accepted=True, object=i)
+        if observing:
+            series.record(iteration=iteration, objective=current,
+                          accepted=False, round=round_index)
+            obs.tracer.finish(round_span, objective=current,
+                              improved=improved)
         if not improved:
             break
 
@@ -338,7 +388,7 @@ def _run_portfolio_parallel(problem, starts, method, seed, max_iter,
 
 def solve(problem, initial=None, method="auto", restarts=1, seed=0,
           evaluator=None, max_iter=150, expert_layouts=(),
-          warm_start=False, workers=1):
+          warm_start=False, workers=1, obs=None):
     """Solve the layout NLP, optionally from multiple starting points.
 
     Args:
@@ -374,6 +424,13 @@ def solve(problem, initial=None, method="auto", restarts=1, seed=0,
             so results match the serial path exactly; ``workers=1`` (the
             default), a single start, or a problem smaller than
             :data:`PARALLEL_MIN_VARIABLES` layout variables run serially.
+        obs: Optional :class:`~repro.obs.Instrumentation`.  Each restart
+            is wrapped in a ``solver.restart`` span (parallel-portfolio
+            restarts are recorded from their reported elapsed time,
+            tagged ``parallel``, and carry no convergence series because
+            worker processes cannot share the registry), the polish pass
+            in ``solver.polish``, and the descent methods record
+            per-restart ``repro_solver_convergence`` trajectories.
 
     Returns:
         The best :class:`SolveResult` across all starting points.
@@ -384,8 +441,9 @@ def solve(problem, initial=None, method="auto", restarts=1, seed=0,
     """
     if warm_start and initial is None:
         raise SolverError("warm_start requires an initial layout")
+    obs = ensure_obs(obs)
     if evaluator is None:
-        evaluator = problem.evaluator()
+        evaluator = problem.evaluator(metrics=obs.metrics)
     if method == "auto":
         method = (
             "slsqp"
@@ -393,16 +451,17 @@ def solve(problem, initial=None, method="auto", restarts=1, seed=0,
             else "coordinate"
         )
 
-    def run(start_layout, attempt_seed):
+    def run(start_layout, attempt_seed, attempt):
         if method == "slsqp":
             return solve_slsqp(problem, start_layout, evaluator=evaluator,
-                               max_iter=max_iter)
+                               max_iter=max_iter, obs=obs, attempt=attempt)
         if method == "anneal":
             from repro.core.anneal import solve_anneal
 
             return solve_anneal(problem, start_layout, evaluator=evaluator,
-                                seed=attempt_seed)
-        return solve_coordinate(problem, start_layout, evaluator=evaluator)
+                                seed=attempt_seed, obs=obs, attempt=attempt)
+        return solve_coordinate(problem, start_layout, evaluator=evaluator,
+                                obs=obs, attempt=attempt)
 
     rng = np.random.default_rng(seed)
     starts = []
@@ -440,13 +499,26 @@ def solve(problem, initial=None, method="auto", restarts=1, seed=0,
                                           max_iter, workers)
         if results is not None:
             evaluator.evaluations += sum(r.evaluations for r in results)
-            for result in results:
+            for attempt, result in enumerate(results):
+                obs.tracer.add_span(
+                    "solver.restart", result.elapsed_s, attempt=attempt,
+                    method=result.method, objective=result.objective,
+                    parallel=True,
+                )
+                obs.metrics.counter("repro_solver_restarts_total",
+                                    method=result.method).inc()
                 if best is None or result.objective < best.objective:
                     best = result
             best = replace(best, evaluations=evaluator.evaluations)
     if best is None:
         for attempt, start_layout in enumerate(starts):
-            result = run(start_layout, seed + attempt)
+            span = obs.tracer.start("solver.restart", attempt=attempt,
+                                    method=method)
+            result = run(start_layout, seed + attempt, attempt)
+            obs.tracer.finish(span, objective=result.objective,
+                              method=result.method, success=result.success)
+            obs.metrics.counter("repro_solver_restarts_total",
+                                method=result.method).inc()
             if best is None or result.objective < best.objective:
                 best = result
     if best is None:
@@ -455,8 +527,11 @@ def solve(problem, initial=None, method="auto", restarts=1, seed=0,
     # Cheap block-coordinate polish: escapes the vertex local optima
     # the continuous method can converge into.
     if method != "coordinate":
+        span = obs.tracer.start("solver.polish")
         polished = solve_coordinate(problem, best.layout,
-                                    evaluator=evaluator, max_rounds=5)
+                                    evaluator=evaluator, max_rounds=5,
+                                    obs=obs, attempt="polish")
+        obs.tracer.finish(span, objective=polished.objective)
         if polished.objective < best.objective - 1e-12:
             best = SolveResult(
                 layout=polished.layout,

@@ -1,0 +1,149 @@
+"""Exporters: unified JSONL traces and Prometheus text exposition.
+
+One trace file carries the whole observability state of a run — a meta
+header line, every span, and every metric — as JSON-lines, so a single
+``--trace out.jsonl`` flag captures enough to reconstruct the span tree
+*and* the cache/convergence metrics afterwards (``repro.cli report``).
+
+The Prometheus writer emits the text exposition format (``# TYPE``
+headers, ``name{label="value"} value`` samples, cumulative
+``_bucket``/``_sum``/``_count`` triples for histograms) for scraping or
+for pushing through a textfile collector.  Series instruments are a
+local extension with no Prometheus equivalent and are skipped there.
+"""
+
+import json
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer, json_default as _json_default
+
+#: Format version stamped into the meta line of every trace file.
+TRACE_FORMAT = 1
+
+
+class TraceData:
+    """A trace file read back: spans, metrics, and the meta header."""
+
+    def __init__(self, tracer, metrics, meta=None):
+        self.tracer = tracer
+        self.metrics = metrics
+        self.meta = meta or {}
+
+    @property
+    def spans(self):
+        return self.tracer.spans
+
+
+def trace_records(instrumentation, meta=None):
+    """Every JSONL record of one instrumented run, meta line first."""
+    header = {"type": "meta", "format": TRACE_FORMAT}
+    if meta:
+        header.update(meta)
+    records = [header]
+    records.extend(instrumentation.tracer.to_records())
+    records.extend(instrumentation.metrics.to_records())
+    return records
+
+
+def write_trace(path, instrumentation, meta=None):
+    """Write spans + metrics as one JSONL trace file."""
+    with open(path, "w") as handle:
+        for record in trace_records(instrumentation, meta=meta):
+            handle.write(json.dumps(record, default=_json_default))
+            handle.write("\n")
+    return path
+
+
+def read_trace(path):
+    """Load a JSONL trace file into a :class:`TraceData`."""
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    meta = {}
+    for record in records:
+        if record.get("type") == "meta":
+            meta = record
+            break
+    return TraceData(
+        Tracer.from_records(records),
+        MetricsRegistry.from_records(records),
+        meta=meta,
+    )
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+def _escape_label_value(value):
+    return (str(value)
+            .replace("\\", "\\\\")
+            .replace("\"", "\\\"")
+            .replace("\n", "\\n"))
+
+
+def _label_text(labels, extra=None):
+    items = dict(labels)
+    if extra:
+        items.update(extra)
+    if not items:
+        return ""
+    body = ",".join(
+        '%s="%s"' % (key, _escape_label_value(value))
+        for key, value in sorted(items.items())
+    )
+    return "{%s}" % body
+
+
+def _format_value(value):
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def prometheus_text(metrics):
+    """Render a registry in the Prometheus text exposition format."""
+    by_name = {}
+    for kind, name, labels, instrument in metrics:
+        if kind == "series":
+            continue
+        by_name.setdefault((name, kind), []).append((labels, instrument))
+
+    lines = []
+    for (name, kind), rows in sorted(by_name.items()):
+        lines.append("# TYPE %s %s" % (name, kind))
+        for labels, instrument in rows:
+            if kind in ("counter", "gauge"):
+                lines.append("%s%s %s" % (
+                    name, _label_text(labels),
+                    _format_value(instrument.value),
+                ))
+            else:  # histogram
+                cumulative = instrument.cumulative_counts()
+                bounds = list(instrument.bounds) + [float("inf")]
+                for bound, count in zip(bounds, cumulative):
+                    lines.append("%s_bucket%s %d" % (
+                        name,
+                        _label_text(labels, {"le": _format_value(bound)}),
+                        count,
+                    ))
+                lines.append("%s_sum%s %s" % (
+                    name, _label_text(labels),
+                    _format_value(instrument.sum),
+                ))
+                lines.append("%s_count%s %d" % (
+                    name, _label_text(labels), instrument.count,
+                ))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(path, metrics):
+    """Write the registry as a Prometheus text-format file."""
+    with open(path, "w") as handle:
+        handle.write(prometheus_text(metrics))
+    return path

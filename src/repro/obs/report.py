@@ -1,0 +1,198 @@
+"""Render a saved trace into a human-readable pipeline report.
+
+``repro.cli report out.jsonl`` calls :func:`render_report` on a trace
+written by ``advise --trace`` / ``replay-online --metrics``: stage wall
+times with shares, the solver restart portfolio with per-restart
+convergence (start → final objective over recorded iterations),
+evaluator cache efficiency (probe rows vs full rebuilds, rebinds,
+refreshes), online controller activity, and per-target simulator
+metrics when present.
+"""
+
+
+def _span_total(spans):
+    return sum(s.duration_s for s in spans if s.duration_s is not None)
+
+
+def _stage_section(trace):
+    roots = trace.tracer.find("advise")
+    stages = [
+        ("initial", trace.tracer.find("advise.initial")),
+        ("solve", trace.tracer.find("advise.solve")),
+        ("regularize", trace.tracer.find("advise.regularize")),
+    ]
+    total = _span_total(roots)
+    if total <= 0:
+        total = sum(_span_total(spans) for _, spans in stages)
+    if total <= 0 and not any(spans for _, spans in stages):
+        return []
+    lines = ["stage times"]
+    for name, spans in stages:
+        if not spans:
+            continue
+        stage_s = _span_total(spans)
+        share = 100.0 * stage_s / total if total > 0 else 0.0
+        lines.append("  %-12s %10.4f s  %5.1f%%  (%d span%s)"
+                     % (name, stage_s, share, len(spans),
+                        "" if len(spans) == 1 else "s"))
+    if roots:
+        lines.append("  %-12s %10.4f s" % ("total", total))
+        for key in ("n_objects", "n_targets", "method", "restarts"):
+            if key in roots[0].tags:
+                lines.append("  %-12s %10s" % (key, roots[0].tags[key]))
+    return lines
+
+
+def _restart_section(trace):
+    restarts = trace.tracer.find("solver.restart")
+    if not restarts:
+        return []
+    lines = ["solver restarts"]
+    for span in restarts:
+        tags = span.tags
+        objective = tags.get("objective")
+        lines.append(
+            "  attempt %-3s %-12s %10.4f s  objective %s%s"
+            % (tags.get("attempt", "?"), tags.get("method", "?"),
+               span.duration_s or 0.0,
+               "%.6f" % objective if objective is not None else "?",
+               "  (parallel)" if tags.get("parallel") else "")
+        )
+    return lines
+
+
+def _convergence_section(trace):
+    rows = trace.metrics.find("repro_solver_convergence")
+    if not rows:
+        return []
+    lines = ["convergence (per restart)"]
+    for labels, series in sorted(
+        rows, key=lambda item: str(item[0].get("attempt", ""))
+    ):
+        objectives = series.field("objective")
+        if not objectives:
+            continue
+        iterations = series.field("iteration")
+        accepted = sum(1 for p in series.points if p.get("accepted"))
+        lines.append(
+            "  attempt %-3s %-12s %4d points  %4d accepted moves  "
+            "objective %.6f -> %.6f"
+            % (labels.get("attempt", "?"), labels.get("method", "?"),
+               len(series), accepted, objectives[0], objectives[-1])
+        )
+        if iterations:
+            lines[-1] += "  (%s iterations)" % iterations[-1]
+    return lines
+
+
+def _counter_value(trace, name):
+    rows = trace.metrics.find(name)
+    return sum(instrument.value for _, instrument in rows)
+
+
+def _evaluator_section(trace):
+    probes = _counter_value(trace, "repro_evaluator_probe_rows_total")
+    full = _counter_value(trace, "repro_evaluator_full_evaluations_total")
+    if probes == 0 and full == 0:
+        return []
+    total = probes + full
+    hit_rate = probes / total if total else 0.0
+    lines = ["evaluator cache"]
+    lines.append("  probe rows (incremental) %10d" % probes)
+    lines.append("  full (N, M) rebuilds     %10d" % full)
+    lines.append("  cache hit rate           %13.1f%%" % (100.0 * hit_rate))
+    lines.append("  commits                  %10d"
+                 % _counter_value(trace, "repro_evaluator_commits_total"))
+    lines.append("  rebinds                  %10d"
+                 % _counter_value(trace, "repro_evaluator_rebinds_total"))
+    lines.append("  refreshes                %10d"
+                 % _counter_value(trace, "repro_evaluator_refreshes_total"))
+    return lines
+
+
+def _objective_section(trace):
+    rows = trace.metrics.find("repro_advise_objective")
+    if not rows:
+        return []
+    order = {"see": 0, "initial": 1, "solver": 2, "regular": 3}
+    lines = ["objective (max target utilization)"]
+    for labels, gauge in sorted(
+        rows, key=lambda item: order.get(item[0].get("stage", ""), 9)
+    ):
+        lines.append("  after %-10s %10.4f"
+                     % (labels.get("stage", "?"), gauge.value))
+    return lines
+
+
+def _online_section(trace):
+    rows = trace.metrics.find("repro_online_events_total")
+    if not rows:
+        return []
+    lines = ["online controller"]
+    for labels, counter in sorted(rows, key=lambda item: str(item[0])):
+        lines.append("  events %-16s %8d"
+                     % (labels.get("kind", "?"), counter.value))
+    resolves = trace.metrics.find("repro_online_resolves_total")
+    for labels, counter in sorted(resolves, key=lambda item: str(item[0])):
+        lines.append("  resolves %-14s %8d"
+                     % (labels.get("decision", "?"), counter.value))
+    moved = _counter_value(trace, "repro_migration_bytes_total")
+    if moved:
+        lines.append("  migrated bytes         %12d  (%.1f MiB)"
+                     % (moved, moved / (1 << 20)))
+    return lines
+
+
+def _sim_section(trace):
+    rows = trace.metrics.find("repro_sim_request_latency_seconds")
+    if not rows:
+        return []
+    lines = ["simulator (per target)"]
+    utilization = {
+        labels.get("target"): gauge.value
+        for labels, gauge in trace.metrics.find("repro_sim_utilization")
+    }
+    for labels, histogram in sorted(
+        rows, key=lambda item: str(item[0].get("target", ""))
+    ):
+        target = labels.get("target", "?")
+        util = utilization.get(target)
+        lines.append(
+            "  %-16s %8d requests  latency mean %8.5f s  p95 %8.5f s%s"
+            % (target, histogram.count, histogram.mean,
+               histogram.quantile(0.95) or 0.0,
+               "  util %.3f" % util if util is not None else "")
+        )
+    return lines
+
+
+def render_report(trace, tree=False, max_depth=3):
+    """Render one saved :class:`~repro.obs.export.TraceData` as text."""
+    sections = []
+    meta = {k: v for k, v in trace.meta.items()
+            if k not in ("type", "format")}
+    if meta:
+        sections.append(["trace"] + [
+            "  %-12s %s" % (key, value)
+            for key, value in sorted(meta.items())
+        ])
+    for section in (
+        _stage_section(trace),
+        _restart_section(trace),
+        _convergence_section(trace),
+        _evaluator_section(trace),
+        _objective_section(trace),
+        _online_section(trace),
+        _sim_section(trace),
+    ):
+        if section:
+            sections.append(section)
+    if tree and trace.tracer.spans:
+        sections.append(
+            ["span tree"]
+            + ["  " + line for line in
+               trace.tracer.render_tree(max_depth=max_depth).splitlines()]
+        )
+    if not sections:
+        return "empty trace: no spans or metrics recorded"
+    return "\n\n".join("\n".join(section) for section in sections)

@@ -1,0 +1,141 @@
+"""Simulator metrics: per-target latency, queue depth, and utilization.
+
+:class:`SimMetricsCollector` rides the simulation engine's existing
+completion-observer mechanism — the same hook the online workload
+monitor uses — so the simulator needs no new code paths to become
+observable.  Each completed request feeds a per-target latency
+histogram and request/byte counters; when the collector is bound to the
+live :class:`~repro.storage.target.StorageTarget` objects it also
+samples their queue depth at every completion, and :meth:`finalize`
+captures the end-of-run busy-time utilizations (the paper's *measured*
+µ_j, Figure 13's ground truth).
+
+The collector also works offline: feed it archived
+:class:`~repro.storage.request.CompletionRecord` lists (``consume``)
+to rebuild the latency/byte metrics of a stored trace — what
+``repro.cli replay-online --metrics`` does.
+"""
+
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS
+
+
+class SimMetricsCollector:
+    """Feeds simulator activity into a :class:`MetricsRegistry`.
+
+    Args:
+        metrics: The registry (a :class:`NullRegistry` makes every
+            update a no-op).
+        targets: Optional live :class:`StorageTarget` sequence; enables
+            queue-depth sampling and :meth:`finalize` utilization
+            gauges.
+        latency_buckets: Histogram bucket bounds in seconds.
+        prefix: Metric-name prefix (default ``repro_sim``).
+    """
+
+    def __init__(self, metrics, targets=(), latency_buckets=None,
+                 prefix="repro_sim"):
+        self.metrics = metrics
+        self.prefix = prefix
+        self.targets = list(targets)
+        self._by_name = {t.name: t for t in self.targets}
+        self._buckets = tuple(latency_buckets or DEFAULT_LATENCY_BUCKETS)
+        self._latency = {}
+        self._queue_depth = {}
+        self._requests = {}
+        self._bytes = {}
+        self._engine = None
+        self.observed = 0
+
+    # -- wiring ---------------------------------------------------------
+
+    def attach(self, engine):
+        """Register on the engine's completion-observer hook."""
+        self._engine = engine
+        engine.add_completion_observer(self.observe)
+        return self
+
+    def detach(self):
+        if self._engine is not None:
+            self._engine.remove_completion_observer(self.observe)
+            self._engine = None
+        return self
+
+    # -- per-completion path --------------------------------------------
+
+    def _latency_histogram(self, target):
+        histogram = self._latency.get(target)
+        if histogram is None:
+            histogram = self.metrics.histogram(
+                self.prefix + "_request_latency_seconds",
+                buckets=self._buckets, target=target,
+            )
+            self._latency[target] = histogram
+        return histogram
+
+    def observe(self, record):
+        """Consume one completion record (observer-hook signature)."""
+        self.observed += 1
+        target = record.target
+        self._latency_histogram(target).observe(
+            record.finish_time - record.submit_time
+        )
+        key = (target, record.kind)
+        counter = self._requests.get(key)
+        if counter is None:
+            counter = self.metrics.counter(
+                self.prefix + "_requests_total",
+                target=target, kind=record.kind,
+            )
+            self._requests[key] = counter
+            self._bytes[key] = self.metrics.counter(
+                self.prefix + "_bytes_total",
+                target=target, kind=record.kind,
+            )
+        counter.inc()
+        self._bytes[key].inc(record.size)
+
+        live = self._by_name.get(target)
+        if live is not None:
+            histogram = self._queue_depth.get(target)
+            if histogram is None:
+                histogram = self.metrics.histogram(
+                    self.prefix + "_queue_depth",
+                    buckets=(0, 1, 2, 4, 8, 16, 32, 64, 128),
+                    target=target,
+                )
+                self._queue_depth[target] = histogram
+            histogram.observe(live.queue_depth)
+
+    def consume(self, records):
+        """Feed an iterable of archived completion records."""
+        for record in records:
+            self.observe(record)
+        return self
+
+    # -- end-of-run accounting ------------------------------------------
+
+    def finalize(self, elapsed=None):
+        """Capture busy-time utilization and totals for bound targets.
+
+        Args:
+            elapsed: Simulated seconds the run covered; defaults to the
+                attached engine's current time.
+        """
+        if elapsed is None and self._engine is not None:
+            elapsed = self._engine.now
+        for target in self.targets:
+            self.metrics.gauge(
+                self.prefix + "_busy_seconds", target=target.name
+            ).set(target.busy_time())
+            if elapsed:
+                self.metrics.gauge(
+                    self.prefix + "_utilization", target=target.name
+                ).set(target.utilization(elapsed))
+            self.metrics.gauge(
+                self.prefix + "_requests_completed", target=target.name
+            ).set(target.completed)
+        if self._engine is not None:
+            self.metrics.gauge(
+                self.prefix + "_engine_events_total"
+            ).set(self._engine.events_processed)
+        return self

@@ -36,6 +36,7 @@ from repro.core.problem import LayoutProblem
 from repro.core.regularize import regularize
 from repro.core.solver import solve
 from repro.errors import SimulationError
+from repro.obs import ensure_obs
 from repro.online.drift import DriftDetector
 from repro.online.events import EventLog
 from repro.online.executor import ThrottledMigrator
@@ -125,6 +126,7 @@ class _PendingMigration:
     migrator: object = None
     accepted_at: float = 0.0
     plan_bytes: int = 0
+    span: object = None
     events: dict = field(default_factory=dict)
 
 
@@ -154,13 +156,20 @@ class OnlineController:
         config: A :class:`ControllerConfig`.
         monitor / detector / log: Injectable components (defaults are
             built from the config).
+        obs: Optional :class:`~repro.obs.Instrumentation`.  Re-solve
+            episodes are wrapped in ``online.resolve`` spans, completed
+            migrations recorded as ``online.migration`` spans, decisions
+            counted in ``repro_online_resolves_total``, and the event
+            log (when the controller builds its own) forwards every
+            event through the same tracer/metric plumbing.
     """
 
     def __init__(self, targets, object_sizes, initial_layout,
                  solved_workloads, ctx=None, physical_capacities=None,
                  stripe_size=units.DEFAULT_STRIPE_SIZE, config=None,
-                 monitor=None, detector=None, log=None):
+                 monitor=None, detector=None, log=None, obs=None):
         self.config = config or ControllerConfig()
+        self.obs = ensure_obs(obs)
         self.targets = list(targets)
         self.object_sizes = dict(object_sizes)
         self.object_names = list(self.object_sizes)
@@ -176,7 +185,7 @@ class OnlineController:
 
         self.monitor = monitor or self.config.monitor()
         self.detector = detector or self.config.detector()
-        self.log = log or EventLog()
+        self.log = log or EventLog(obs=self.obs)
 
         self.layout = self._aligned(initial_layout)
         self.solved_workloads = list(solved_workloads)
@@ -302,14 +311,19 @@ class OnlineController:
 
         pinning, pinned = self._stable_pinning(fitted)
         started = time.perf_counter()
+        resolve_span = self.obs.tracer.start(
+            "online.resolve", sim_time=round(float(now), 4),
+            pinned=len(pinned),
+        )
         problem = self._problem(fitted, pinning=pinning)
         result = solve(
             problem, initial=self.layout, warm_start=True,
             method=self.config.solver_method, restarts=self.config.restarts,
+            obs=self.obs,
         )
         candidate = result.layout
         if self.config.regular:
-            candidate = regularize(problem, candidate)
+            candidate = regularize(problem, candidate, obs=self.obs)
         latency = time.perf_counter() - started
 
         new_util = self._predicted_util(fitted, candidate)
@@ -339,11 +353,20 @@ class OnlineController:
             reason = ("no-change" if plan.total_bytes == 0 else
                       "gain-below-threshold" if relative_gain < self.config.min_gain
                       else "migration-too-expensive")
+            self.obs.tracer.finish(resolve_span, decision="reject",
+                                   reason=reason, method=result.method)
+            self.obs.metrics.counter("repro_online_resolves_total",
+                                     decision="reject").inc()
             self.log.emit(now, "reject", reason=reason, **decision)
             self.detector.hold(now)
             return
 
         self.resolves += 1
+        self.obs.tracer.finish(resolve_span, decision="accept",
+                               method=result.method,
+                               gain=round(gain, 4))
+        self.obs.metrics.counter("repro_online_resolves_total",
+                                 decision="accept").inc()
         self.log.emit(now, "accept",
                       layout={name: [round(f, 4) for f in row]
                               for name, row in
@@ -352,6 +375,13 @@ class OnlineController:
         pending = _PendingMigration(
             layout=candidate, fitted=fitted, predicted_util=new_util,
             accepted_at=now, plan_bytes=plan.total_bytes,
+            # The episode span is detached: it outlives this call and
+            # must not adopt the controller's later spans as children.
+            span=self.obs.tracer.start(
+                "online.migration", detached=True,
+                accepted_at=round(float(now), 4),
+                plan_bytes=plan.total_bytes,
+            ),
         )
         if self.ctx is not None:
             self.migrating = True
@@ -362,6 +392,7 @@ class OnlineController:
                 window=self.config.migration_window,
                 pace_s=self.config.migration_pace_s,
                 on_done=self._migration_done,
+                metrics=self.obs.metrics,
             ).start()
         else:
             # Replay / advisory mode: no simulator to copy through; the
@@ -387,6 +418,11 @@ class OnlineController:
         self.layout = pending.layout
         self.solved_workloads = pending.fitted
         self.detector.rebase(pending.fitted, pending.predicted_util, now)
+        if pending.span is not None:
+            self.obs.tracer.finish(
+                pending.span, bytes_moved=bytes_moved,
+                sim_elapsed_s=round(float(elapsed_s), 4), virtual=virtual,
+            )
         self.log.emit(now, "migrated",
                       bytes_moved=bytes_moved,
                       elapsed_s=round(float(elapsed_s), 4),

@@ -6,27 +6,54 @@ structured event, exportable as JSON-lines (the same machine-readable
 format the ``advise --json`` CLI emits for layouts) and summarizable
 as a table.  The log is how a benchmark, a test, or an operator audits
 what the controller did and why.
+
+The log is wired into the unified instrumentation layer
+(:mod:`repro.obs`): when constructed with an ``obs`` bundle, every
+emitted event is *also* recorded as a zero-duration tracer event
+(``online.<kind>``) and counted in the ``repro_online_events_total``
+metric, so one ``--metrics`` trace file carries the controller's whole
+decision history alongside solver spans and simulator metrics.  The
+in-memory list is kept for compatibility and for :meth:`summary`.
+
+Events carry a monotonic ``seq`` field besides their (rounded)
+timestamp: simulated time is rounded to 6 decimals on emit, so several
+events of one control-loop iteration share a timestamp, and only the
+sequence number preserves their total order across a JSONL round-trip.
 """
 
 import json
 from collections import Counter
 
+from repro.obs import ensure_obs
+
 
 class EventLog:
     """Append-only structured event log.
 
-    Each event is a plain dict with at least ``time`` (simulated
-    seconds) and ``kind``.
+    Each event is a plain dict with at least ``seq`` (monotonic emit
+    order), ``time`` (simulated seconds), and ``kind``.
+
+    Args:
+        obs: Optional :class:`~repro.obs.Instrumentation`; every emit
+            is forwarded to its tracer (as an ``online.<kind>`` event
+            span) and metrics (``repro_online_events_total{kind=…}``).
     """
 
-    def __init__(self):
+    def __init__(self, obs=None):
         self.events = []
+        self._obs = ensure_obs(obs)
 
     def emit(self, time, kind, **payload):
         """Record one event and return it."""
-        event = {"time": round(float(time), 6), "kind": str(kind)}
+        event = {"seq": len(self.events), "time": round(float(time), 6),
+                 "kind": str(kind)}
         event.update(payload)
         self.events.append(event)
+        if self._obs.enabled:
+            self._obs.metrics.counter(
+                "repro_online_events_total", kind=event["kind"]
+            ).inc()
+            self._obs.tracer.event("online." + event["kind"], **event)
         return event
 
     def __len__(self):
@@ -57,13 +84,22 @@ class EventLog:
 
     @classmethod
     def from_jsonl(cls, path):
-        """Load an event log written by :meth:`to_jsonl`."""
+        """Load an event log written by :meth:`to_jsonl`.
+
+        Events are restored in ``seq`` order (equal-time events would
+        otherwise lose their intra-tick order); logs written before the
+        ``seq`` field existed keep their file order and are assigned
+        sequence numbers on load.
+        """
         log = cls()
         with open(path) as handle:
             for line in handle:
                 line = line.strip()
                 if line:
                     log.events.append(json.loads(line))
+        for index, event in enumerate(log.events):
+            event.setdefault("seq", index)
+        log.events.sort(key=lambda e: e["seq"])
         return log
 
     # ------------------------------------------------------------------

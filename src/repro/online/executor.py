@@ -16,6 +16,7 @@ traffic for application workload.
 
 from repro import units
 from repro.errors import SimulationError
+from repro.obs.metrics import NULL_REGISTRY
 from repro.storage.request import IORequest
 from repro.storage.streams import next_stream_id
 
@@ -34,10 +35,14 @@ class ThrottledMigrator:
             and the next chunk's read being issued, per window slot.
         on_done: Callback invoked with the migrator when the last chunk
             lands.
+        metrics: Optional :class:`~repro.obs.metrics.MetricsRegistry`;
+            completed chunks and copied bytes are counted in
+            ``repro_migration_chunks_total`` /
+            ``repro_migration_bytes_total``.
     """
 
     def __init__(self, ctx, plan, chunk=units.DEFAULT_STRIPE_SIZE,
-                 window=1, pace_s=0.0, on_done=None):
+                 window=1, pace_s=0.0, on_done=None, metrics=None):
         if window < 1:
             raise SimulationError("migration window must be at least 1")
         if chunk < 1:
@@ -48,6 +53,9 @@ class ThrottledMigrator:
         self.window = int(window)
         self.pace_s = float(pace_s)
         self.on_done = on_done
+        metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._m_chunks = metrics.counter("repro_migration_chunks_total")
+        self._m_bytes = metrics.counter("repro_migration_bytes_total")
         self.stream_id = next_stream_id()
 
         target_index = {t.name: j for j, t in enumerate(ctx.targets)}
@@ -122,6 +130,8 @@ class ThrottledMigrator:
             self._in_flight -= 1
             self.bytes_moved += size
             self.chunks_done += 1
+            self._m_chunks.inc()
+            self._m_bytes.inc(size)
             if self.pace_s > 0:
                 self.ctx.engine.schedule(self.pace_s, self._refill)
             else:

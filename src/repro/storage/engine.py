@@ -27,6 +27,10 @@ class SimulationEngine:
         self._heap = []
         self._sequence = 0
         self._completion_observers = []
+        #: Lifetime count of events executed by :meth:`step`; exported
+        #: by the simulator metrics collector as
+        #: ``repro_sim_engine_events_total``.
+        self.events_processed = 0
 
     @property
     def now(self):
@@ -52,6 +56,7 @@ class SimulationEngine:
             return False
         time, _, callback, args = heapq.heappop(self._heap)
         self._now = time
+        self.events_processed += 1
         callback(*args)
         return True
 

@@ -62,6 +62,16 @@ class StorageTarget:
     def capacity(self):
         return self.device.capacity
 
+    @property
+    def queue_depth(self):
+        """Requests waiting (not yet in service) across all units."""
+        return sum(len(server.queue) for server in self._servers)
+
+    @property
+    def in_service(self):
+        """Requests currently being served across all units."""
+        return sum(server.in_service for server in self._servers)
+
     def bind(self, engine, trace=None):
         """Attach the target to a simulation engine (and fresh trace)."""
         self.engine = engine

@@ -34,7 +34,12 @@ def problem():
     return make_problem()
 
 
+@pytest.mark.filterwarnings(
+    "ignore:ObjectiveEvaluator rebound:RuntimeWarning"
+)
 def test_utilizations_with_row_matches_full(problem):
+    # Probing 20 unrelated base matrices through one evaluator is the
+    # rebind pattern the cache warns about; here it is the point.
     rng = np.random.default_rng(0)
     n, m = problem.n_objects, problem.n_targets
     evaluator = problem.evaluator()

@@ -1,0 +1,173 @@
+"""End-to-end instrumentation tests: advisor pipeline spans, solver
+telemetry, rebind accounting, and the report renderer."""
+
+import warnings
+
+import pytest
+
+from repro.core.advisor import LayoutAdvisor
+from repro.core.objective import REBIND_WARN_FLOOR, ObjectiveEvaluator
+from repro.core.solver import solve
+from repro.obs import Instrumentation
+from repro.obs.export import read_trace, write_trace
+from repro.obs.report import render_report
+
+from tests.conftest import make_problem
+
+
+@pytest.fixture
+def problem():
+    return make_problem()
+
+
+def _advise(problem, obs=None, restarts=1):
+    return LayoutAdvisor(problem, restarts=restarts, obs=obs).recommend()
+
+
+def test_advisor_records_stage_span_tree(problem):
+    obs = Instrumentation.on()
+    _advise(problem, obs=obs, restarts=2)
+    roots, children = obs.tracer.tree()
+    assert [s.name for s in roots] == ["advise"]
+    stages = [s.name for s in children[roots[0].span_id]]
+    assert stages == ["advise.initial", "advise.solve", "advise.regularize"]
+    solve_span = obs.tracer.find("advise.solve")[0]
+    restarts = children[solve_span.span_id]
+    names = {s.name for s in restarts}
+    assert "solver.restart" in names
+    # restarts=2 means attempts 0..2.
+    assert len(obs.tracer.find("solver.restart")) == 3
+    assert all(s.duration_s is not None for s in obs.tracer.spans)
+    assert roots[0].tags["objective"] > 0
+
+
+def test_advisor_records_stage_objective_gauges(problem):
+    obs = Instrumentation.on()
+    result = _advise(problem, obs=obs)
+    stages = {
+        labels["stage"]: gauge.value
+        for labels, gauge in obs.metrics.find("repro_advise_objective")
+    }
+    assert set(stages) == set(result.utilizations)
+    for stage, values in result.utilizations.items():
+        assert stages[stage] == pytest.approx(float(values.max()))
+    times = obs.metrics.find("repro_advise_stage_seconds")
+    assert {labels["stage"] for labels, _ in times} >= \
+        {"initial", "solve"}
+
+
+def test_solver_convergence_series_per_restart(problem):
+    obs = Instrumentation.on()
+    evaluator = problem.evaluator(metrics=obs.metrics)
+    result = solve(problem, method="coordinate", restarts=1, seed=0,
+                   evaluator=evaluator, workers=1, obs=obs)
+    rows = obs.metrics.find("repro_solver_convergence")
+    attempts = {labels["attempt"] for labels, _ in rows}
+    assert {0, 1} <= attempts
+    for labels, series in rows:
+        objectives = series.field("objective")
+        assert objectives, labels
+        # Trajectories only improve or hold for accepted moves.
+        assert min(objectives) <= objectives[0]
+    restarts = obs.metrics.find("repro_solver_restarts_total")
+    assert sum(counter.value for _, counter in restarts) == 2
+    assert result.objective > 0
+
+
+def test_instrumentation_does_not_change_the_answer(problem):
+    plain = _advise(problem, restarts=1)
+    obs = Instrumentation.on()
+    traced = _advise(problem, obs=obs, restarts=1)
+    assert traced.recommended.fractions_by_name() == \
+        plain.recommended.fractions_by_name()
+    for stage, values in plain.utilizations.items():
+        assert list(traced.utilizations[stage]) == list(values)
+
+
+def test_disabled_advisor_records_nothing(problem):
+    advisor = LayoutAdvisor(problem)
+    advisor.recommend()
+    assert advisor.obs.enabled is False
+    assert list(advisor.obs.tracer.spans) == []
+    assert len(advisor.obs.metrics) == 0
+
+
+def test_evaluator_metrics_feed_the_registry(problem):
+    obs = Instrumentation.on()
+    evaluator = problem.evaluator(metrics=obs.metrics)
+    solve(problem, method="coordinate", restarts=0, seed=0,
+          evaluator=evaluator, workers=1, obs=obs)
+    probes = obs.metrics.get("repro_evaluator_probe_rows_total").value
+    full = obs.metrics.get("repro_evaluator_full_evaluations_total").value
+    assert probes == evaluator.incremental_evaluations > 0
+    assert full == evaluator.full_evaluations > 0
+    assert obs.metrics.get("repro_evaluator_commits_total").value \
+        == evaluator.commits
+
+
+def test_report_renders_all_pipeline_sections(problem, tmp_path):
+    obs = Instrumentation.on()
+    _advise(problem, obs=obs, restarts=1)
+    path = tmp_path / "trace.jsonl"
+    write_trace(str(path), obs, meta={"command": "advise"})
+    text = render_report(read_trace(str(path)), tree=True)
+    for heading in ("trace", "stage times", "solver restarts",
+                    "convergence (per restart)", "evaluator cache",
+                    "objective (max target utilization)", "span tree"):
+        assert heading in text, heading
+    assert "advise.solve" in text
+    assert "cache hit rate" in text
+
+
+def test_report_on_empty_trace(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    text = render_report(read_trace(str(path)))
+    assert "empty trace" in text
+
+
+# ----------------------------------------------------------------------
+# Rebind accounting (satellite: detect thrashing evaluator caches)
+# ----------------------------------------------------------------------
+
+def _thrash(evaluator, problem, times):
+    """Alternate probes between two base matrices to force rebinds."""
+    import numpy as np
+    rng = np.random.default_rng(0)
+    n, m = problem.n_objects, problem.n_targets
+    bases = []
+    for _ in range(2):
+        matrix = rng.random((n, m)) + 1e-6
+        bases.append(matrix / matrix.sum(axis=1, keepdims=True))
+    row = np.full(m, 1.0 / m)
+    for i in range(times):
+        evaluator.utilizations_with_row(bases[i % 2], 0, row)
+
+
+def test_rebinds_are_counted(problem):
+    evaluator = ObjectiveEvaluator(problem)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        _thrash(evaluator, problem, 6)
+    # First call binds; each alternation after that rebinds.
+    assert evaluator.rebinds == 5
+    assert evaluator.commits == 0
+
+
+def test_rebind_storm_warns_once(problem):
+    evaluator = ObjectiveEvaluator(problem)
+    with pytest.warns(RuntimeWarning, match="rebound its incremental"):
+        _thrash(evaluator, problem, REBIND_WARN_FLOOR + 2)
+    # Warned exactly once, not per rebind.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        _thrash(evaluator, problem, 4)
+
+
+def test_normal_solver_use_does_not_warn(problem):
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", RuntimeWarning)
+        evaluator = problem.evaluator()
+        solve(problem, method="coordinate", restarts=2, seed=0,
+              evaluator=evaluator, workers=1)
+    assert evaluator.rebinds <= REBIND_WARN_FLOOR

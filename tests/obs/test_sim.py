@@ -1,0 +1,132 @@
+"""Tests for the simulator metrics collector (live engine and offline)."""
+
+import pytest
+
+from repro import units
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sim import SimMetricsCollector
+from repro.storage.disk import DiskDrive
+from repro.storage.engine import SimulationEngine
+from repro.storage.request import CompletionRecord, IORequest
+from repro.storage.target import StorageTarget
+
+
+def _request(lba, size=8192, kind="read", stream=1):
+    return IORequest(stream_id=stream, kind=kind, lba=lba, size=size)
+
+
+@pytest.fixture
+def engine():
+    return SimulationEngine()
+
+
+@pytest.fixture
+def target(engine):
+    return StorageTarget(DiskDrive("d0", units.gib(1)), engine=engine)
+
+
+def test_live_collector_observes_every_completion(engine, target):
+    metrics = MetricsRegistry()
+    collector = SimMetricsCollector(metrics, targets=[target]).attach(engine)
+    for i in range(8):
+        target.submit(_request(i * units.mib(1)))
+    target.submit(_request(0, kind="write", size=4096))
+    engine.run()
+    collector.finalize()
+
+    assert collector.observed == 9
+    latency = metrics.get("repro_sim_request_latency_seconds", target="d0")
+    assert latency.count == 9
+    assert latency.sum > 0
+    reads = metrics.get("repro_sim_requests_total", target="d0", kind="read")
+    writes = metrics.get("repro_sim_requests_total", target="d0",
+                         kind="write")
+    assert reads.value == 8
+    assert writes.value == 1
+    assert metrics.get("repro_sim_bytes_total", target="d0",
+                       kind="read").value == 8 * 8192
+    assert metrics.get("repro_sim_bytes_total", target="d0",
+                       kind="write").value == 4096
+
+
+def test_live_collector_samples_queue_depth(engine, target):
+    metrics = MetricsRegistry()
+    SimMetricsCollector(metrics, targets=[target]).attach(engine)
+    # A burst deep enough that completions still see waiters queued.
+    for i in range(16):
+        target.submit(_request(i * units.mib(4)))
+    engine.run()
+    depth = metrics.get("repro_sim_queue_depth", target="d0")
+    assert depth.count == 16
+    # At least one completion observed a non-empty queue (bucket 0 is
+    # the <=0 bound, so a non-zero sample lands above it).
+    assert depth.cumulative_counts()[0] < depth.count
+
+
+def test_finalize_records_busy_time_and_utilization(engine, target):
+    metrics = MetricsRegistry()
+    collector = SimMetricsCollector(metrics, targets=[target]).attach(engine)
+    target.submit(_request(0))
+    engine.run()
+    collector.finalize()
+    busy = metrics.get("repro_sim_busy_seconds", target="d0").value
+    util = metrics.get("repro_sim_utilization", target="d0").value
+    assert busy > 0
+    assert 0 < util <= 1.0
+    assert util == pytest.approx(target.utilization(engine.now))
+    assert metrics.get("repro_sim_requests_completed",
+                       target="d0").value == 1
+    assert metrics.get("repro_sim_engine_events_total").value \
+        == engine.events_processed > 0
+
+
+def test_detach_stops_observation(engine, target):
+    metrics = MetricsRegistry()
+    collector = SimMetricsCollector(metrics, targets=[target]).attach(engine)
+    target.submit(_request(0))
+    engine.run()
+    collector.detach()
+    target.submit(_request(units.mib(1)))
+    engine.run()
+    assert collector.observed == 1
+    assert target.completed == 2
+
+
+def test_offline_consume_rebuilds_metrics_from_archived_records():
+    metrics = MetricsRegistry()
+    records = [
+        CompletionRecord(
+            submit_time=i * 0.01, finish_time=i * 0.01 + 0.002,
+            target="ssd", obj="a", stream_id=1, kind="read", lba=0,
+            logical_offset=None, size=4096, service_time=0.002,
+        )
+        for i in range(5)
+    ]
+    collector = SimMetricsCollector(metrics).consume(records)
+    collector.finalize(elapsed=0.05)
+    assert collector.observed == 5
+    latency = metrics.get("repro_sim_request_latency_seconds", target="ssd")
+    assert latency.count == 5
+    assert latency.mean == pytest.approx(0.002)
+    # No live targets bound: no queue-depth or utilization metrics.
+    assert metrics.get("repro_sim_queue_depth", target="ssd") is None
+    assert metrics.get("repro_sim_utilization", target="ssd") is None
+
+
+def test_custom_prefix_namespaces_all_metrics(engine, target):
+    metrics = MetricsRegistry()
+    SimMetricsCollector(metrics, targets=[target],
+                        prefix="mysim").attach(engine)
+    target.submit(_request(0))
+    engine.run()
+    assert metrics.get("mysim_request_latency_seconds",
+                       target="d0") is not None
+    assert metrics.get("repro_sim_request_latency_seconds",
+                       target="d0") is None
+
+
+def test_engine_counts_processed_events(engine, target):
+    assert engine.events_processed == 0
+    target.submit(_request(0))
+    engine.run()
+    assert engine.events_processed > 0

@@ -1,0 +1,202 @@
+"""Tests for the span tracer: nesting, clocks, round-trips, null path."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    json_default,
+)
+
+
+class FakeClock:
+    """Deterministic clock: each read advances by ``step`` seconds."""
+
+    def __init__(self, start=100.0, step=1.0):
+        self.now = start
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+@pytest.fixture
+def tracer():
+    return Tracer(clock=FakeClock())
+
+
+def test_nested_spans_get_parent_ids(tracer):
+    outer = tracer.start("outer")
+    inner = tracer.start("inner")
+    leaf = tracer.start("leaf")
+    assert outer.parent_id is None
+    assert inner.parent_id == outer.span_id
+    assert leaf.parent_id == inner.span_id
+    tracer.finish(leaf)
+    sibling = tracer.start("sibling")
+    assert sibling.parent_id == inner.span_id
+
+
+def test_injected_clock_stamps_durations(tracer):
+    span = tracer.start("work")        # clock reads 100
+    tracer.finish(span)                # clock reads 101
+    assert span.start_s == 100.0
+    assert span.end_s == 101.0
+    assert span.duration_s == 1.0
+
+
+def test_explicit_parent_and_forced_root(tracer):
+    outer = tracer.start("outer")
+    adopted = tracer.start("adopted", parent=outer)
+    root = tracer.start("root", parent=False)
+    assert adopted.parent_id == outer.span_id
+    assert root.parent_id is None
+
+
+def test_detached_span_is_recorded_but_not_a_parent(tracer):
+    outer = tracer.start("outer")
+    episode = tracer.start("episode", detached=True)
+    child = tracer.start("child")
+    assert episode in tracer.spans
+    assert episode.parent_id == outer.span_id
+    # The detached span never went on the stack: "child" nests under
+    # "outer", not under the still-open episode.
+    assert child.parent_id == outer.span_id
+
+
+def test_out_of_order_finish_tolerated(tracer):
+    outer = tracer.start("outer")
+    inner = tracer.start("inner")
+    tracer.finish(outer)
+    tracer.finish(inner)
+    assert outer.duration_s is not None
+    assert inner.duration_s is not None
+    # Double finish is a no-op, not a re-stamp.
+    end = inner.end_s
+    tracer.finish(inner)
+    assert inner.end_s == end
+
+
+def test_context_manager_finishes_and_tags_errors(tracer):
+    with tracer.span("ok", method="slsqp") as span:
+        pass
+    assert span.end_s is not None
+    assert span.tags == {"method": "slsqp"}
+
+    with pytest.raises(ValueError):
+        with tracer.span("boom") as span:
+            raise ValueError("nope")
+    assert span.end_s is not None
+    assert span.tags["error"] == "ValueError"
+
+
+def test_event_is_zero_duration(tracer):
+    event = tracer.event("online.check", sim_time=5.0)
+    assert event.duration_s == 0.0
+    assert event.tags["sim_time"] == 5.0
+
+
+def test_add_span_backdates_to_reported_duration(tracer):
+    span = tracer.add_span("solver.restart", 2.5, parallel=True)
+    assert span.duration_s == pytest.approx(2.5)
+    assert span.end_s == 100.0            # the single clock read
+    assert span.tags["parallel"] is True
+
+
+def test_finish_merges_tags(tracer):
+    span = tracer.start("solve", method="slsqp")
+    tracer.finish(span, objective=1.25)
+    assert span.tags == {"method": "slsqp", "objective": 1.25}
+
+
+def test_find_and_tree(tracer):
+    root = tracer.start("advise")
+    tracer.start("advise.solve")
+    tracer.finish(tracer.start("solver.restart"))
+    assert [s.name for s in tracer.find("solver.restart")] == \
+        ["solver.restart"]
+    roots, children = tracer.tree()
+    assert roots == [root]
+    assert [s.name for s in children[root.span_id]] == ["advise.solve"]
+
+
+def test_render_tree_indents_by_depth(tracer):
+    with tracer.span("advise"):
+        with tracer.span("advise.solve"):
+            pass
+    text = tracer.render_tree()
+    lines = text.splitlines()
+    assert lines[0].startswith("advise")
+    assert lines[1].startswith("  advise.solve")
+    # Depth limiting prunes children.
+    assert "advise.solve" not in tracer.render_tree(max_depth=0)
+
+
+def test_records_round_trip_preserves_tree(tracer):
+    with tracer.span("advise", restarts=2):
+        with tracer.span("advise.solve"):
+            tracer.event("marker")
+    rebuilt = Tracer.from_records(tracer.to_records())
+    assert [s.name for s in rebuilt.spans] == \
+        [s.name for s in tracer.spans]
+    roots, children = rebuilt.tree()
+    assert [s.name for s in roots] == ["advise"]
+    assert roots[0].tags == {"restarts": 2}
+    kids = children[roots[0].span_id]
+    assert [s.name for s in kids] == ["advise.solve"]
+    # New spans on the rebuilt tracer do not collide with loaded ids.
+    fresh = rebuilt.start("later")
+    assert fresh.span_id > max(s.span_id for s in tracer.spans)
+
+
+def test_to_jsonl_writes_one_record_per_span(tracer, tmp_path):
+    tracer.finish(tracer.start("a", index=np.int64(3)))
+    path = tmp_path / "spans.jsonl"
+    tracer.to_jsonl(str(path))
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    assert len(records) == 1
+    assert records[0]["name"] == "a"
+    assert records[0]["tags"]["index"] == 3
+
+
+def test_json_default_coerces_numpy_scalars():
+    assert json_default(np.int64(7)) == 7
+    assert json_default(np.float64(0.5)) == 0.5
+    with pytest.raises(TypeError):
+        json_default(object())
+
+
+def test_open_span_serializes_without_end(tracer):
+    span = tracer.start("open")
+    record = span.to_record()
+    assert "end_s" not in record
+    assert Span.from_record(record).duration_s is None
+
+
+def test_null_tracer_records_nothing():
+    null = NullTracer()
+    assert null.enabled is False
+    span = null.start("anything", tag=1)
+    null.finish(span, more=2)
+    with null.span("scoped"):
+        pass
+    null.event("event")
+    null.add_span("done", 1.0)
+    assert list(null.spans) == []
+    assert null.find("anything") == []
+    assert null.to_records() == []
+    assert null.render_tree() == ""
+
+
+def test_null_tracer_singleton_span_is_inert():
+    span = NULL_TRACER.start("x")
+    assert span is NULL_TRACER.start("y")
+    span.set_tag("k", "v")
+    assert span.tags == {}

@@ -300,3 +300,64 @@ def test_stop_detaches_the_monitor():
     assert not engine.has_completion_observers
     # Idempotent.
     controller.stop()
+
+
+# ----------------------------------------------------------------------
+# Instrumentation
+# ----------------------------------------------------------------------
+
+def test_instrumented_replay_records_resolve_spans_and_counters():
+    from repro.obs import Instrumentation
+
+    obs = Instrumentation.on()
+    controller = OnlineController(
+        targets=_targets(), object_sizes=SIZES,
+        initial_layout=_layout([[1.0, 0.0], [1.0, 0.0]]),
+        solved_workloads=[ObjectWorkload("a", read_rate=50),
+                          ObjectWorkload("b")],
+        config=_config(), obs=obs,
+    )
+    trace = _records("a", 50.0, 0.0, 120.0) + _records("b", 150.0, 20.0, 120.0)
+    log = controller.replay(trace)
+
+    accepts = log.of_kind("accept")
+    rejects = log.of_kind("reject")
+    resolve_spans = obs.tracer.find("online.resolve")
+    assert len(resolve_spans) == len(accepts) + len(rejects) >= 1
+    decisions = [s.tags["decision"] for s in resolve_spans]
+    assert decisions.count("accept") == len(accepts)
+    accepted_span = next(s for s in resolve_spans
+                         if s.tags["decision"] == "accept")
+    assert accepted_span.duration_s is not None
+    assert accepted_span.tags["gain"] > 0
+
+    counters = {
+        labels["decision"]: counter.value
+        for labels, counter in
+        obs.metrics.find("repro_online_resolves_total")
+    }
+    assert counters.get("accept", 0) == len(accepts)
+    assert counters.get("reject", 0) == len(rejects)
+
+    # Every accepted re-solve produced a finished migration span.
+    migration_spans = obs.tracer.find("online.migration")
+    assert len(migration_spans) == len(accepts)
+    for span in migration_spans:
+        assert span.duration_s is not None
+        assert span.tags["bytes_moved"] > 0
+        assert span.tags["virtual"] is True
+
+    # The event log fed the same registry.
+    checks = obs.metrics.get("repro_online_events_total", kind="check")
+    assert checks.value == len(log.of_kind("check"))
+
+
+def test_uninstrumented_controller_records_nothing():
+    controller = _controller(
+        initial=_layout([[1.0, 0.0], [0.0, 1.0]]),
+        solved=[ObjectWorkload("a", read_rate=50),
+                ObjectWorkload("b", read_rate=50)],
+    )
+    controller.replay(_records("a", 50.0, 0.0, 30.0))
+    assert controller.obs.enabled is False
+    assert list(controller.obs.tracer.spans) == []

@@ -1,0 +1,119 @@
+"""Tests for the controller event log: sequence numbers, round-trips,
+and instrumentation forwarding."""
+
+import json
+
+import pytest
+
+from repro.obs import Instrumentation
+from repro.online.events import EventLog
+
+
+def test_emit_assigns_monotonic_seq():
+    log = EventLog()
+    for i in range(5):
+        log.emit(1.0, "check")
+    assert [e["seq"] for e in log] == list(range(5))
+
+
+def test_equal_time_events_keep_order_through_jsonl(tmp_path):
+    """Regression: ``time`` is rounded to 6 decimals on emit, so the
+    several events of one control-loop tick share a timestamp.  Before
+    the ``seq`` field existed, nothing in the serialized form recorded
+    their relative order."""
+    log = EventLog()
+    # One tick: check → trigger → reject all land at the same instant,
+    # plus sub-microsecond spacing that rounding collapses.
+    log.emit(2.0000001, "check")
+    log.emit(2.0000002, "trigger", reason="utilization")
+    log.emit(2.0000004, "reject", reason="gain")
+    assert [e["time"] for e in log] == [2.0, 2.0, 2.0]
+
+    path = tmp_path / "events.jsonl"
+    log.to_jsonl(str(path))
+    loaded = EventLog.from_jsonl(str(path))
+    assert [e["kind"] for e in loaded] == ["check", "trigger", "reject"]
+    assert [e["seq"] for e in loaded] == [0, 1, 2]
+
+
+def test_from_jsonl_restores_seq_order_not_file_order(tmp_path):
+    path = tmp_path / "shuffled.jsonl"
+    events = [
+        {"seq": 2, "time": 1.0, "kind": "late"},
+        {"seq": 0, "time": 1.0, "kind": "first"},
+        {"seq": 1, "time": 1.0, "kind": "middle"},
+    ]
+    path.write_text("\n".join(json.dumps(e) for e in events) + "\n")
+    loaded = EventLog.from_jsonl(str(path))
+    assert [e["kind"] for e in loaded] == ["first", "middle", "late"]
+
+
+def test_from_jsonl_backfills_seq_for_legacy_logs(tmp_path):
+    path = tmp_path / "legacy.jsonl"
+    path.write_text("\n".join(json.dumps(e) for e in [
+        {"time": 1.0, "kind": "baseline"},
+        {"time": 2.0, "kind": "check"},
+    ]) + "\n")
+    loaded = EventLog.from_jsonl(str(path))
+    assert [e["seq"] for e in loaded] == [0, 1]
+    assert [e["kind"] for e in loaded] == ["baseline", "check"]
+
+
+def test_emit_payload_and_round_trip(tmp_path):
+    log = EventLog()
+    log.emit(3.25, "accept", gain=0.12, plan_bytes=1 << 20)
+    path = tmp_path / "events.jsonl"
+    log.to_jsonl(str(path))
+    event = EventLog.from_jsonl(str(path)).last("accept")
+    assert event["gain"] == 0.12
+    assert event["plan_bytes"] == 1 << 20
+    assert event["seq"] == 0
+    assert event["time"] == 3.25
+
+
+def test_emit_forwards_to_instrumentation():
+    obs = Instrumentation.on()
+    log = EventLog(obs=obs)
+    log.emit(1.0, "check")
+    log.emit(2.0, "check")
+    log.emit(2.5, "trigger", reason="divergence")
+    assert obs.metrics.get("repro_online_events_total",
+                           kind="check").value == 2
+    assert obs.metrics.get("repro_online_events_total",
+                           kind="trigger").value == 1
+    names = [s.name for s in obs.tracer.spans]
+    assert names == ["online.check", "online.check", "online.trigger"]
+    trigger = obs.tracer.find("online.trigger")[0]
+    assert trigger.duration_s == 0.0
+    assert trigger.tags["reason"] == "divergence"
+    assert trigger.tags["seq"] == 2
+
+
+def test_uninstrumented_log_pays_nothing():
+    log = EventLog()
+    assert log._obs.enabled is False
+    log.emit(1.0, "check")
+    assert len(log) == 1
+
+
+def test_of_kind_and_last():
+    log = EventLog()
+    log.emit(1.0, "check")
+    log.emit(2.0, "trigger")
+    log.emit(3.0, "check")
+    assert len(log.of_kind("check")) == 2
+    assert log.last()["time"] == 3.0
+    assert log.last("trigger")["time"] == 2.0
+    assert log.last("missing") is None
+
+
+def test_summary_counts_by_kind():
+    log = EventLog()
+    log.emit(0.0, "baseline")
+    log.emit(1.0, "check")
+    log.emit(2.0, "trigger", reason="utilization")
+    log.emit(2.0, "reject", reason="gain", decision_latency_s=0.01)
+    text = log.summary()
+    assert "checks" in text
+    assert "utilization: 1" in text
+    assert "rejected 1" in text

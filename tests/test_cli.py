@@ -203,3 +203,99 @@ def test_replay_online_missing_trace_is_an_error(online_problem_file,
     assert main(["replay-online", online_problem_file,
                  "/nonexistent/trace.jsonl"]) == 1
     assert "error" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Observability: advise --trace / replay-online --metrics / report
+# ----------------------------------------------------------------------
+
+def test_advise_trace_writes_span_tree(problem_file, tmp_path, capsys):
+    from repro.obs.export import read_trace
+
+    out = tmp_path / "trace.jsonl"
+    assert main(["advise", problem_file, "--restarts", "2",
+                 "--trace", str(out)]) == 0
+    assert "trace written to" in capsys.readouterr().out
+
+    trace = read_trace(str(out))
+    assert trace.meta["command"] == "advise"
+    assert trace.meta["restarts"] == 2
+    roots, children = trace.tracer.tree()
+    assert [s.name for s in roots] == ["advise"]
+    stages = [s.name for s in children[roots[0].span_id]]
+    assert stages == ["advise.initial", "advise.solve", "advise.regularize"]
+    assert trace.tracer.find("solver.restart")
+    series = trace.metrics.find("repro_solver_convergence")
+    assert series
+    assert all(s.field("objective") for _, s in series)
+    assert trace.metrics.get("repro_evaluator_full_evaluations_total")
+
+
+def test_advise_trace_prom_extension_writes_prometheus(problem_file,
+                                                       tmp_path, capsys):
+    out = tmp_path / "metrics.prom"
+    assert main(["advise", problem_file, "--trace", str(out)]) == 0
+    text = out.read_text()
+    assert "# TYPE repro_evaluator_full_evaluations_total counter" in text
+    assert 'repro_advise_objective{stage="solver"}' in text
+
+
+def test_advise_without_trace_writes_nothing(problem_file, tmp_path,
+                                             capsys):
+    assert main(["advise", problem_file]) == 0
+    assert "trace written" not in capsys.readouterr().out
+
+
+def test_report_renders_saved_trace(problem_file, tmp_path, capsys):
+    out = tmp_path / "trace.jsonl"
+    assert main(["advise", problem_file, "--trace", str(out)]) == 0
+    capsys.readouterr()
+
+    assert main(["report", str(out)]) == 0
+    text = capsys.readouterr().out
+    for heading in ("stage times", "solver restarts", "evaluator cache",
+                    "objective (max target utilization)"):
+        assert heading in text, heading
+    assert "cache hit rate" in text
+    assert "span tree" not in text
+
+    assert main(["report", str(out), "--tree"]) == 0
+    tree_text = capsys.readouterr().out
+    assert "span tree" in tree_text
+    assert "advise.solve" in tree_text
+
+
+def test_report_missing_file_is_an_error(capsys):
+    assert main(["report", "/nonexistent/trace.jsonl"]) == 1
+    assert "error" in capsys.readouterr().err
+
+
+def test_replay_online_metrics_trace(online_problem_file, tmp_path,
+                                     capsys):
+    from repro.obs.export import read_trace
+
+    trace_path = tmp_path / "trace.jsonl"
+    _write_trace(trace_path, [("a", 50.0, 0.0, 120.0),
+                              ("b", 150.0, 20.0, 120.0)])
+    metrics_path = tmp_path / "metrics.jsonl"
+    assert main(["replay-online", online_problem_file, str(trace_path),
+                 "--non-regular", "--metrics", str(metrics_path)]) == 0
+    assert "metrics written to" in capsys.readouterr().out
+
+    trace = read_trace(str(metrics_path))
+    assert trace.meta["command"] == "replay-online"
+    assert trace.meta["records"] == 21000
+    # Controller decisions and simulator metrics share the file.
+    checks = trace.metrics.get("repro_online_events_total", kind="check")
+    assert checks is not None and checks.value > 0
+    latency = trace.metrics.get("repro_sim_request_latency_seconds",
+                                target="disk0")
+    assert latency is not None and latency.count == 21000
+    # The initial advise was instrumented through the same bundle.
+    assert trace.tracer.find("advise")
+
+    capsys.readouterr()
+    assert main(["report", str(metrics_path)]) == 0
+    text = capsys.readouterr().out
+    assert "online controller" in text
+    assert "simulator (per target)" in text
