@@ -1,0 +1,315 @@
+"""Fail-stop recovery: resilience ON vs OFF.
+
+A layout solved for healthy hardware meets a device failure: ``orders``
+lives entirely on d0, and at ``T_FAIL`` d0 fail-stops — every request
+to it errors out after the host's error-return latency.  Without the
+resilience layer the closed-loop readers retry against the dead device
+forever: goodput for ``orders`` drops to zero and the error counter
+climbs until the end of the run.  With it, the failure detector turns
+the injected fault into an emergency re-solve that bypasses the drift
+gates, the evacuation copy restores d0's chunks from redundancy onto
+the survivors, the placement map swaps — and ``orders`` is served
+again, with the error stream silenced.
+
+The run reports time-to-recover and the before/after goodput of both
+configurations, and commits the numbers to
+``benchmarks/results/BENCH_fault_recovery.json``.
+"""
+
+import argparse
+import json
+import os
+
+import numpy as np
+
+from benchmarks.conftest import RESULTS_DIR, report
+from repro import units
+from repro.core.layout import Layout
+from repro.core.problem import TargetSpec
+from repro.experiments.reporting import format_table
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.models.analytic import analytic_disk_target_model
+from repro.online.controller import ControllerConfig, OnlineController
+from repro.storage.disk import DiskDrive
+from repro.storage.engine import SimulationEngine
+from repro.storage.mapping import PlacementMap
+from repro.storage.streams import SimContext, SteadyStream
+from repro.storage.target import StorageTarget
+from repro.workload.spec import ObjectWorkload
+
+N_DISKS = 3
+CAPACITY = units.mib(256)
+SIZES = {"orders": units.mib(96), "lineitem": units.mib(96)}
+
+#: The healthy-hardware layout: ``orders`` parked whole on d0,
+#: ``lineitem`` striped over the other two spindles.
+INITIAL = Layout(
+    [
+        [1.0, 0.0, 0.0],      # orders
+        [0.0, 0.5, 0.5],      # lineitem
+    ],
+    ["orders", "lineitem"],
+    ["d%d" % j for j in range(N_DISKS)],
+)
+
+#: What that layout was solved for; rates match what the closed-loop
+#: streams achieve, so the drift detector stays quiet and every event
+#: in the run is the fault's doing.
+SOLVED_FOR = [
+    ObjectWorkload("orders", read_rate=90.0),
+    ObjectWorkload("lineitem", read_rate=60.0),
+]
+
+T_FAIL = 25.0
+SAMPLE_S = 1.0
+
+CONFIG = ControllerConfig(
+    check_interval_s=4.0,
+    monitor_window_s=1.0,
+    monitor_halflife_s=8.0,
+    patience=3,
+    cooldown_s=30.0,
+    min_gain=0.10,
+    amortization_s=300.0,
+    migration_chunk=units.mib(1),
+    migration_window=2,
+    migration_pace_s=0.02,
+    regular=False,
+)
+
+
+def _solve_targets():
+    return [
+        TargetSpec("d%d" % j, CAPACITY, analytic_disk_target_model("d%d" % j))
+        for j in range(N_DISKS)
+    ]
+
+
+class _FaultRun:
+    """One fail-stop simulation, with or without the resilience layer."""
+
+    def __init__(self, resilient, t_end):
+        self.t_end = t_end
+        self.engine = SimulationEngine()
+        self.targets = [
+            StorageTarget(DiskDrive("d%d" % j, CAPACITY), self.engine)
+            for j in range(N_DISKS)
+        ]
+        placement = PlacementMap(
+            SIZES, INITIAL.fractions_by_name(), [CAPACITY] * N_DISKS
+        )
+        self.ctx = SimContext(self.engine, placement, self.targets)
+        self.controller = None
+        if resilient:
+            self.controller = OnlineController(
+                targets=_solve_targets(),
+                object_sizes=SIZES,
+                initial_layout=INITIAL,
+                solved_workloads=SOLVED_FOR,
+                ctx=self.ctx,
+                config=CONFIG,
+            ).start()
+            plan = FaultPlan(
+                [FaultEvent(time=T_FAIL, kind="fail-stop", target="d0")]
+            )
+            self.controller.attach_faults(
+                FaultInjector(plan, targets=self.targets)
+            )
+        else:
+            # The same hardware fault, with nobody watching for it.
+            self.engine.schedule(T_FAIL, self.targets[0].fail)
+
+        self.completions = {"orders": 0, "lineitem": 0}
+        self.engine.add_completion_observer(self._count)
+        self.samples = []   # (time, orders done, errors total, [busy..])
+
+    def _count(self, record):
+        if record.obj in self.completions:
+            self.completions[record.obj] += 1
+
+    def _sample(self):
+        self.samples.append((
+            self.engine.now,
+            self.completions["orders"],
+            sum(t.errors for t in self.targets),
+            [sum(s.busy_time for s in t._servers) for t in self.targets],
+        ))
+        if self.engine.now < self.t_end - SAMPLE_S / 2:
+            self.engine.schedule(SAMPLE_S, self._sample)
+
+    def run(self):
+        rng = np.random.default_rng
+        for i in range(3):
+            SteadyStream(self.ctx, "orders", rng=rng(i), kind="read",
+                         think_s=0.03).start()
+        for i in range(2):
+            SteadyStream(self.ctx, "lineitem", rng=rng(10 + i), kind="read",
+                         think_s=0.03).start()
+        self.engine.schedule(SAMPLE_S, self._sample)
+        self.engine.run(until=self.t_end)
+        if self.controller is not None:
+            self.controller.stop()
+        return self
+
+    # -- windowed metrics ------------------------------------------------
+
+    def _rate(self, column, t0, t1):
+        points = [(t, (o, e)[column]) for t, o, e, _ in self.samples]
+        before = max((p for p in points if p[0] <= t0), default=points[0])
+        after = max((p for p in points if p[0] <= t1), default=points[-1])
+        if after[0] <= before[0]:
+            return 0.0
+        return (after[1] - before[1]) / (after[0] - before[0])
+
+    def orders_goodput(self, t0, t1):
+        return self._rate(0, t0, t1)
+
+    def error_rate(self, t0, t1):
+        return self._rate(1, t0, t1)
+
+    def max_utilization(self, t0, t1):
+        """Mean over [t0, t1] of the busiest disk's utilization — the
+        quantity the layout solver minimizes.  Measured over the whole
+        array: a dead disk's column reads 0, so when the work it should
+        absorb is lost rather than re-routed, the system's utilization
+        stays depressed."""
+        points = [(t, busy) for t, _, _, busy in self.samples]
+        windows = [
+            max(b1 - b0 for b0, b1 in zip(prev[1], cur[1]))
+            / (cur[0] - prev[0])
+            for prev, cur in zip(points, points[1:])
+            if t0 < cur[0] <= t1
+        ]
+        return sum(windows) / len(windows)
+
+
+def run_comparison(t_end=80.0):
+    off = _FaultRun(resilient=False, t_end=t_end).run()
+    on = _FaultRun(resilient=True, t_end=t_end).run()
+
+    log = on.controller.log
+    migrations = [e for e in log.of_kind("migrated") if not e["virtual"]]
+    t_recovered = migrations[0]["time"] if migrations else None
+
+    pre = (5.0, T_FAIL)
+    post = (min(t_recovered + 5.0, t_end - 10.0) if t_recovered
+            else t_end - 10.0, t_end)
+    payload = {
+        "benchmark": "fault_recovery",
+        "t_fail": T_FAIL,
+        "horizon_s": t_end,
+        "recovery_s": (round(t_recovered - T_FAIL, 2)
+                       if t_recovered is not None else None),
+        "off": {
+            "goodput_pre": round(off.orders_goodput(*pre), 1),
+            "goodput_post": round(off.orders_goodput(*post), 1),
+            "max_util_pre": round(off.max_utilization(*pre), 3),
+            "max_util_post": round(off.max_utilization(*post), 3),
+            "error_rate_post": round(off.error_rate(*post), 1),
+            "errors_total": sum(t.errors for t in off.targets),
+        },
+        "on": {
+            "goodput_pre": round(on.orders_goodput(*pre), 1),
+            "goodput_post": round(on.orders_goodput(*post), 1),
+            "max_util_pre": round(on.max_utilization(*pre), 3),
+            "max_util_post": round(on.max_utilization(*post), 3),
+            "error_rate_post": round(on.error_rate(*post), 1),
+            "errors_total": sum(t.errors for t in on.targets),
+            "emergencies": on.controller.emergency_resolves,
+            "bytes_evacuated": (migrations[0]["bytes_moved"]
+                                if migrations else 0),
+            "fraction_on_dead": round(
+                float(on.controller.layout.row("orders")[0]), 6
+            ),
+        },
+    }
+    return off, on, payload
+
+
+def check_recovery(payload):
+    """The resilience claims the JSON is committed to prove."""
+    on, off = payload["on"], payload["off"]
+    assert on["emergencies"] == 1, payload
+    assert on["bytes_evacuated"] > 0, payload
+    assert on["fraction_on_dead"] <= 1e-9, payload
+    assert payload["recovery_s"] is not None, payload
+    # OFF stays degraded: orders goodput collapses, errors never stop.
+    assert off["goodput_post"] < 0.1 * off["goodput_pre"], payload
+    assert off["error_rate_post"] > 0, payload
+    # ON recovers: goodput returns and the error stream is silenced.
+    assert on["goodput_post"] > 0.5 * on["goodput_pre"], payload
+    assert on["error_rate_post"] <= 1.0, payload
+    assert on["errors_total"] < off["errors_total"], payload
+    # Max utilization recovers with ON (the survivors absorb the full
+    # offered load again) and stays depressed with OFF (the orders
+    # work is simply lost).
+    assert on["max_util_post"] > 0.6 * on["max_util_pre"], payload
+    assert off["max_util_post"] < 0.75 * on["max_util_post"], payload
+
+
+def _report(payload):
+    on, off = payload["on"], payload["off"]
+    report("fault_recovery", format_table(
+        ["Metric", "resilience OFF", "resilience ON"],
+        [
+            ["orders goodput before failure (req/s)",
+             "%.0f" % off["goodput_pre"], "%.0f" % on["goodput_pre"]],
+            ["orders goodput at end of run (req/s)",
+             "%.0f" % off["goodput_post"], "%.0f" % on["goodput_post"]],
+            ["max utilization before failure",
+             "%.3f" % off["max_util_pre"], "%.3f" % on["max_util_pre"]],
+            ["max utilization at end of run",
+             "%.3f" % off["max_util_post"], "%.3f" % on["max_util_post"]],
+            ["error rate at end of run (err/s)",
+             "%.0f" % off["error_rate_post"],
+             "%.0f" % on["error_rate_post"]],
+            ["errors over the whole run",
+             "%d" % off["errors_total"], "%d" % on["errors_total"]],
+            ["emergency re-solves", "0", "%d" % on["emergencies"]],
+            ["data evacuated (MiB)", "0",
+             "%.0f" % (on["bytes_evacuated"] / units.mib(1))],
+            ["time to recover (s)", "never",
+             "%.1f" % payload["recovery_s"]],
+        ],
+        title="Fail-stop of d0 at t=%.0fs (horizon %.0fs)"
+              % (payload["t_fail"], payload["horizon_s"]),
+    ))
+
+
+def test_fault_recovery_smoke(tmp_path):
+    """CI smoke: the full ON/OFF comparison on a short horizon."""
+    _, _, payload = run_comparison(t_end=70.0)
+    check_recovery(payload)
+    out = tmp_path / "BENCH_fault_recovery.json"
+    out.write_text(json.dumps(payload, indent=2))
+    assert json.loads(out.read_text())["benchmark"] == "fault_recovery"
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--horizon", type=float, default=80.0,
+                        help="simulated seconds per run (default 80)")
+    parser.add_argument(
+        "--out",
+        default=os.path.join(RESULTS_DIR, "BENCH_fault_recovery.json"),
+        help="output JSON path",
+    )
+    args = parser.parse_args(argv)
+
+    off, on, payload = run_comparison(t_end=args.horizon)
+    check_recovery(payload)
+    _report(payload)
+    os.makedirs(os.path.dirname(args.out), exist_ok=True)
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print("wrote %s (recovered %.1fs after the failure; OFF errored "
+          "%d times, ON %d)"
+          % (args.out, payload["recovery_s"],
+             payload["off"]["errors_total"], payload["on"]["errors_total"]))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

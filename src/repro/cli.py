@@ -158,7 +158,7 @@ def advise(args):
     obs = _build_obs(args.trace)
     result = LayoutAdvisor(
         problem, regular=not args.non_regular, restarts=args.restarts,
-        workers=args.workers, obs=obs,
+        workers=args.workers, solve_budget_s=args.solver_budget, obs=obs,
     ).recommend()
     if obs is not None:
         _write_obs(args.trace, obs, meta={
@@ -175,6 +175,10 @@ def advise(args):
         print()
         for stage, values in result.utilizations.items():
             print("max utilization after %-8s %.4f" % (stage, values.max()))
+        if result.degraded:
+            print()
+            print("WARNING: solve budget exhausted; answered by the %r "
+                  "fallback" % result.watchdog_rung)
         if obs is not None:
             print()
             print("trace written to %s (%d spans)"
@@ -229,6 +233,7 @@ def replay_online(args):
         cooldown_s=args.cooldown,
         min_gain=args.min_gain,
         regular=not args.non_regular,
+        solve_budget_s=args.solver_budget,
     )
     sizes = {entry["name"]: int(entry["size"]) for entry in data["objects"]}
     controller = OnlineController(
@@ -241,7 +246,22 @@ def replay_online(args):
         obs=obs,
     )
     trace = load_trace(args.trace)
-    log = controller.replay(trace)
+
+    faults = None
+    if args.fault_plan or args.chaos_seed is not None:
+        from repro.faults import FaultInjector, FaultPlan
+
+        target_names = [t.name for t in problem.targets]
+        if args.fault_plan:
+            plan = FaultPlan.load(args.fault_plan)
+            plan.validate_targets(target_names)
+        else:
+            horizon = max((r.finish_time for r in trace), default=0.0)
+            plan = FaultPlan.random(args.chaos_seed, target_names, horizon,
+                                    n_faults=args.chaos_faults)
+        faults = FaultInjector(plan, target_names=target_names,
+                               obs=obs)
+    log = controller.replay(trace, faults=faults)
     if obs is not None:
         from repro.obs.sim import SimMetricsCollector
 
@@ -262,10 +282,16 @@ def replay_online(args):
             "initial": advised.to_payload(),
             "final_layout": controller.layout.fractions_by_name(),
             "resolves": controller.resolves,
+            "emergencies": controller.emergency_resolves,
             "events": log.events,
         }, indent=2))
     else:
         print(log.summary())
+        if faults is not None:
+            counts = log.counts()
+            print("  faults injected   %6d  emergencies %d, evacuations %d"
+                  % (counts.get("fault", 0), counts.get("emergency", 0),
+                     counts.get("evacuate", 0)))
         print()
         print("final layout:")
         print(controller.layout.describe())
@@ -304,6 +330,11 @@ def main(argv=None):
     advise_parser.add_argument("--calibrate", action="store_true",
                                help="calibrate simulated device models "
                                     "instead of using analytic ones")
+    advise_parser.add_argument("--solver-budget", type=float, default=None,
+                               metavar="SECONDS",
+                               help="wall-clock budget for the solve; on "
+                                    "overrun fall back portfolio -> serial "
+                                    "-> greedy instead of hanging")
     advise_parser.add_argument("--json", action="store_true",
                                help="emit machine-readable JSON")
     advise_parser.add_argument("--trace",
@@ -348,6 +379,22 @@ def main(argv=None):
                                help="minimum relative gain to accept")
     replay_parser.add_argument("--events", help="write the controller "
                                                 "event log to this JSONL")
+    replay_parser.add_argument("--fault-plan", metavar="FILE",
+                               help="inject the fault schedule from this "
+                                    "JSON file during the replay")
+    replay_parser.add_argument("--chaos-seed", type=int, default=None,
+                               metavar="N",
+                               help="generate a random (seed-deterministic) "
+                                    "fault plan over the trace horizon")
+    replay_parser.add_argument("--chaos-faults", type=int, default=3,
+                               metavar="K",
+                               help="faults in the generated chaos plan "
+                                    "(default 3; with --chaos-seed)")
+    replay_parser.add_argument("--solver-budget", type=float, default=None,
+                               metavar="SECONDS",
+                               help="wall-clock budget per re-solve; on "
+                                    "timeout fall back portfolio -> serial "
+                                    "-> greedy")
     replay_parser.add_argument("--non-regular", action="store_true",
                                help="skip the regularization step")
     replay_parser.add_argument("--calibrate", action="store_true",

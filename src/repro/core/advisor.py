@@ -18,6 +18,7 @@ from repro.core.initial import initial_layout
 from repro.core.layout import Layout
 from repro.core.regularize import regularize
 from repro.core.solver import solve
+from repro.core.watchdog import solve_with_watchdog
 from repro.obs import ensure_obs
 
 
@@ -35,6 +36,12 @@ class AdvisorResult:
         solver_time_s / regularization_time_s / initial_time_s: Wall
             clock per stage (the paper's Figure 19 columns).
         method: The solve method that produced ``solver``.
+        degraded: True when the solve ran under a watchdog budget and a
+            fallback rung answered — the layout is valid but weaker
+            than an unconstrained solve would give.
+        watchdog_rung: Which watchdog rung produced ``solver``
+            (``portfolio`` / ``serial`` / ``greedy``; empty when no
+            budget was set).
     """
 
     initial: Layout
@@ -45,6 +52,8 @@ class AdvisorResult:
     solver_time_s: float = 0.0
     regularization_time_s: float = 0.0
     method: str = ""
+    degraded: bool = False
+    watchdog_rung: str = ""
 
     @property
     def recommended(self):
@@ -83,6 +92,8 @@ class AdvisorResult:
                 for stage, values in self.utilizations.items()
             },
             "method": self.method,
+            "degraded": self.degraded,
+            "watchdog_rung": self.watchdog_rung,
             "initial_time_s": self.initial_time_s,
             "solver_time_s": self.solver_time_s,
             "regularization_time_s": self.regularization_time_s,
@@ -107,6 +118,15 @@ class LayoutAdvisor:
             ``1`` (the default) keeps every restart in-process, larger
             values fan restarts out over a process pool with
             deterministic per-restart seeds.
+        solve_budget_s: Optional wall-clock budget for the solve step.
+            When set, the solve runs under
+            :func:`~repro.core.watchdog.solve_with_watchdog` and falls
+            back portfolio → serial → greedy rather than overrunning;
+            the result's ``degraded`` / ``watchdog_rung`` report which
+            rung answered.
+        chaos_hook: Optional no-arg callable run at the start of each
+            bounded watchdog rung (fault injection for tests and chaos
+            runs); ignored without ``solve_budget_s``.
         obs: Optional :class:`~repro.obs.Instrumentation`.  When given,
             the run is wrapped in an ``advise`` root span with
             ``advise.initial`` / ``advise.solve`` / ``advise.regularize``
@@ -117,7 +137,8 @@ class LayoutAdvisor:
     """
 
     def __init__(self, problem, regular=True, restarts=1, method="auto",
-                 seed=0, expert_layouts=(), workers=1, obs=None):
+                 seed=0, expert_layouts=(), workers=1, solve_budget_s=None,
+                 chaos_hook=None, obs=None):
         self.problem = problem
         self.regular = regular
         self.restarts = restarts
@@ -125,6 +146,8 @@ class LayoutAdvisor:
         self.seed = seed
         self.expert_layouts = tuple(expert_layouts)
         self.workers = workers
+        self.solve_budget_s = solve_budget_s
+        self.chaos_hook = chaos_hook
         self.obs = ensure_obs(obs)
 
     def recommend(self):
@@ -148,19 +171,40 @@ class LayoutAdvisor:
         utilizations["initial"] = evaluator.utilizations(start_layout.matrix)
 
         solve_started = time.perf_counter()
+        degraded = False
+        watchdog_rung = ""
         with obs.tracer.span("advise.solve", restarts=self.restarts,
                              workers=self.workers) as solve_span:
-            solve_result = solve(
-                problem,
-                initial=start_layout,
-                method=self.method,
-                restarts=self.restarts,
-                seed=self.seed,
-                evaluator=evaluator,
-                expert_layouts=self.expert_layouts,
-                workers=self.workers,
-                obs=obs,
-            )
+            if self.solve_budget_s is not None:
+                watchdog = solve_with_watchdog(
+                    problem,
+                    initial=start_layout,
+                    budget_s=self.solve_budget_s,
+                    method=self.method,
+                    restarts=self.restarts,
+                    seed=self.seed,
+                    expert_layouts=self.expert_layouts,
+                    workers=self.workers,
+                    chaos_hook=self.chaos_hook,
+                    obs=obs,
+                )
+                solve_result = watchdog.result
+                degraded = watchdog.degraded
+                watchdog_rung = watchdog.rung
+                solve_span.set_tag("rung", watchdog.rung)
+                solve_span.set_tag("degraded", watchdog.degraded)
+            else:
+                solve_result = solve(
+                    problem,
+                    initial=start_layout,
+                    method=self.method,
+                    restarts=self.restarts,
+                    seed=self.seed,
+                    evaluator=evaluator,
+                    expert_layouts=self.expert_layouts,
+                    workers=self.workers,
+                    obs=obs,
+                )
             solve_span.set_tag("objective", solve_result.objective)
             solve_span.set_tag("method", solve_result.method)
         # Wall time of the whole solve step (all portfolio starts), the
@@ -188,6 +232,8 @@ class LayoutAdvisor:
             solver_time_s=solve_wall_time,
             regularization_time_s=regularization_time,
             method=solve_result.method,
+            degraded=degraded,
+            watchdog_rung=watchdog_rung,
         )
         if obs.enabled:
             for stage, values in utilizations.items():

@@ -53,3 +53,11 @@ class SimulationError(ReproError):
 
 class SolverError(ReproError):
     """The NLP solve failed to produce any usable layout."""
+
+
+class FaultError(ReproError):
+    """A fault plan or migration journal is malformed or inconsistent.
+
+    Examples: a fault event naming an unknown target, a journal whose
+    recorded chunk list does not match the migration being resumed.
+    """

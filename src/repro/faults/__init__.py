@@ -1,0 +1,40 @@
+"""Fault injection and degraded-mode resilience.
+
+The advisor and the online loop of :mod:`repro.online` assume every
+storage target stays healthy and every solve finishes.  This package is
+the part of the system that drops that assumption:
+
+* :mod:`repro.faults.plan` — a declarative, seed-deterministic
+  :class:`~repro.faults.plan.FaultPlan` (fail-stop target death,
+  transient stall windows, latency degradation, capacity loss, solver
+  stalls, controller crashes);
+* :mod:`repro.faults.injector` — a :class:`~repro.faults.injector.FaultInjector`
+  that applies a plan to a live simulation (engine-scheduled) or a
+  trace replay (time-polled), maintaining a per-target health map;
+* :mod:`repro.faults.detector` — a
+  :class:`~repro.faults.detector.FailureDetector` that filters raw
+  fault events into the actionable notifications the online
+  controller's emergency evacuation path reacts to;
+* :mod:`repro.faults.journal` — a chunk-level
+  :class:`~repro.faults.journal.MigrationJournal` giving the throttled
+  migrator crash-safe, idempotent resume.
+
+The solver-side counterpart — a wall-clock watchdog with a graceful
+fallback chain — lives in :mod:`repro.core.watchdog` so the core layer
+stays independent of this package; the injector plugs into it through
+the plain-callable ``chaos_hook``.
+"""
+
+from repro.faults.detector import FailureDetector
+from repro.faults.injector import FaultInjector, TargetHealth
+from repro.faults.journal import MigrationJournal
+from repro.faults.plan import FaultEvent, FaultPlan
+
+__all__ = [
+    "FailureDetector",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "MigrationJournal",
+    "TargetHealth",
+]

@@ -1,0 +1,92 @@
+"""Failure detection policy for the online controller.
+
+The :class:`~repro.faults.injector.FaultInjector` reports *every* fault
+event; not all of them warrant tearing up the layout.  A stall window
+clears itself; a mild slowdown is cheaper to ride out than to migrate
+around.  The :class:`FailureDetector` is the policy layer in between:
+it watches the raw event stream and fires ``on_emergency`` only for
+conditions that justify bypassing the drift detector's patience and
+cooldown gates — target death, a degradation at or past
+``degrade_threshold``, or a capacity loss at or below
+``capacity_threshold``.
+"""
+
+from repro.obs import ensure_obs
+
+#: Emergency classifications handed to ``on_emergency``.
+REASON_FAILED = "fail-stop"
+REASON_DEGRADED = "degraded"
+REASON_CAPACITY = "capacity-loss"
+
+
+class FailureDetector:
+    """Classifies fault events into emergencies and recoveries.
+
+    Register :meth:`observe` as an injector listener.  ``on_emergency``
+    fires at most once per target per incident (a target that is
+    already being evacuated is not re-reported when it also degrades);
+    a repair clears the incident so a later fault on the same target
+    reports again.
+
+    Args:
+        on_emergency: ``callback(event, health, reason)`` for
+            actionable faults.
+        on_recovery: ``callback(event, health)`` when a previously
+            reported target is repaired.
+        degrade_threshold: Service-time scale at or above which a
+            degradation is an emergency (slower than this, the target
+            is effectively a straggler dragging max utilization).
+        capacity_threshold: Capacity factor at or below which a
+            capacity loss is an emergency.
+        obs: Optional :class:`~repro.obs.Instrumentation`.
+    """
+
+    def __init__(self, on_emergency=None, on_recovery=None,
+                 degrade_threshold=2.0, capacity_threshold=0.8, obs=None):
+        self.on_emergency = on_emergency
+        self.on_recovery = on_recovery
+        self.degrade_threshold = float(degrade_threshold)
+        self.capacity_threshold = float(capacity_threshold)
+        self.flagged = {}
+        self.emergencies = 0
+        self.recoveries = 0
+        self.obs = ensure_obs(obs)
+
+    def classify(self, event, health):
+        """The emergency reason for this event, or None if benign."""
+        if event.kind == "fail-stop":
+            return REASON_FAILED
+        if (event.kind == "degrade"
+                and event.service_scale >= self.degrade_threshold):
+            return REASON_DEGRADED
+        if (event.kind == "capacity-loss"
+                and event.capacity_factor <= self.capacity_threshold):
+            return REASON_CAPACITY
+        return None
+
+    def observe(self, event, health):
+        """Injector listener: classify and dispatch one fault event."""
+        if event.kind == "repair":
+            if event.target in self.flagged:
+                del self.flagged[event.target]
+                self.recoveries += 1
+                self.obs.metrics.counter("faults.recoveries").inc()
+                if self.on_recovery is not None:
+                    self.on_recovery(event, health)
+            return
+        reason = self.classify(event, health)
+        if reason is None or event.target in self.flagged:
+            return
+        self.flagged[event.target] = reason
+        self.emergencies += 1
+        self.obs.metrics.counter("faults.emergencies", reason=reason).inc()
+        if self.on_emergency is not None:
+            self.on_emergency(event, health, reason)
+
+    @property
+    def failed_targets(self):
+        """Targets currently flagged as dead (fail-stop incidents)."""
+        return sorted(
+            name for name, reason in self.flagged.items()
+            if reason == REASON_FAILED
+        )

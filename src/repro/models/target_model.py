@@ -45,6 +45,39 @@ class TargetModel:
         model = self.read_model if kind == "read" else self.write_model
         return model.lookup(size, run_count, chi)
 
+    def scaled(self, factor):
+        """A degraded-device view: every request costs ``factor`` times
+        the calibrated cost.
+
+        This is how the online controller re-plans around a slowed
+        device (fault kind ``degrade``): the device's cost model is
+        scaled by the observed service-time multiplier, so the solver
+        naturally shifts load away from it in proportion to how slow
+        it has become.
+        """
+        return TargetModel(
+            name=self.name,
+            read_model=ScaledCostModel(self.read_model, factor),
+            write_model=ScaledCostModel(self.write_model, factor),
+        )
+
+
+class ScaledCostModel:
+    """Wraps a cost model, multiplying every looked-up cost.
+
+    Exposes the same vectorized ``lookup`` the estimator needs, so a
+    scaled model is usable anywhere a calibrated one is.
+    """
+
+    def __init__(self, model, factor):
+        if factor <= 0:
+            raise ValueError("cost scale factor must be positive")
+        self.model = model
+        self.factor = float(factor)
+
+    def lookup(self, sizes, run_counts, chis):
+        return self.model.lookup(sizes, run_counts, chis) * self.factor
+
 
 def workload_arrays(workloads):
     """Extract numpy arrays from a list of workload specs.

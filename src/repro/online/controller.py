@@ -25,18 +25,30 @@ runs.  :class:`OnlineController` is that closed loop:
 Every decision is recorded in an :class:`~repro.online.events.EventLog`.
 """
 
+import os
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
 
 from repro import units
 from repro.core.layout import Layout
-from repro.core.migration import migration_cost_seconds, plan_migration
+from repro.core.migration import (
+    MigrationPlan,
+    Move,
+    migration_cost_seconds,
+    plan_migration,
+)
 from repro.core.pinning import PinningConstraints
-from repro.core.problem import LayoutProblem
+from repro.core.problem import LayoutProblem, TargetSpec
 from repro.core.regularize import regularize
 from repro.core.solver import solve
+from repro.core.watchdog import solve_with_watchdog
 from repro.errors import SimulationError
+from repro.faults.detector import FailureDetector
+from repro.faults.journal import MigrationJournal
 from repro.obs import ensure_obs
+from repro.workload.spec import ObjectWorkload
 from repro.online.drift import DriftDetector
 from repro.online.events import EventLog
 from repro.online.executor import ThrottledMigrator
@@ -77,6 +89,23 @@ class ControllerConfig:
             regularizes accepted layouts.
         migration_chunk / migration_window / migration_pace_s: Copy
             granularity and throttle of the background migrator.
+        solve_budget_s: Optional wall-clock watchdog budget for drift
+            re-solves; when set, the solve falls back portfolio →
+            serial → greedy instead of overrunning (see
+            :mod:`repro.core.watchdog`).
+        emergency_budget_s: Wall-clock watchdog budget for emergency
+            (evacuation) re-solves — these always run under the
+            watchdog because the workload is bleeding errors while the
+            solver thinks.
+        degrade_threshold / capacity_threshold: Failure-detector
+            thresholds (see
+            :class:`~repro.faults.detector.FailureDetector`); used when
+            :meth:`OnlineController.attach_faults` builds the detector.
+        journal_dir: Directory for crash-safe migration journals.  When
+            set (and running live), every accepted migration writes a
+            chunk-level journal there and
+            :meth:`OnlineController.resume_migration` can finish an
+            interrupted copy after a crash.
     """
 
     check_interval_s: float = 5.0
@@ -99,6 +128,11 @@ class ControllerConfig:
     migration_chunk: int = units.DEFAULT_STRIPE_SIZE
     migration_window: int = 1
     migration_pace_s: float = 0.0
+    solve_budget_s: float = None
+    emergency_budget_s: float = 5.0
+    degrade_threshold: float = 2.0
+    capacity_threshold: float = 0.8
+    journal_dir: str = None
 
     def detector(self):
         return DriftDetector(
@@ -127,6 +161,7 @@ class _PendingMigration:
     accepted_at: float = 0.0
     plan_bytes: int = 0
     span: object = None
+    journal: object = None
     events: dict = field(default_factory=dict)
 
 
@@ -194,6 +229,12 @@ class OnlineController:
         self._pending = None
         self._running = False
 
+        self.faults = None
+        self.failure_detector = None
+        self.emergency_resolves = 0
+        self._solver_chaos = None
+        self._journal_seq = 0
+
         now = ctx.engine.now if ctx is not None else 0.0
         solved_util = self._predicted_util(self.solved_workloads, self.layout)
         self.detector.rebase(self.solved_workloads, solved_util, now)
@@ -218,9 +259,44 @@ class OnlineController:
 
     def _problem(self, workloads, pinning=None):
         return LayoutProblem(
-            self.object_sizes, self.targets, workloads,
+            self.object_sizes, self._effective_targets(), workloads,
             stripe_size=self.stripe_size, pinning=pinning,
         )
+
+    def _effective_targets(self):
+        """Solve-time target specs adjusted for current target health.
+
+        Healthy targets pass through; a failed target keeps its column
+        (layouts stay comparable, migrations plannable) but shrinks to
+        a 1-byte husk — :class:`~repro.core.problem.LayoutProblem`
+        rejects zero capacities, and the capacity constraint then
+        forces the solver to evacuate it; a degraded target's cost
+        model is scaled by the observed slowdown; capacity loss shrinks
+        the usable bytes.
+        """
+        if self.faults is None:
+            return self.targets
+        specs = []
+        for spec in self.targets:
+            health = self.faults.health.get(spec.name)
+            if health is None or health.healthy:
+                specs.append(spec)
+            elif not health.alive:
+                specs.append(TargetSpec(spec.name, 1, spec.model))
+            else:
+                capacity = max(1, int(spec.capacity * health.capacity_factor))
+                model = spec.model
+                if health.service_scale != 1.0:
+                    model = model.scaled(health.service_scale)
+                specs.append(TargetSpec(spec.name, capacity, model))
+        return specs
+
+    def _dead_targets(self):
+        """Names of targets currently failed (empty without faults)."""
+        if self.faults is None:
+            return []
+        return [name for name, health in self.faults.health.items()
+                if not health.alive]
 
     def _predicted_util(self, workloads, layout):
         """Cost-model estimate of max target utilization."""
@@ -270,6 +346,15 @@ class OnlineController:
             self.log.emit(now, "check", migrating=True)
             return None
 
+        if self.target_names and len(self._dead_targets()) == len(
+            self.target_names
+        ):
+            # Every target is down: there is nowhere to place anything,
+            # so a re-solve cannot help. Keep checking; a repair event
+            # will bring capacity back.
+            self.log.emit(now, "check", all_targets_dead=True)
+            return None
+
         fitted = self.monitor.workloads(self.object_names)
         predicted = self._predicted_util(fitted, self.layout)
         signal = self.detector.check(now, fitted, predicted)
@@ -288,8 +373,18 @@ class OnlineController:
         if not self.config.pin_stable_objects:
             return None, []
         solved = {w.name: w.total_rate for w in self.solved_workloads}
+        dead = set(self._dead_targets())
+        dead_cols = [j for j, name in enumerate(self.target_names)
+                     if name in dead]
         stable = []
         for spec in fitted:
+            if dead_cols and any(
+                self.layout.row(spec.name)[j] > 1e-9 for j in dead_cols
+            ):
+                # A row touching a dead target must stay free so the
+                # solve can move it off; pinning it would freeze data
+                # on a target that no longer exists.
+                continue
             old = solved.get(spec.name, 0.0)
             new = spec.total_rate
             scale = max(old, new)
@@ -316,11 +411,24 @@ class OnlineController:
             pinned=len(pinned),
         )
         problem = self._problem(fitted, pinning=pinning)
-        result = solve(
-            problem, initial=self.layout, warm_start=True,
-            method=self.config.solver_method, restarts=self.config.restarts,
-            obs=self.obs,
-        )
+        rung = ""
+        if self.config.solve_budget_s is not None:
+            watchdog = solve_with_watchdog(
+                problem, initial=self.layout, warm_start=True,
+                budget_s=self.config.solve_budget_s,
+                method=self.config.solver_method,
+                restarts=self.config.restarts,
+                chaos_hook=self._solver_chaos, obs=self.obs,
+            )
+            result = watchdog.result
+            rung = watchdog.rung
+        else:
+            result = solve(
+                problem, initial=self.layout, warm_start=True,
+                method=self.config.solver_method,
+                restarts=self.config.restarts,
+                obs=self.obs,
+            )
         candidate = result.layout
         if self.config.regular:
             candidate = regularize(problem, candidate, obs=self.obs)
@@ -349,6 +457,8 @@ class OnlineController:
             method=result.method,
             decision_latency_s=round(latency, 6),
         )
+        if rung:
+            decision["watchdog_rung"] = rung
         if not worth_it:
             reason = ("no-change" if plan.total_bytes == 0 else
                       "gain-below-threshold" if relative_gain < self.config.min_gain
@@ -386,6 +496,8 @@ class OnlineController:
         if self.ctx is not None:
             self.migrating = True
             self._pending = pending
+            pending.journal = self._open_journal(plan, candidate, fitted,
+                                                 new_util, now)
             pending.migrator = ThrottledMigrator(
                 self.ctx, plan,
                 chunk=self.config.migration_chunk,
@@ -393,6 +505,7 @@ class OnlineController:
                 pace_s=self.config.migration_pace_s,
                 on_done=self._migration_done,
                 metrics=self.obs.metrics,
+                journal=pending.journal,
             ).start()
         else:
             # Replay / advisory mode: no simulator to copy through; the
@@ -400,6 +513,33 @@ class OnlineController:
             finish = now + cost_s
             self._install(pending, finish, bytes_moved=plan.total_bytes,
                           elapsed_s=cost_s, virtual=True)
+
+    def _open_journal(self, plan, candidate, fitted, predicted_util, now):
+        """Create a crash-recovery journal for an accepted migration.
+
+        The ``meta`` block carries everything
+        :meth:`resume_migration` needs to rebuild the pending state in
+        a fresh controller: the accepted layout, the fitted workloads
+        it was solved for, and the accept-time bookkeeping.
+        """
+        if self.config.journal_dir is None or self.ctx is None:
+            return None
+        os.makedirs(self.config.journal_dir, exist_ok=True)
+        self._journal_seq += 1
+        path = os.path.join(self.config.journal_dir,
+                            "migration-%04d.jsonl" % self._journal_seq)
+        meta = {
+            "layout": {name: [float(f) for f in row] for name, row in
+                       candidate.fractions_by_name().items()},
+            "objects": list(self.object_names),
+            "targets": list(self.target_names),
+            "predicted_util": float(predicted_util),
+            "accepted_at": float(now),
+            "fitted": [asdict(w) for w in fitted],
+        }
+        return MigrationJournal.create(path, plan,
+                                       self.config.migration_chunk,
+                                       meta=meta)
 
     def _migration_done(self, migrator):
         pending = self._pending
@@ -410,6 +550,10 @@ class OnlineController:
             self.physical_capacities, stripe_size=self.stripe_size,
         )
         self.ctx.set_placement(placement)
+        if pending.journal is not None:
+            # The placement swap is the migration's commit point.
+            pending.journal.record_commit()
+            pending.journal.close()
         self._install(pending, self.ctx.engine.now,
                       bytes_moved=migrator.bytes_moved,
                       elapsed_s=migrator.elapsed_s, virtual=False)
@@ -430,17 +574,326 @@ class OnlineController:
                       accepted_at=round(pending.accepted_at, 4))
 
     # ------------------------------------------------------------------
+    # Faults: degraded-mode operation and emergency evacuation
+    # ------------------------------------------------------------------
+
+    def attach_faults(self, injector):
+        """Wire a :class:`~repro.faults.injector.FaultInjector` in.
+
+        Every fault event is logged; target health feeds the effective
+        problem of every subsequent re-solve (degraded-mode planning);
+        and the failure detector's emergencies trigger evacuation
+        re-solves that bypass the drift detector's patience/cooldown
+        gates.  With a live context the injector is armed on the
+        engine; in replay mode :meth:`replay` polls it instead.
+        """
+        self.faults = injector
+        self._solver_chaos = injector.solver_hook()
+        self.failure_detector = FailureDetector(
+            on_emergency=self._on_emergency,
+            on_recovery=self._on_recovery,
+            degrade_threshold=self.config.degrade_threshold,
+            capacity_threshold=self.config.capacity_threshold,
+            obs=self.obs,
+        )
+        injector.add_listener(self._observe_fault)
+        if self.ctx is not None:
+            injector.arm(self.ctx.engine)
+        return self
+
+    def _now(self, event=None):
+        if self.ctx is not None:
+            return self.ctx.engine.now
+        return event.time if event is not None else 0.0
+
+    def _observe_fault(self, event, health):
+        now = self._now(event)
+        self.log.emit(now, "fault", fault=event.kind, target=event.target,
+                      state=health[event.target].state
+                      if event.target in health else None)
+        self.failure_detector.observe(event, health)
+
+    def _poll_faults(self, now):
+        """Replay mode: apply fault events the trace clock has reached."""
+        if self.faults is not None and self.ctx is None:
+            self.faults.pop_due(now)
+
+    def _fitted(self, now):
+        """Freshest workload estimate, falling back to the solved one.
+
+        A fault can strike before the monitor has seen a single
+        completion (or after a stall silenced the stream); planning an
+        evacuation against an all-zero workload would scatter data
+        arbitrarily, so the last solved workloads stand in.
+        """
+        self.monitor.advance(now)
+        fitted = self.monitor.workloads(self.object_names)
+        if any(w.total_rate > 0 for w in fitted):
+            return fitted
+        return list(self.solved_workloads)
+
+    def _on_emergency(self, event, health, reason):
+        now = self._now(event)
+        self.obs.metrics.counter("repro_online_emergencies_total",
+                                 reason=reason).inc()
+        self.log.emit(now, "emergency", reason=reason, target=event.target)
+        self._emergency_resolve(now, reason, event)
+
+    def _on_recovery(self, event, health):
+        now = self._now(event)
+        self.log.emit(now, "recovered", target=event.target)
+        if self.migrating:
+            # The copy in flight rebases the detector when it lands;
+            # the drift loop will then notice the recovered capacity.
+            return
+        # Recovery is not an emergency: moving load back onto the
+        # repaired target goes through the normal economic gate.
+        fitted = self._fitted(now)
+        predicted = self._predicted_util(fitted, self.layout)
+        self._resolve(now, fitted, predicted)
+
+    def _projected_layout(self, problem, dead):
+        """Current layout with dead columns zeroed — the evacuation
+        solve's warm start.
+
+        Each row's mass is renormalized onto the alive targets; a row
+        that lived entirely on dead targets is spread equally over the
+        alive ones.  Returns None when the projection is not a valid
+        layout for ``problem`` (pin bounds or alive capacity cannot
+        absorb the evacuated data), in which case the watchdog starts
+        from greedy construction instead.
+        """
+        dead_cols = [j for j, name in enumerate(self.target_names)
+                     if name in dead]
+        alive_cols = [j for j in range(len(self.target_names))
+                      if j not in dead_cols]
+        if not alive_cols:
+            return None
+        matrix = self.layout.matrix.copy()
+        matrix[:, dead_cols] = 0.0
+        for i in range(matrix.shape[0]):
+            total = matrix[i].sum()
+            if total <= 0:
+                matrix[i, alive_cols] = 1.0 / len(alive_cols)
+            else:
+                matrix[i] /= total
+        try:
+            layout = problem.make_layout(matrix)
+            problem.validate_layout(layout)
+            return layout
+        except Exception:
+            return None
+
+    def _emergency_resolve(self, now, reason, event):
+        """Re-solve around a failed/degraded target, bypassing every
+        drift gate: no patience, no cooldown, no accept economics —
+        staying on a dead target costs errors, not just utilization."""
+        span = self.obs.tracer.start(
+            "online.emergency", reason=reason, target=event.target,
+            sim_time=round(float(now), 4),
+        )
+        if self.migrating and self._pending is not None:
+            stale = self._pending
+            if stale.migrator is not None:
+                stale.migrator.cancel()
+            if stale.journal is not None:
+                stale.journal.close()
+            if stale.span is not None:
+                self.obs.tracer.finish(stale.span, cancelled=True)
+            self.log.emit(now, "migration-cancelled", reason=reason)
+            self._pending = None
+            self.migrating = False
+
+        fitted = self._fitted(now)
+        dead = set(self._dead_targets())
+        alive = [name for name in self.target_names if name not in dead]
+        if not alive:
+            self.log.emit(now, "emergency-unsolvable",
+                          reason="no-targets-alive")
+            self.obs.tracer.finish(span, outcome="unsolvable")
+            return
+
+        # Evacuation pinning: objects touching a dead target may only
+        # use alive targets; everything else is pinned in place so the
+        # solve (and the copy) is exactly the evacuation, no more.
+        pinning = None
+        if dead:
+            dead_cols = [j for j, name in enumerate(self.target_names)
+                         if name in dead]
+            allowed, fixed = {}, {}
+            for obj in self.object_names:
+                row = self.layout.row(obj)
+                if any(row[j] > 1e-9 for j in dead_cols):
+                    allowed[obj] = list(alive)
+                else:
+                    fixed[obj] = [float(f) for f in row]
+            if allowed:
+                if fixed and len(fixed) < len(self.object_names):
+                    pinning = PinningConstraints(allowed=allowed,
+                                                 fixed=fixed)
+                else:
+                    pinning = PinningConstraints(allowed=allowed)
+
+        started = time.perf_counter()
+        problem = self._problem(fitted, pinning=pinning)
+        initial = self._projected_layout(problem, dead)
+        watchdog = solve_with_watchdog(
+            problem, initial=initial,
+            budget_s=self.config.emergency_budget_s,
+            method=self.config.solver_method,
+            restarts=self.config.restarts,
+            warm_start=initial is not None,
+            chaos_hook=self._solver_chaos, obs=self.obs,
+        )
+        candidate = self._aligned(watchdog.result.layout)
+        if self.config.regular:
+            candidate = self._aligned(
+                regularize(problem, watchdog.result.layout, obs=self.obs)
+            )
+        new_util = float(problem.evaluator().objective(candidate.matrix))
+        plan = plan_migration(self.layout, candidate, self.object_sizes)
+        if dead:
+            # Evacuation first: chunks leaving dead targets copy before
+            # load-balancing shuffles between healthy ones.
+            plan.moves.sort(key=lambda m: (m.source not in dead, -m.bytes))
+        cost_s = migration_cost_seconds(
+            plan, transfer_bps=self.config.transfer_bps
+        )
+
+        self.emergency_resolves += 1
+        self.obs.metrics.counter("repro_online_resolves_total",
+                                 decision="emergency").inc()
+        self.obs.tracer.finish(
+            span, rung=watchdog.rung, degraded=watchdog.degraded,
+            plan_bytes=plan.total_bytes,
+            latency_s=round(time.perf_counter() - started, 6),
+        )
+        self.log.emit(now, "evacuate", reason=reason, target=event.target,
+                      util_after=round(new_util, 4),
+                      plan_bytes=plan.total_bytes,
+                      watchdog_rung=watchdog.rung,
+                      degraded=watchdog.degraded,
+                      layout={name: [round(f, 4) for f in row]
+                              for name, row in
+                              candidate.fractions_by_name().items()})
+
+        pending = _PendingMigration(
+            layout=candidate, fitted=fitted, predicted_util=new_util,
+            accepted_at=now, plan_bytes=plan.total_bytes,
+            span=self.obs.tracer.start(
+                "online.migration", detached=True, emergency=True,
+                accepted_at=round(float(now), 4),
+                plan_bytes=plan.total_bytes,
+            ),
+        )
+        if self.ctx is not None and plan.total_bytes > 0:
+            self.migrating = True
+            self._pending = pending
+            pending.journal = self._open_journal(plan, candidate, fitted,
+                                                 new_util, now)
+            pending.migrator = ThrottledMigrator(
+                self.ctx, plan,
+                chunk=self.config.migration_chunk,
+                window=self.config.migration_window,
+                pace_s=self.config.migration_pace_s,
+                on_done=self._migration_done,
+                metrics=self.obs.metrics,
+                journal=pending.journal,
+            ).start()
+        else:
+            finish = now if self.ctx is not None else now + cost_s
+            self._install(pending, finish, bytes_moved=plan.total_bytes,
+                          elapsed_s=cost_s, virtual=True)
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+
+    def resume_migration(self, journal_path):
+        """Finish a migration whose process died mid-copy.
+
+        Rebuilds the accepted layout, the fitted workloads, and the
+        movement plan from the journal's meta block, then re-runs the
+        migrator with the journal attached — chunks already recorded
+        are skipped, so only the tail of the copy happens again.  A
+        journal that already holds its commit record needs nothing (the
+        placement swap happened before the crash).  Returns the loaded
+        journal.
+        """
+        journal = MigrationJournal.load(journal_path)
+        if journal.committed:
+            return journal
+        meta = journal.meta
+        layout = self._aligned(Layout(
+            [meta["layout"][obj] for obj in meta["objects"]],
+            meta["objects"], meta["targets"],
+        ))
+        fitted = [ObjectWorkload(**spec) for spec in meta.get("fitted", [])]
+        if not fitted:
+            fitted = list(self.solved_workloads)
+        moves = [
+            Move(obj=m["obj"], source=m["source"],
+                 destination=m["destination"], bytes=int(m["bytes"]))
+            for m in journal.moves
+        ]
+        reads, writes = {}, {}
+        for move in moves:
+            reads[move.source] = reads.get(move.source, 0) + move.bytes
+            writes[move.destination] = (
+                writes.get(move.destination, 0) + move.bytes
+            )
+        plan = MigrationPlan(
+            moves=moves, total_bytes=sum(m.bytes for m in moves),
+            bytes_read=reads, bytes_written=writes,
+        )
+        now = self._now()
+        self.log.emit(now, "resume",
+                      journal=os.path.basename(str(journal_path)),
+                      chunks_done=len(journal.done),
+                      chunks_total=journal.total_chunks)
+        pending = _PendingMigration(
+            layout=layout, fitted=fitted,
+            predicted_util=float(meta.get("predicted_util", 0.0)),
+            accepted_at=float(meta.get("accepted_at", now)),
+            plan_bytes=plan.total_bytes, journal=journal,
+        )
+        if self.ctx is not None:
+            self.migrating = True
+            self._pending = pending
+            pending.migrator = ThrottledMigrator(
+                self.ctx, plan, chunk=journal.chunk,
+                window=self.config.migration_window,
+                pace_s=self.config.migration_pace_s,
+                on_done=self._migration_done,
+                metrics=self.obs.metrics,
+                journal=journal,
+            ).start()
+        else:
+            cost_s = migration_cost_seconds(
+                plan, transfer_bps=self.config.transfer_bps
+            )
+            self._install(pending, now + cost_s,
+                          bytes_moved=plan.total_bytes, elapsed_s=cost_s,
+                          virtual=True)
+        return journal
+
+    # ------------------------------------------------------------------
     # Replay mode
     # ------------------------------------------------------------------
 
-    def replay(self, records, end_time=None):
+    def replay(self, records, end_time=None, faults=None):
         """Drive the loop from an archived trace instead of a live run.
 
         Records are fed through the monitor in timestamp order with a
         drift check every ``check_interval_s`` of trace time; accepted
         layouts take effect virtually (after the estimated migration
-        time).  Returns the event log.
+        time).  With ``faults`` (a
+        :class:`~repro.faults.injector.FaultInjector`), fault events
+        are applied as the trace clock passes their times, so chaos
+        scenarios replay deterministically.  Returns the event log.
         """
+        if faults is not None and faults is not self.faults:
+            self.attach_faults(faults)
         records = sorted(
             (r for r in records), key=lambda r: r.finish_time
         )
@@ -449,9 +902,13 @@ class OnlineController:
         next_check = records[0].finish_time + self.config.check_interval_s
         for record in records:
             while record.finish_time >= next_check:
+                self._poll_faults(next_check)
                 self.check(next_check)
                 next_check += self.config.check_interval_s
+            self._poll_faults(record.finish_time)
             self.monitor.observe(record)
         last = end_time if end_time is not None else records[-1].finish_time
-        self.check(max(last, next_check - self.config.check_interval_s))
+        last = max(last, next_check - self.config.check_interval_s)
+        self._poll_faults(last)
+        self.check(last)
         return self.log

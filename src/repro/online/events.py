@@ -22,6 +22,7 @@ sequence number preserves their total order across a JSONL round-trip.
 """
 
 import json
+import warnings
 from collections import Counter
 
 from repro.obs import ensure_obs
@@ -41,6 +42,8 @@ class EventLog:
 
     def __init__(self, obs=None):
         self.events = []
+        #: Malformed lines dropped by the last :meth:`from_jsonl` load.
+        self.skipped = 0
         self._obs = ensure_obs(obs)
 
     def emit(self, time, kind, **payload):
@@ -90,13 +93,34 @@ class EventLog:
         otherwise lose their intra-tick order); logs written before the
         ``seq`` field existed keep their file order and are assigned
         sequence numbers on load.
+
+        Parsing is tolerant: a line that is not valid JSON, or not a
+        JSON object, is skipped and counted in the returned log's
+        ``skipped`` attribute (with a one-line warning) rather than
+        aborting the load — a crashed writer leaves a torn final line,
+        and one bad line should not make a whole run's history
+        unreadable.
         """
         log = cls()
+        skipped = 0
         with open(path) as handle:
-            for line in handle:
+            for number, line in enumerate(handle, start=1):
                 line = line.strip()
-                if line:
-                    log.events.append(json.loads(line))
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except json.JSONDecodeError:
+                    event = None
+                if not isinstance(event, dict):
+                    skipped += 1
+                    warnings.warn(
+                        "%s:%d: skipping malformed event line" % (path, number),
+                        RuntimeWarning, stacklevel=2,
+                    )
+                    continue
+                log.events.append(event)
+        log.skipped = skipped
         for index, event in enumerate(log.events):
             event.setdefault("seq", index)
         log.events.sort(key=lambda e: e["seq"])

@@ -27,6 +27,9 @@ class IORequest:
             counts independent of physical placement.
         on_complete: Callback invoked with this request when service
             finishes.
+        failed: True when the request errored instead of completing
+            (submitted to a failed target); such requests never produce
+            a :class:`CompletionRecord` and carry no service time.
     """
 
     stream_id: int
@@ -39,6 +42,7 @@ class IORequest:
     submit_time: float = field(default=0.0)
     start_time: float = field(default=0.0)
     finish_time: float = field(default=0.0)
+    failed: bool = field(default=False)
 
     @property
     def latency(self):

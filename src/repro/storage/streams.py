@@ -81,6 +81,7 @@ class _ClosedLoopStream:
         self.stream_id = next_stream_id()
         self.outstanding = 0
         self.completions = 0
+        self.errors = 0
         self.finished = False
         self._started = False
 
@@ -110,9 +111,15 @@ class _ClosedLoopStream:
         )
         return True
 
-    def _completed(self, _request):
+    def _completed(self, request):
         self.outstanding -= 1
-        self.completions += 1
+        if request.failed:
+            # Errored at a failed target; the stream retries (the next
+            # issue re-resolves the placement, which an evacuation may
+            # have repaired in the meantime).
+            self.errors += 1
+        else:
+            self.completions += 1
         if self.think_s > 0:
             self.ctx.engine.schedule(self.think_s, self._refill)
         else:

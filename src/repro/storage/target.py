@@ -36,6 +36,14 @@ class _UnitServer:
 class StorageTarget:
     """A storage target backed by a :class:`~repro.storage.device.Device`.
 
+    Besides normal operation the target models the degraded states a
+    production array exposes (and the fault injector of
+    :mod:`repro.faults` drives): a **failed** target errors every
+    submission after :data:`ERROR_LATENCY_S` instead of serving it, a
+    **stalled** target queues arrivals but dispatches nothing until the
+    stall window passes, and a **degraded** target serves everything
+    slowed by ``service_scale``.
+
     Args:
         device: The backing device; its capacity is the target capacity.
         engine: The simulation engine; may be attached later via
@@ -45,6 +53,11 @@ class StorageTarget:
             request.
     """
 
+    #: Time a request submitted to a failed target takes to come back
+    #: with ``failed=True`` (the host's error-return latency; also what
+    #: keeps a retrying closed-loop stream from spinning at zero cost).
+    ERROR_LATENCY_S = 0.01
+
     def __init__(self, device, engine=None, trace=None):
         self.device = device
         self.engine = engine
@@ -53,6 +66,10 @@ class StorageTarget:
         self.completed = 0
         self.bytes_read = 0
         self.bytes_written = 0
+        self.failed = False
+        self.errors = 0
+        self.service_scale = 1.0
+        self._stalled_until = None
 
     @property
     def name(self):
@@ -79,6 +96,78 @@ class StorageTarget:
             self.trace = trace
         return self
 
+    @property
+    def stalled(self):
+        """True while a stall window is in effect."""
+        return self._stalled_until is not None
+
+    @property
+    def healthy(self):
+        return not self.failed and not self.stalled and self.service_scale == 1.0
+
+    # ------------------------------------------------------------------
+    # Fault hooks (driven by repro.faults.injector)
+    # ------------------------------------------------------------------
+
+    def fail(self):
+        """Fail-stop: error all queued requests and every future submit.
+
+        Requests already in service complete normally (the device had
+        them); everything waiting in a queue errors out now.
+        """
+        self.failed = True
+        for server in self._servers:
+            queue, server.queue = server.queue, []
+            for request in queue:
+                self._error(request)
+
+    def repair(self):
+        """Return the target to full health (clears every fault state)."""
+        self.failed = False
+        self.service_scale = 1.0
+        self._stalled_until = None
+        for server in self._servers:
+            self._dispatch(server)
+
+    def degrade(self, service_scale):
+        """Scale every subsequent service time by ``service_scale``
+        (> 1 is slower; 1.0 restores nominal speed)."""
+        if service_scale <= 0:
+            raise SimulationError("service scale must be positive")
+        self.service_scale = float(service_scale)
+
+    def stall(self, duration_s):
+        """Pause dispatching for ``duration_s``; arrivals queue up and
+        in-service requests still complete.  Overlapping stalls extend
+        the window rather than shortening it."""
+        if self.engine is None:
+            raise SimulationError("target %s is not bound to an engine" % self.name)
+        until = self.engine.now + float(duration_s)
+        if self._stalled_until is None or until > self._stalled_until:
+            self._stalled_until = until
+            self.engine.schedule(float(duration_s), self._resume)
+
+    def _resume(self):
+        if self._stalled_until is not None and self.engine.now >= self._stalled_until - 1e-12:
+            self._stalled_until = None
+            for server in self._servers:
+                self._dispatch(server)
+
+    def _error(self, request):
+        """Complete a request as a failure after the error latency."""
+        self.errors += 1
+        request.failed = True
+        self.engine.schedule(self.ERROR_LATENCY_S, self._error_complete, request)
+
+    def _error_complete(self, request):
+        request.finish_time = self.engine.now
+        if request.on_complete is not None:
+            request.on_complete(request)
+
+    # ------------------------------------------------------------------
+    # Submission path
+    # ------------------------------------------------------------------
+
     def submit(self, request):
         """Submit a request; splits it if it crosses a unit boundary."""
         if self.engine is None:
@@ -89,6 +178,9 @@ class StorageTarget:
                 % (request.lba, request.lba + request.size, self.name, self.capacity)
             )
         request.submit_time = self.engine.now
+        if self.failed:
+            self._error(request)
+            return
         limit = self.device.boundary(request.lba)
         if request.size <= limit:
             self._enqueue(request)
@@ -120,8 +212,10 @@ class StorageTarget:
 
         state = {"remaining": len(fragments)}
 
-        def fragment_done(_fragment):
+        def fragment_done(fragment):
             state["remaining"] -= 1
+            if fragment.failed:
+                request.failed = True
             if state["remaining"] == 0:
                 request.start_time = request.submit_time
                 request.finish_time = self.engine.now
@@ -147,6 +241,8 @@ class StorageTarget:
         reissues synchronously from its completion callback cannot jump
         ahead of requests that were already waiting.
         """
+        if self.stalled or self.failed:
+            return
         while server.queue and server.free:
             if server.head_bypassed >= server.BYPASS_LIMIT:
                 index = 0
@@ -162,7 +258,9 @@ class StorageTarget:
         request.start_time = self.engine.now
         streams = {request.stream_id}
         streams.update(r.stream_id for r in server.queue)
-        service = server.unit.service_time(request, active_streams=len(streams) + server.in_service)
+        service = server.unit.service_time(
+            request, active_streams=len(streams) + server.in_service
+        ) * self.service_scale
         server.in_service += 1
         server.busy_time += service
         self.engine.schedule(service, self._complete, server, request)
@@ -216,6 +314,10 @@ class StorageTarget:
         self.completed = 0
         self.bytes_read = 0
         self.bytes_written = 0
+        self.failed = False
+        self.errors = 0
+        self.service_scale = 1.0
+        self._stalled_until = None
 
     def __repr__(self):
         return "StorageTarget(name={!r}, capacity={})".format(

@@ -98,6 +98,79 @@ def test_robust_layout_no_worse_than_specialized_on_worst_case():
         assert robust_worst <= specialized_worst * 1.05
 
 
+# ----------------------------------------------------------------------
+# Incremental-evaluation parity: the scenario-wise max of per-scenario
+# incremental caches must agree exactly with evaluating from scratch
+# ----------------------------------------------------------------------
+
+def _parity_case(n_scenarios):
+    scenarios = [_scenario(hot) for hot in "abc"[:n_scenarios]]
+    robust = RobustProblem(_sizes(), _targets(), scenarios)
+    matrix = robust.see_layout().matrix.copy()
+    rows = np.array([
+        [0.7, 0.2, 0.1],
+        [0.0, 0.5, 0.5],
+        [1.0, 0.0, 0.0],
+    ])
+    return robust, matrix, rows
+
+
+@pytest.mark.parametrize("n_scenarios", [1, 3])
+def test_utilizations_with_row_matches_fresh_evaluation(n_scenarios):
+    robust, matrix, rows = _parity_case(n_scenarios)
+    incremental = robust.evaluator()
+    for i in range(robust.n_objects):
+        for row in rows:
+            fast = incremental.utilizations_with_row(matrix, i, row)
+            modified = matrix.copy()
+            modified[i] = row
+            fresh = robust.evaluator().utilizations(modified)
+            assert np.allclose(fast, fresh, atol=1e-12)
+
+
+@pytest.mark.parametrize("n_scenarios", [1, 3])
+def test_commit_row_keeps_the_cache_honest(n_scenarios):
+    """After a sequence of commits, incremental answers must still equal
+    a from-scratch evaluation of the accumulated matrix."""
+    robust, matrix, rows = _parity_case(n_scenarios)
+    incremental = robust.evaluator()
+    incremental.utilizations_for(matrix)  # prime the per-scenario caches
+    for i in range(robust.n_objects):
+        row = rows[i % len(rows)]
+        matrix[i] = row
+        incremental.commit_row(i, row)
+    fresh = robust.evaluator()
+    assert np.allclose(incremental.utilizations_for(matrix),
+                       fresh.utilizations(matrix), atol=1e-12)
+    assert incremental.objective_with_row(
+        matrix, 0, matrix[0]
+    ) == pytest.approx(fresh.objective(matrix), abs=1e-12)
+    assert np.allclose(incremental.object_loads_for(matrix),
+                       fresh.object_loads(matrix), atol=1e-12)
+
+
+def test_evaluate_rows_matches_per_row_objectives():
+    robust, matrix, rows = _parity_case(2)
+    incremental = robust.evaluator()
+    batched = incremental.evaluate_rows(matrix, 1, rows)
+    fresh = robust.evaluator()
+    for value, row in zip(batched, rows):
+        modified = matrix.copy()
+        modified[1] = row
+        assert value == pytest.approx(fresh.objective(modified), abs=1e-12)
+
+
+def test_utilizations_without_row_matches_zeroed_row():
+    robust, matrix, _ = _parity_case(2)
+    incremental = robust.evaluator()
+    for i in range(robust.n_objects):
+        without = incremental.utilizations_without_row(matrix, i)
+        zeroed = matrix.copy()
+        zeroed[i] = 0.0
+        fresh = robust.evaluator().utilizations(zeroed)
+        assert np.allclose(without, fresh, atol=1e-12)
+
+
 def test_advisor_pipeline_works_on_robust_problem():
     robust = RobustProblem(
         _sizes(), _targets(), [_scenario("a"), _scenario("c")]

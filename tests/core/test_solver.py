@@ -351,3 +351,32 @@ def test_pool_failure_falls_back_to_serial(monkeypatch):
     assert calls, "pool path was not attempted"
     serial = solve(wide, method="coordinate", restarts=2, seed=7, workers=1)
     assert result.objective == pytest.approx(serial.objective, abs=1e-12)
+
+
+def _suicidal_attempt(problem, start_layout, method, attempt_seed,
+                      max_iter):
+    """Worker entry that dies the way an OOM-killed worker does.
+
+    Module-level so the pool can pickle it by reference; only pool
+    workers ever execute it (the serial path has its own closure)."""
+    import os
+    import signal
+
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def test_worker_crash_mid_run_falls_back_to_serial(monkeypatch):
+    """A worker process dying *mid-solve* (OOM kill, segfault) surfaces
+    as BrokenProcessPool from future.result(); the portfolio must catch
+    it and redo the restarts serially rather than crash or return a
+    partial result."""
+    import repro.core.solver as solver_module
+
+    monkeypatch.setattr(solver_module, "_portfolio_attempt",
+                        _suicidal_attempt)
+    wide = make_wide_problem()
+    result = solve(wide, method="coordinate", restarts=2, seed=7, workers=2)
+    assert result.success
+    serial = solve(wide, method="coordinate", restarts=2, seed=7, workers=1)
+    assert result.objective == pytest.approx(serial.objective, abs=1e-12)
+    assert np.allclose(result.layout.matrix, serial.layout.matrix)

@@ -1,0 +1,126 @@
+"""Tests for the wall-clock solver watchdog and its fallback chain."""
+
+import time
+
+import pytest
+
+from repro.core.watchdog import (
+    RUNG_GREEDY,
+    RUNG_PORTFOLIO,
+    RUNG_SERIAL,
+    solve_with_watchdog,
+)
+from repro.obs import Instrumentation
+
+from tests.conftest import make_problem
+
+pytestmark = pytest.mark.chaos
+
+
+@pytest.fixture
+def problem():
+    return make_problem()
+
+
+def test_no_budget_runs_the_plain_solve(problem):
+    outcome = solve_with_watchdog(problem)
+    assert outcome.rung == RUNG_PORTFOLIO
+    assert outcome.degraded is False
+    assert outcome.budget_s is None
+    assert outcome.attempts == [(RUNG_PORTFOLIO, "ok")]
+    problem.validate_layout(outcome.layout)
+
+
+def test_generous_budget_answers_from_the_portfolio(problem):
+    outcome = solve_with_watchdog(problem, budget_s=60.0)
+    assert outcome.rung == RUNG_PORTFOLIO
+    assert outcome.degraded is False
+    assert outcome.elapsed_s < 60.0
+    problem.validate_layout(outcome.layout)
+
+
+def test_hung_solve_falls_back_to_greedy(problem):
+    """A chaos stall longer than the budget times the portfolio rung
+    out; the leftover budget is below the rung floor, so serial is
+    skipped and greedy answers — degraded, but never empty-handed."""
+    outcome = solve_with_watchdog(
+        problem, budget_s=0.3, chaos_hook=lambda: time.sleep(1.0),
+    )
+    assert outcome.rung == RUNG_GREEDY
+    assert outcome.degraded is True
+    assert outcome.attempts == [
+        (RUNG_PORTFOLIO, "timeout"),
+        (RUNG_SERIAL, "skipped"),
+        (RUNG_GREEDY, "ok"),
+    ]
+    assert outcome.result.success
+    problem.validate_layout(outcome.layout)
+
+
+def test_zero_budget_still_yields_a_valid_layout(problem):
+    outcome = solve_with_watchdog(problem, budget_s=0.0)
+    assert outcome.rung == RUNG_GREEDY
+    assert outcome.degraded is True
+    assert outcome.attempts == [
+        (RUNG_PORTFOLIO, "skipped"),
+        (RUNG_SERIAL, "skipped"),
+        (RUNG_GREEDY, "ok"),
+    ]
+    assert outcome.result.method == "greedy"
+    problem.validate_layout(outcome.layout)
+    assert outcome.result.objective > 0
+
+
+def test_one_shot_failure_lands_on_the_serial_rung(problem):
+    """A hook that blows up only its first caller models a transient
+    solver crash: the portfolio rung errors out immediately (leaving
+    budget on the table), the retry on the serial rung sails through."""
+    calls = {"n": 0}
+
+    def flaky():
+        calls["n"] += 1
+        if calls["n"] == 1:
+            raise RuntimeError("transient solver crash")
+
+    outcome = solve_with_watchdog(problem, budget_s=5.0, chaos_hook=flaky)
+    assert outcome.rung == RUNG_SERIAL
+    assert outcome.degraded is True
+    assert outcome.attempts[0] == (RUNG_PORTFOLIO, "error")
+    assert outcome.attempts[1] == (RUNG_SERIAL, "ok")
+    problem.validate_layout(outcome.layout)
+
+
+def test_rung_error_falls_through(problem, monkeypatch):
+    from repro.core import watchdog as watchdog_module
+
+    def explode(*args, **kwargs):
+        raise RuntimeError("solver blew up")
+
+    monkeypatch.setattr(watchdog_module, "solve", explode)
+    outcome = solve_with_watchdog(problem, budget_s=5.0)
+    assert outcome.rung == RUNG_GREEDY
+    assert [a for _, a in outcome.attempts[:2]] == ["error", "error"]
+    problem.validate_layout(outcome.layout)
+
+
+def test_watchdog_reports_rung_and_timeout_counters(problem):
+    obs = Instrumentation.on()
+    solve_with_watchdog(problem, budget_s=0.3,
+                        chaos_hook=lambda: time.sleep(1.0), obs=obs)
+    rung = obs.metrics.get("repro_watchdog_rung_total", rung=RUNG_GREEDY)
+    assert rung is not None and rung.value == 1
+    timeouts = obs.metrics.get("repro_watchdog_timeouts_total",
+                               rung=RUNG_PORTFOLIO)
+    assert timeouts is not None and timeouts.value == 1
+    spans = obs.tracer.find("watchdog.rung")
+    assert [(s.tags["rung"], s.tags["outcome"]) for s in spans] == [
+        (RUNG_PORTFOLIO, "timeout"), (RUNG_GREEDY, "ok"),
+    ]
+
+
+def test_budget_solution_no_worse_than_greedy(problem):
+    """When the solve fits the budget it must beat (or match) what the
+    last-resort rung would have produced."""
+    bounded = solve_with_watchdog(problem, budget_s=60.0)
+    floor = solve_with_watchdog(problem, budget_s=0.0)
+    assert bounded.result.objective <= floor.result.objective + 1e-9

@@ -1,0 +1,100 @@
+"""Tests for the failure-detection policy layer."""
+
+import pytest
+
+from repro.faults.detector import (
+    REASON_CAPACITY,
+    REASON_DEGRADED,
+    REASON_FAILED,
+    FailureDetector,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultEvent, FaultPlan
+
+pytestmark = pytest.mark.chaos
+
+
+def _wired(**kwargs):
+    emergencies = []
+    recoveries = []
+    detector = FailureDetector(
+        on_emergency=lambda event, health, reason:
+            emergencies.append((event.target, reason)),
+        on_recovery=lambda event, health: recoveries.append(event.target),
+        **kwargs,
+    )
+    return detector, emergencies, recoveries
+
+
+def _observe(detector, *events, target_names=("t0", "t1")):
+    injector = FaultInjector(FaultPlan(list(events)),
+                             target_names=list(target_names))
+    injector.add_listener(detector.observe)
+    injector.pop_due(float("inf"))
+    return injector
+
+
+def test_fail_stop_is_always_an_emergency():
+    detector, emergencies, _ = _wired()
+    _observe(detector, FaultEvent(time=1.0, kind="fail-stop", target="t0"))
+    assert emergencies == [("t0", REASON_FAILED)]
+    assert detector.failed_targets == ["t0"]
+
+
+def test_mild_degrade_is_ridden_out():
+    detector, emergencies, _ = _wired(degrade_threshold=2.0)
+    _observe(detector, FaultEvent(time=1.0, kind="degrade", target="t0",
+                                  service_scale=1.5))
+    assert emergencies == []
+    assert detector.flagged == {}
+
+
+def test_severe_degrade_is_an_emergency():
+    detector, emergencies, _ = _wired(degrade_threshold=2.0)
+    _observe(detector, FaultEvent(time=1.0, kind="degrade", target="t0",
+                                  service_scale=3.0))
+    assert emergencies == [("t0", REASON_DEGRADED)]
+
+
+def test_capacity_loss_threshold():
+    detector, emergencies, _ = _wired(capacity_threshold=0.8)
+    _observe(detector,
+             FaultEvent(time=1.0, kind="capacity-loss", target="t0",
+                        capacity_factor=0.9),
+             FaultEvent(time=2.0, kind="capacity-loss", target="t1",
+                        capacity_factor=0.5))
+    assert emergencies == [("t1", REASON_CAPACITY)]
+
+
+def test_one_emergency_per_incident():
+    """A target already being evacuated is not re-reported when it also
+    degrades; a repair resets the incident."""
+    detector, emergencies, recoveries = _wired()
+    _observe(detector,
+             FaultEvent(time=1.0, kind="fail-stop", target="t0"),
+             FaultEvent(time=2.0, kind="degrade", target="t0",
+                        service_scale=5.0),
+             FaultEvent(time=3.0, kind="repair", target="t0"),
+             FaultEvent(time=4.0, kind="fail-stop", target="t0"))
+    assert emergencies == [("t0", REASON_FAILED), ("t0", REASON_FAILED)]
+    assert recoveries == ["t0"]
+    assert detector.emergencies == 2
+    assert detector.recoveries == 1
+
+
+def test_repair_of_unflagged_target_is_quiet():
+    detector, _, recoveries = _wired()
+    _observe(detector, FaultEvent(time=1.0, kind="repair", target="t0"))
+    assert recoveries == []
+
+
+def test_transient_stall_clear_counts_as_recovery():
+    """The injector's synthetic repair after a stall window clears a
+    flagged incident, too (a stall alone never flags, so pair it with a
+    severe degrade)."""
+    detector, emergencies, recoveries = _wired()
+    _observe(detector,
+             FaultEvent(time=1.0, kind="degrade", target="t0",
+                        service_scale=4.0, duration_s=2.0))
+    assert emergencies == [("t0", REASON_DEGRADED)]
+    assert recoveries == ["t0"]  # the bounded degrade cleared itself

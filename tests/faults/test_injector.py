@@ -1,0 +1,172 @@
+"""Tests for the fault injector: replay-mode application, live-mode
+scheduling, health bookkeeping, and the solver chaos hook."""
+
+import pytest
+
+from repro import units
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.storage.disk import DiskDrive
+from repro.storage.engine import SimulationEngine
+from repro.storage.target import StorageTarget
+
+pytestmark = pytest.mark.chaos
+
+
+def _plan(*events):
+    return FaultPlan(list(events))
+
+
+def _live_targets(engine, n=2):
+    return [
+        StorageTarget(DiskDrive("t%d" % j, units.mib(256)), engine)
+        for j in range(n)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Replay mode
+# ----------------------------------------------------------------------
+
+def test_pop_due_applies_events_in_order():
+    injector = FaultInjector(_plan(
+        FaultEvent(time=5.0, kind="fail-stop", target="t0"),
+        FaultEvent(time=10.0, kind="degrade", target="t1",
+                   service_scale=3.0),
+    ), target_names=["t0", "t1"])
+    assert injector.pop_due(4.0) == []
+    applied = injector.pop_due(11.0)
+    assert [e.kind for e in applied] == ["fail-stop", "degrade"]
+    assert injector.health["t0"].state == "failed"
+    assert not injector.health["t0"].alive
+    assert injector.health["t1"].state == "degraded"
+    assert injector.health["t1"].service_scale == 3.0
+    assert injector.alive_targets() == ["t1"]
+    assert injector.exhausted
+    assert injector.injected == 2
+
+
+def test_repair_restores_health():
+    injector = FaultInjector(_plan(
+        FaultEvent(time=1.0, kind="fail-stop", target="t0"),
+        FaultEvent(time=2.0, kind="repair", target="t0"),
+    ), target_names=["t0"])
+    injector.pop_due(1.5)
+    assert not injector.health["t0"].alive
+    injector.pop_due(2.5)
+    assert injector.health["t0"].healthy
+
+
+def test_stall_clears_itself_with_synthetic_repair():
+    injector = FaultInjector(_plan(
+        FaultEvent(time=5.0, kind="stall", target="t0", duration_s=2.0),
+    ), target_names=["t0"])
+    seen = []
+    injector.add_listener(lambda event, health: seen.append(event.kind))
+    injector.pop_due(6.0)
+    assert injector.health["t0"].state == "stalled"
+    injector.pop_due(8.0)
+    assert injector.health["t0"].healthy
+    assert seen == ["stall", "repair"]
+
+
+def test_bounded_degrade_clears_itself():
+    injector = FaultInjector(_plan(
+        FaultEvent(time=5.0, kind="degrade", target="t0",
+                   service_scale=2.5, duration_s=3.0),
+    ), target_names=["t0"])
+    injector.pop_due(5.0)
+    assert injector.health["t0"].service_scale == 2.5
+    injector.pop_due(8.0)
+    assert injector.health["t0"].healthy
+
+
+def test_capacity_loss_is_planning_only():
+    engine = SimulationEngine()
+    targets = _live_targets(engine, n=1)
+    injector = FaultInjector(_plan(
+        FaultEvent(time=1.0, kind="capacity-loss", target="t0",
+                   capacity_factor=0.5),
+    ), targets=targets)
+    injector.pop_due(2.0)
+    assert injector.health["t0"].capacity_factor == 0.5
+    # The simulated device itself is untouched: no failure, no errors.
+    assert not targets[0].failed
+
+
+def test_unknown_plan_target_rejected():
+    from repro.errors import FaultError
+
+    with pytest.raises(FaultError):
+        FaultInjector(_plan(
+            FaultEvent(time=1.0, kind="fail-stop", target="t9"),
+        ), target_names=["t0", "t1"])
+
+
+# ----------------------------------------------------------------------
+# Live mode
+# ----------------------------------------------------------------------
+
+def test_arm_applies_faults_to_live_targets():
+    engine = SimulationEngine()
+    targets = _live_targets(engine)
+    injector = FaultInjector(_plan(
+        FaultEvent(time=5.0, kind="fail-stop", target="t0"),
+        FaultEvent(time=8.0, kind="degrade", target="t1",
+                   service_scale=2.0),
+    ), targets=targets)
+    injector.arm(engine)
+    engine.run(until=10.0)
+    assert targets[0].failed
+    assert targets[1].service_scale == 2.0
+    assert injector.health["t0"].state == "failed"
+    assert injector.health["t1"].state == "degraded"
+
+
+def test_arm_rejects_past_events():
+    engine = SimulationEngine()
+    targets = _live_targets(engine, n=1)
+    engine.schedule(10.0, lambda: None)
+    engine.run()
+    injector = FaultInjector(_plan(
+        FaultEvent(time=5.0, kind="fail-stop", target="t0"),
+    ), targets=targets)
+    with pytest.raises(ValueError):
+        injector.arm(engine)
+
+
+def test_live_repair_resumes_the_target():
+    engine = SimulationEngine()
+    targets = _live_targets(engine, n=1)
+    injector = FaultInjector(_plan(
+        FaultEvent(time=2.0, kind="fail-stop", target="t0"),
+        FaultEvent(time=6.0, kind="repair", target="t0"),
+    ), targets=targets)
+    injector.arm(engine)
+    engine.run(until=10.0)
+    assert not targets[0].failed
+    assert injector.health["t0"].healthy
+
+
+# ----------------------------------------------------------------------
+# Solver chaos hook
+# ----------------------------------------------------------------------
+
+def test_solver_hook_consumes_stalls_in_order():
+    injector = FaultInjector(_plan(
+        FaultEvent(time=1.0, kind="solver-stall", duration_s=0.5),
+        FaultEvent(time=2.0, kind="solver-stall", duration_s=0.25),
+    ), target_names=["t0"])
+    slept = []
+    hook = injector.solver_hook(sleep=slept.append)
+    hook()
+    hook()
+    hook()  # beyond the planned stalls: instant no-op
+    assert slept == [0.5, 0.25]
+
+
+def test_solver_stalls_never_hit_the_timeline():
+    injector = FaultInjector(_plan(
+        FaultEvent(time=1.0, kind="solver-stall", duration_s=0.5),
+    ), target_names=["t0"])
+    assert injector.pop_due(100.0) == []

@@ -71,6 +71,38 @@ def test_emit_payload_and_round_trip(tmp_path):
     assert event["time"] == 3.25
 
 
+def test_from_jsonl_skips_malformed_lines(tmp_path):
+    """Regression: a crashed writer leaves a torn final line (and a
+    flaky filesystem can garble any line); one bad line must not make
+    the whole run's history unreadable."""
+    path = tmp_path / "events.jsonl"
+    path.write_text("\n".join([
+        json.dumps({"seq": 0, "time": 1.0, "kind": "baseline"}),
+        "{this is not json",
+        json.dumps({"seq": 1, "time": 2.0, "kind": "check"}),
+        '"a string, not an object"',
+        '{"seq": 2, "time": 3.0, "kind": "che',  # torn final write
+    ]) + "\n")
+    with pytest.warns(RuntimeWarning, match="malformed"):
+        loaded = EventLog.from_jsonl(str(path))
+    assert [e["kind"] for e in loaded] == ["baseline", "check"]
+    assert loaded.skipped == 3
+
+
+def test_from_jsonl_clean_file_warns_nothing(tmp_path):
+    import warnings
+
+    path = tmp_path / "events.jsonl"
+    log = EventLog()
+    log.emit(1.0, "check")
+    log.to_jsonl(str(path))
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        loaded = EventLog.from_jsonl(str(path))
+    assert loaded.skipped == 0
+    assert len(loaded) == 1
+
+
 def test_emit_forwards_to_instrumentation():
     obs = Instrumentation.on()
     log = EventLog(obs=obs)

@@ -122,3 +122,187 @@ def test_double_start_rejected():
     migrator = ThrottledMigrator(ctx, MigrationPlan()).start()
     with pytest.raises(SimulationError):
         migrator.start()
+
+
+# ----------------------------------------------------------------------
+# Crash-safe journaling and degraded-mode copying
+# ----------------------------------------------------------------------
+
+def _journal(tmp_path, plan, chunk=units.mib(1)):
+    from repro.faults.journal import MigrationJournal
+
+    return MigrationJournal.create(str(tmp_path / "migration.jsonl"),
+                                   plan, chunk=chunk)
+
+
+def test_journal_records_every_landed_chunk(tmp_path):
+    from repro.faults.journal import MigrationJournal
+
+    ctx = _ctx()
+    journal = _journal(tmp_path, _relocation_plan())
+    migrator = ThrottledMigrator(ctx, _relocation_plan(),
+                                 chunk=units.mib(1), journal=journal).start()
+    ctx.engine.run()
+    journal.close()
+    assert migrator.finished
+    loaded = MigrationJournal.load(str(tmp_path / "migration.jsonl"))
+    assert loaded.done == set(range(migrator.total_chunks))
+    assert loaded.remaining() == []
+
+
+def test_journal_mismatch_rejected(tmp_path):
+    from repro.errors import FaultError
+
+    ctx = _ctx()
+    journal = _journal(tmp_path, _relocation_plan(), chunk=units.mib(2))
+    with pytest.raises(FaultError):
+        ThrottledMigrator(ctx, _relocation_plan(), chunk=units.mib(1),
+                          journal=journal)
+
+
+@pytest.mark.parametrize("kill_after", [0, 1, 7, 31, 32])
+def test_resume_after_crash_at_any_kill_point(tmp_path, kill_after):
+    """The crash-safety property: no matter how many chunks the dead
+    process had journaled, a resumed migrator copies exactly the rest —
+    every chunk lands exactly once across both lives."""
+    from repro.faults.journal import MigrationJournal
+
+    # First life: journal ``kill_after`` landed chunks, then die.
+    journal = _journal(tmp_path, _relocation_plan())
+    for index in range(kill_after):
+        journal.record_chunk(index)
+    del journal  # a crash never calls close()
+
+    # Second life: reload and resume.
+    resumed = MigrationJournal.load(str(tmp_path / "migration.jsonl"))
+    ctx = _ctx()
+    migrator = ThrottledMigrator(ctx, _relocation_plan(),
+                                 chunk=units.mib(1), window=2,
+                                 journal=resumed).start()
+    ctx.engine.run()
+    assert migrator.finished
+    assert migrator.chunks_skipped == kill_after
+    assert migrator.chunks_done == 32 - kill_after
+    assert migrator.bytes_moved == SIZE - kill_after * units.mib(1)
+    # The journal now covers the whole plan, exactly once per chunk.
+    assert resumed.done == set(range(32))
+    lines = open(str(tmp_path / "migration.jsonl")).read().splitlines()
+    import json as _json
+
+    recorded = [_json.loads(l)["index"] for l in lines
+                if _json.loads(l).get("kind") == "chunk"]
+    assert sorted(recorded) == list(range(32))
+    assert len(recorded) == len(set(recorded))
+
+
+def test_mid_run_interrupt_then_resume_covers_every_chunk(tmp_path):
+    """Kill the engine mid-copy (in-flight chunks unjournaled), then
+    resume in a fresh simulation: the resumed copy skips exactly the
+    journaled chunks and the union is the full plan."""
+    from repro.faults.journal import MigrationJournal
+
+    ctx = _ctx()
+    journal = _journal(tmp_path, _relocation_plan())
+    first = ThrottledMigrator(ctx, _relocation_plan(), chunk=units.mib(1),
+                              window=2, journal=journal).start()
+    ctx.engine.run(until=first.start_time + 0.2)
+    assert not first.finished
+    assert 0 < first.chunks_done < 32
+
+    resumed = MigrationJournal.load(str(tmp_path / "migration.jsonl"))
+    assert resumed.done == set(range(first.chunks_done))
+    ctx2 = _ctx()
+    second = ThrottledMigrator(ctx2, _relocation_plan(), chunk=units.mib(1),
+                               window=2, journal=resumed).start()
+    ctx2.engine.run()
+    assert second.finished
+    assert second.chunks_skipped == first.chunks_done
+    assert first.chunks_done + second.chunks_done == 32
+    assert resumed.done == set(range(32))
+
+
+def test_fully_journaled_plan_finishes_without_io(tmp_path):
+    ctx = _ctx()
+    journal = _journal(tmp_path, _relocation_plan())
+    for index in range(32):
+        journal.record_chunk(index)
+    done = []
+    migrator = ThrottledMigrator(ctx, _relocation_plan(), chunk=units.mib(1),
+                                 journal=journal, on_done=done.append).start()
+    assert migrator.finished
+    assert done == [migrator]
+    assert migrator.chunks_skipped == 32
+    assert migrator.bytes_moved == 0
+    assert not ctx.targets[0].trace and not ctx.targets[1].trace
+
+
+def test_cancel_stops_issuing_and_suppresses_on_done():
+    ctx = _ctx()
+    done = []
+    migrator = ThrottledMigrator(ctx, _relocation_plan(), chunk=units.mib(1),
+                                 window=2, pace_s=0.05,
+                                 on_done=done.append).start()
+    ctx.engine.run(until=0.2)
+    migrator.cancel()
+    ctx.engine.run()
+    assert migrator.finished
+    assert migrator.cancelled
+    assert done == []
+    assert migrator.chunks_done < 32
+
+
+def test_cancel_before_any_chunk_finishes_cleanly():
+    ctx = _ctx()
+    done = []
+    migrator = ThrottledMigrator(ctx, MigrationPlan(),
+                                 on_done=done.append)
+    migrator.cancel()
+    assert not migrator.finished  # never started; nothing to finish
+    migrator2 = ThrottledMigrator(ctx, _relocation_plan(),
+                                  chunk=units.mib(1)).start()
+    ctx.engine.run()
+    assert migrator2.finished
+
+
+def test_failed_source_uses_the_restore_path():
+    """A chunk whose source target is dead is written from redundancy:
+    no read is issued, the destination still receives every byte."""
+    ctx = _ctx()
+    ctx.targets[0].fail()
+    migrator = ThrottledMigrator(ctx, _relocation_plan(),
+                                 chunk=units.mib(1)).start()
+    ctx.engine.run()
+    assert migrator.finished
+    assert migrator.chunks_restored == 32
+    assert migrator.bytes_moved == SIZE
+    assert ctx.targets[0].trace == []  # no doomed reads
+    assert sum(r.size for r in ctx.targets[1].trace) == SIZE
+
+
+def test_source_dying_mid_copy_restores_the_rest(tmp_path):
+    ctx = _ctx()
+    journal = _journal(tmp_path, _relocation_plan())
+    migrator = ThrottledMigrator(ctx, _relocation_plan(), chunk=units.mib(1),
+                                 journal=journal).start()
+    ctx.engine.schedule(0.2, ctx.targets[0].fail)
+    ctx.engine.run()
+    assert migrator.finished
+    assert migrator.chunks_restored > 0
+    assert migrator.chunks_done + migrator.chunks_failed == 32
+    # Only durably landed chunks are journaled.
+    assert len(journal.done) == migrator.chunks_done
+
+
+def test_failed_destination_chunk_not_journaled(tmp_path):
+    """A write that errors is not durable, so it must not be recorded —
+    a resume re-copies it."""
+    ctx = _ctx()
+    ctx.targets[1].fail()
+    journal = _journal(tmp_path, _relocation_plan())
+    migrator = ThrottledMigrator(ctx, _relocation_plan(), chunk=units.mib(1),
+                                 journal=journal).start()
+    ctx.engine.run()
+    assert migrator.finished
+    assert migrator.chunks_failed == 32
+    assert migrator.chunks_done == 0
+    assert journal.done == set()

@@ -183,7 +183,8 @@ def test_replay_online_json_payload(online_problem_file, tmp_path, capsys):
     assert main(["replay-online", online_problem_file, str(trace),
                  "--non-regular", "--json"]) == 0
     payload = json.loads(capsys.readouterr().out)
-    assert set(payload) == {"initial", "final_layout", "resolves", "events"}
+    assert set(payload) == {"initial", "final_layout", "resolves",
+                            "emergencies", "events"}
     kinds = {e["kind"] for e in payload["events"]}
     # The surge of "b" drifts the workload and forces decisions; the
     # advisor's striped start is already optimal for it, so the
@@ -203,6 +204,91 @@ def test_replay_online_missing_trace_is_an_error(online_problem_file,
     assert main(["replay-online", online_problem_file,
                  "/nonexistent/trace.jsonl"]) == 1
     assert "error" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Chaos flags: fault injection from the command line
+# ----------------------------------------------------------------------
+
+def test_replay_online_chaos_seed_injects_faults(online_problem_file,
+                                                 tmp_path, capsys):
+    trace = tmp_path / "trace.jsonl"
+    _write_trace(trace, [("a", 50.0, 0.0, 120.0), ("b", 150.0, 20.0, 120.0)])
+    assert main(["replay-online", online_problem_file, str(trace),
+                 "--non-regular", "--chaos-seed", "7",
+                 "--solver-budget", "30"]) == 0
+    out = capsys.readouterr().out
+    assert "faults injected" in out
+
+
+def test_replay_online_chaos_seed_is_deterministic(online_problem_file,
+                                                   tmp_path, capsys):
+    trace = tmp_path / "trace.jsonl"
+    _write_trace(trace, [("a", 50.0, 0.0, 120.0), ("b", 150.0, 20.0, 120.0)])
+    argv = ["replay-online", online_problem_file, str(trace),
+            "--non-regular", "--chaos-seed", "3", "--json"]
+    assert main(argv) == 0
+    first = json.loads(capsys.readouterr().out)
+    assert main(argv) == 0
+    second = json.loads(capsys.readouterr().out)
+    assert first["final_layout"] == second["final_layout"]
+    assert ([e["kind"] for e in first["events"]]
+            == [e["kind"] for e in second["events"]])
+
+
+def test_replay_online_fault_plan_file(online_problem_file, tmp_path,
+                                       capsys):
+    trace = tmp_path / "trace.jsonl"
+    _write_trace(trace, [("a", 50.0, 0.0, 120.0), ("b", 150.0, 20.0, 120.0)])
+    plan = tmp_path / "plan.json"
+    plan.write_text(json.dumps({"faults": [
+        {"time": 30.0, "kind": "fail-stop", "target": "disk0"},
+    ]}))
+    assert main(["replay-online", online_problem_file, str(trace),
+                 "--non-regular", "--fault-plan", str(plan),
+                 "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    kinds = {e["kind"] for e in payload["events"]}
+    assert "fault" in kinds
+    assert "emergency" in kinds
+    assert payload["emergencies"] >= 1
+    # The dead target holds nothing at the end.
+    for row in payload["final_layout"].values():
+        assert row[0] <= 1e-9
+
+
+def test_replay_online_fault_plan_unknown_target_is_an_error(
+        online_problem_file, tmp_path, capsys):
+    trace = tmp_path / "trace.jsonl"
+    _write_trace(trace, [("a", 50.0, 0.0, 30.0)])
+    plan = tmp_path / "plan.json"
+    plan.write_text(json.dumps({"faults": [
+        {"time": 5.0, "kind": "fail-stop", "target": "no-such-disk"},
+    ]}))
+    assert main(["replay-online", online_problem_file, str(trace),
+                 "--fault-plan", str(plan)]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "no-such-disk" in err
+
+
+def test_replay_online_malformed_fault_plan_is_an_error(
+        online_problem_file, tmp_path, capsys):
+    trace = tmp_path / "trace.jsonl"
+    _write_trace(trace, [("a", 50.0, 0.0, 30.0)])
+    plan = tmp_path / "plan.json"
+    plan.write_text("{not json")
+    assert main(["replay-online", online_problem_file, str(trace),
+                 "--fault-plan", str(plan)]) == 1
+    assert capsys.readouterr().err.startswith("error:")
+
+
+def test_advise_solver_budget_accepts_and_solves(problem_file, capsys):
+    assert main(["advise", problem_file, "--solver-budget", "30",
+                 "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["degraded"] is False
+    assert payload["watchdog_rung"] == "portfolio"
 
 
 # ----------------------------------------------------------------------
