@@ -34,6 +34,7 @@ Usage::
     python -m repro.cli replay-online problem.json trace.jsonl
         [--interval S] [--events out.jsonl] [--metrics out.jsonl|out.prom]
     python -m repro.cli report out.jsonl [--tree]
+    python -m repro.cli serve [--port P] [--workers N] [--state-dir DIR]
 
 ``advise`` is the paper's one-shot offline tool.  ``monitor`` fits
 sliding-window workload estimates from an archived completion trace
@@ -301,12 +302,86 @@ def replay_online(args):
     return 0
 
 
+def _looks_like_event_log(path):
+    """True when a JSONL file holds controller events, not a trace.
+
+    Controller events carry ``seq``/``kind`` and no ``type`` header;
+    instrumentation traces start with a ``{"type": "meta", ...}`` line.
+    """
+    try:
+        with open(path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                return (isinstance(record, dict)
+                        and "kind" in record and "seq" in record
+                        and "type" not in record)
+    except (OSError, json.JSONDecodeError):
+        pass
+    return False
+
+
 def report(args):
     from repro.obs.export import read_trace
     from repro.obs.report import render_report
 
+    if _looks_like_event_log(args.trace):
+        import warnings
+
+        from repro.online.events import EventLog
+
+        with warnings.catch_warnings():
+            # summary() reports the skipped count itself; the per-line
+            # warnings would just repeat it.
+            warnings.simplefilter("ignore", RuntimeWarning)
+            log = EventLog.from_jsonl(args.trace)
+        print(log.summary())
+        return 0
     trace = read_trace(args.trace)
     print(render_report(trace, tree=args.tree, max_depth=args.max_depth))
+    return 0
+
+
+def serve(args):
+    import asyncio
+    import signal
+
+    from repro.serve.http import HttpFrontend
+    from repro.serve.service import AdvisorService, ServeConfig
+
+    config = ServeConfig(
+        host=args.host, port=args.port, workers=args.workers,
+        use_processes=not args.threads, max_pending=args.max_pending,
+        feed_threads=args.feed_threads, state_dir=args.state_dir,
+    )
+
+    async def run():
+        frontend = HttpFrontend(AdvisorService(config))
+        await frontend.start()
+        print("serving on http://%s:%d  (%d %s workers, admission bound %d)"
+              % (frontend.host, frontend.port, config.workers,
+                 "process" if frontend.service.pool.use_processes
+                 else "thread", config.max_pending),
+              flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass
+        await stop.wait()
+        print("draining: finishing in-flight work, journaling migrations",
+              flush=True)
+        await frontend.stop()
+        print("drained", flush=True)
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -415,12 +490,37 @@ def main(argv=None):
     )
     report_parser.add_argument("trace", help="trace JSONL written by "
                                              "advise --trace or "
-                                             "replay-online --metrics")
+                                             "replay-online --metrics (an "
+                                             "event log from --events is "
+                                             "summarized instead)")
     report_parser.add_argument("--tree", action="store_true",
                                help="also render the span tree")
     report_parser.add_argument("--max-depth", type=int, default=3,
                                help="span tree depth limit (default 3)")
     report_parser.set_defaults(func=report)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the multi-tenant advisor service "
+                      "(JSON over HTTP; SIGTERM drains gracefully)"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1",
+                              help="listen address (default 127.0.0.1)")
+    serve_parser.add_argument("--port", type=int, default=8080,
+                              help="listen port (0 picks a free port)")
+    serve_parser.add_argument("--workers", type=int, default=2,
+                              help="shared solver pool size (default 2)")
+    serve_parser.add_argument("--threads", action="store_true",
+                              help="run solver jobs on threads instead of "
+                                   "worker processes")
+    serve_parser.add_argument("--max-pending", type=int, default=64,
+                              help="admission bound on queued solver jobs "
+                                   "(default 64; over it requests get 429)")
+    serve_parser.add_argument("--feed-threads", type=int, default=4,
+                              help="worker threads applying trace chunks")
+    serve_parser.add_argument("--state-dir", default=None,
+                              help="per-tenant state root (migration "
+                                   "journals; enables drain-resume)")
+    serve_parser.set_defaults(func=serve)
 
     args = parser.parse_args(argv)
     try:

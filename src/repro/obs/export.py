@@ -14,6 +14,7 @@ local extension with no Prometheus equivalent and are skipped there.
 
 import json
 
+from repro.errors import ReproError
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer, json_default as _json_default
 
@@ -55,13 +56,25 @@ def write_trace(path, instrumentation, meta=None):
 
 
 def read_trace(path):
-    """Load a JSONL trace file into a :class:`TraceData`."""
+    """Load a JSONL trace file into a :class:`TraceData`.
+
+    Raises :class:`~repro.errors.ReproError` when a line is not a JSON
+    object — the file is not (or no longer) an instrumentation trace —
+    so CLI callers report one clean error instead of a traceback.
+    """
     records = []
     with open(path) as handle:
-        for line in handle:
+        for number, line in enumerate(handle, start=1):
             line = line.strip()
-            if line:
-                records.append(json.loads(line))
+            if not line:
+                continue
+            record = json.loads(line)
+            if not isinstance(record, dict):
+                raise ReproError(
+                    "%s:%d: not an instrumentation trace record"
+                    % (path, number)
+                )
+            records.append(record)
     meta = {}
     for record in records:
         if record.get("type") == "meta":
@@ -106,13 +119,35 @@ def _format_value(value):
     return repr(float(value))
 
 
-def prometheus_text(metrics):
-    """Render a registry in the Prometheus text exposition format."""
+def prometheus_text(metrics, extra_labels=None):
+    """Render a registry in the Prometheus text exposition format.
+
+    ``extra_labels`` are appended to every sample (the serving layer
+    stamps ``tenant="..."`` this way).
+    """
+    return prometheus_text_multi([(extra_labels or {}, metrics)])
+
+
+def prometheus_text_multi(sections):
+    """Render several registries as one valid exposition document.
+
+    Args:
+        sections: Iterable of ``(extra_labels, registry)`` pairs.  Each
+            registry's samples get its extra labels; samples of the
+            same metric name from different sections are grouped under
+            a single ``# TYPE`` header, as the exposition format
+            requires (the multi-tenant ``/metrics`` endpoint renders
+            one section per tenant plus one for the service itself).
+    """
     by_name = {}
-    for kind, name, labels, instrument in metrics:
-        if kind == "series":
-            continue
-        by_name.setdefault((name, kind), []).append((labels, instrument))
+    for extra, metrics in sections:
+        for kind, name, labels, instrument in metrics:
+            if kind == "series":
+                continue
+            merged = dict(labels)
+            if extra:
+                merged.update(extra)
+            by_name.setdefault((name, kind), []).append((merged, instrument))
 
     lines = []
     for (name, kind), rows in sorted(by_name.items()):

@@ -411,25 +411,8 @@ class OnlineController:
             pinned=len(pinned),
         )
         problem = self._problem(fitted, pinning=pinning)
-        rung = ""
-        if self.config.solve_budget_s is not None:
-            watchdog = solve_with_watchdog(
-                problem, initial=self.layout, warm_start=True,
-                budget_s=self.config.solve_budget_s,
-                method=self.config.solver_method,
-                restarts=self.config.restarts,
-                chaos_hook=self._solver_chaos, obs=self.obs,
-            )
-            result = watchdog.result
-            rung = watchdog.rung
-        else:
-            result = solve(
-                problem, initial=self.layout, warm_start=True,
-                method=self.config.solver_method,
-                restarts=self.config.restarts,
-                obs=self.obs,
-            )
-        candidate = result.layout
+        result, rung = self._run_solve(problem)
+        candidate = self._aligned(result.layout)
         if self.config.regular:
             candidate = regularize(problem, candidate, obs=self.obs)
         latency = time.perf_counter() - started
@@ -514,6 +497,45 @@ class OnlineController:
             self._install(pending, finish, bytes_moved=plan.total_bytes,
                           elapsed_s=cost_s, virtual=True)
 
+    def _run_solve(self, problem):
+        """Run one drift re-solve; returns ``(SolveResult, rung)``.
+
+        The solve itself is a hook: the default runs in-process (under
+        the watchdog when a budget is configured), while the serving
+        layer's :class:`~repro.serve.tenant.ServedController` overrides
+        it to route the work through the shared, fairness-scheduled
+        solver pool.
+        """
+        if self.config.solve_budget_s is not None:
+            watchdog = solve_with_watchdog(
+                problem, initial=self.layout, warm_start=True,
+                budget_s=self.config.solve_budget_s,
+                method=self.config.solver_method,
+                restarts=self.config.restarts,
+                chaos_hook=self._solver_chaos, obs=self.obs,
+            )
+            return watchdog.result, watchdog.rung
+        return solve(
+            problem, initial=self.layout, warm_start=True,
+            method=self.config.solver_method,
+            restarts=self.config.restarts,
+            obs=self.obs,
+        ), ""
+
+    def _journal_meta(self, candidate, fitted, predicted_util, now):
+        """The journal ``meta`` block: everything
+        :meth:`resume_migration` needs to rebuild the pending state in
+        a fresh controller."""
+        return {
+            "layout": {name: [float(f) for f in row] for name, row in
+                       candidate.fractions_by_name().items()},
+            "objects": list(self.object_names),
+            "targets": list(self.target_names),
+            "predicted_util": float(predicted_util),
+            "accepted_at": float(now),
+            "fitted": [asdict(w) for w in fitted],
+        }
+
     def _open_journal(self, plan, candidate, fitted, predicted_util, now):
         """Create a crash-recovery journal for an accepted migration.
 
@@ -528,15 +550,7 @@ class OnlineController:
         self._journal_seq += 1
         path = os.path.join(self.config.journal_dir,
                             "migration-%04d.jsonl" % self._journal_seq)
-        meta = {
-            "layout": {name: [float(f) for f in row] for name, row in
-                       candidate.fractions_by_name().items()},
-            "objects": list(self.object_names),
-            "targets": list(self.target_names),
-            "predicted_util": float(predicted_util),
-            "accepted_at": float(now),
-            "fitted": [asdict(w) for w in fitted],
-        }
+        meta = self._journal_meta(candidate, fitted, predicted_util, now)
         return MigrationJournal.create(path, plan,
                                        self.config.migration_chunk,
                                        meta=meta)

@@ -151,6 +151,12 @@ class EventLog:
         ]
 
         lines = ["online controller summary"]
+        if self.skipped:
+            # Data loss must not hide in a Python warning: a log loaded
+            # from JSONL with torn/garbled lines says so up front.
+            lines.append("  SKIPPED           %6d  malformed line%s dropped "
+                         "on load" % (self.skipped,
+                                      "" if self.skipped == 1 else "s"))
         lines.append("  checks            %6d" % counts.get("check", 0))
         lines.append("  drift triggers    %6d  (%s)" % (
             counts.get("trigger", 0),

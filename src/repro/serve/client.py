@@ -1,0 +1,131 @@
+"""Minimal asyncio JSON/HTTP client for the advisor service.
+
+One :class:`ServeClient` is one keep-alive connection — exactly what a
+closed-loop load-generator tenant needs: requests on a connection are
+serialized, responses arrive in order, and reconnection is automatic
+when the server closes the socket.  This is a test/bench tool, not a
+general HTTP client; it speaks only the service's own subset.
+"""
+
+import asyncio
+import json
+
+from repro.errors import ReproError
+
+
+class ServeHttpError(ReproError):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status, payload):
+        self.status = status
+        self.payload = payload
+        message = payload.get("error", payload) \
+            if isinstance(payload, dict) else payload
+        super().__init__("HTTP %d: %s" % (status, message))
+
+
+class ServeClient:
+    """One keep-alive connection to a serve frontend."""
+
+    def __init__(self, host, port):
+        self.host = host
+        self.port = int(port)
+        self._reader = None
+        self._writer = None
+        self._lock = asyncio.Lock()
+
+    async def _connect(self):
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def close(self):
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._reader = self._writer = None
+
+    async def request(self, method, path, body=None, raise_for_status=True):
+        """One request/response; returns ``(status, payload)``.
+
+        ``payload`` is parsed JSON for JSON responses, raw text
+        otherwise (``GET /metrics``).  Non-2xx raises
+        :class:`ServeHttpError` unless ``raise_for_status=False``.
+        """
+        data = b"" if body is None else json.dumps(body).encode()
+        head = (
+            "%s %s HTTP/1.1\r\n"
+            "Host: %s:%d\r\n"
+            "Content-Type: application/json\r\n"
+            "Content-Length: %d\r\n"
+            "Connection: keep-alive\r\n\r\n"
+            % (method, path, self.host, self.port, len(data))
+        ).encode("latin-1")
+        async with self._lock:
+            for attempt in (0, 1):
+                if self._writer is None:
+                    await self._connect()
+                try:
+                    self._writer.write(head + data)
+                    await self._writer.drain()
+                    status, payload = await self._read_response()
+                    break
+                except (ConnectionResetError, BrokenPipeError,
+                        asyncio.IncompleteReadError):
+                    # The server closed the keep-alive socket between
+                    # requests; reconnect once and retry.
+                    await self.close()
+                    if attempt:
+                        raise
+        if raise_for_status and status >= 400:
+            raise ServeHttpError(status, payload)
+        return status, payload
+
+    async def _read_response(self):
+        head = await self._reader.readuntil(b"\r\n\r\n")
+        lines = head.decode("latin-1").split("\r\n")
+        status = int(lines[0].split()[1])
+        headers = {}
+        for line in lines[1:]:
+            if line:
+                name, _, value = line.partition(":")
+                headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        body = await self._reader.readexactly(length) if length else b""
+        if headers.get("connection", "").lower() == "close":
+            await self.close()
+        if headers.get("content-type", "").startswith("application/json"):
+            return status, json.loads(body) if body else {}
+        return status, body.decode()
+
+    # -- convenience wrappers -------------------------------------------
+
+    async def create_tenant(self, payload, **kwargs):
+        return (await self.request("POST", "/tenants", payload,
+                                   **kwargs))[1]
+
+    async def advise(self, tenant_id, options=None, **kwargs):
+        body = {"options": options} if options else {}
+        return await self.request("POST", "/tenants/%s/advise" % tenant_id,
+                                  body, **kwargs)
+
+    async def feed(self, tenant_id, records, **kwargs):
+        return await self.request("POST", "/tenants/%s/trace" % tenant_id,
+                                  {"records": records}, **kwargs)
+
+    async def status(self):
+        return (await self.request("GET", "/status"))[1]
+
+    async def tenant_status(self, tenant_id):
+        return (await self.request("GET",
+                                   "/tenants/%s/status" % tenant_id))[1]
+
+    async def metrics(self):
+        return (await self.request("GET", "/metrics"))[1]
+
+    async def delete_tenant(self, tenant_id, **kwargs):
+        return await self.request("DELETE", "/tenants/%s" % tenant_id,
+                                  **kwargs)

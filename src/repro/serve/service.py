@@ -1,0 +1,367 @@
+"""The multi-tenant advisor service: admission, tenants, drain.
+
+:class:`AdvisorService` is the serving layer's hub.  It owns the shared
+:class:`~repro.serve.pool.SolverPool`, the
+:class:`~repro.serve.scheduler.FairScheduler` in front of it, the
+tenant table, and the service-level metrics registry; the HTTP front
+end (:mod:`repro.serve.http`) is a thin translation onto the async
+methods here, so tests can drive the service directly and the protocol
+layer stays trivial.
+
+Tenant lifecycle:
+
+* ``create_tenant`` parses the problem JSON (the exact ``repro.cli
+  advise`` schema), registers the tenant with the fair scheduler, and
+  either adopts an explicitly supplied layout or runs the initial
+  advise through the shared pool (admission applies — creating hundreds
+  of tenants at once is exactly the overload the bounded queue is for).
+  Any uncommitted migration journal left in the tenant's state dir by a
+  previous incarnation is resumed before the tenant serves traffic.
+* ``feed_trace_chunk`` streams completion records into the tenant's
+  server-side control loop on a worker thread (the loop is pure Python
+  bookkeeping; re-solves it decides on go back through the shared pool
+  as pre-admitted jobs).
+* ``delete_tenant`` drops the tenant and fails its queued jobs;
+  anything already executing on the pool finishes and is discarded —
+  one tenant's removal never poisons the shared executor.
+
+Drain (SIGTERM): new external work is refused with 503, in-flight
+feeds and advises run to completion, in-flight *migrations* are left
+as uncommitted journals on disk (the tenant's next incarnation finishes
+them), and only then do the scheduler and pool shut down.
+"""
+
+import asyncio
+import dataclasses
+import os
+import re
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.errors import ReproError
+from repro.obs import Instrumentation
+from repro.obs.export import prometheus_text_multi
+from repro.online.controller import ControllerConfig
+from repro.serve.pool import SolverPool, advise_job, resolve_job
+from repro.serve.scheduler import FairScheduler
+from repro.serve.tenant import Tenant, records_from_payload
+
+_TENANT_ID = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
+
+#: ControllerConfig fields a tenant may override at create time.
+_TUNABLE = {f.name for f in dataclasses.fields(ControllerConfig)} - {
+    "journal_dir",
+}
+
+
+class UnknownTenantError(ReproError):
+    """No such tenant (HTTP 404)."""
+
+
+class ServiceDrainingError(ReproError):
+    """The service is draining and takes no new work (HTTP 503)."""
+
+
+@dataclasses.dataclass
+class ServeConfig:
+    """Serving-layer knobs.
+
+    Attributes:
+        host / port: Listen address (port 0 picks a free port).
+        workers: Shared solver pool size.
+        use_processes: ``False`` runs solver jobs on threads (tests).
+        max_pending: Admission bound on queued solver jobs.
+        feed_threads: Worker threads applying trace chunks.
+        state_dir: Root for per-tenant state (migration journals);
+            ``None`` disables journaling.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    workers: int = 2
+    use_processes: bool = True
+    max_pending: int = 64
+    feed_threads: int = 4
+    state_dir: str = None
+
+
+class AdvisorService:
+    """Hosts many tenant advisors on one solver pool."""
+
+    def __init__(self, config=None):
+        self.config = config or ServeConfig()
+        self.obs = Instrumentation.on()
+        self.metrics = self.obs.metrics
+        self.tenants = {}
+        self.draining = False
+        self.started_s = time.time()
+        self.pool = SolverPool(workers=self.config.workers,
+                               use_processes=self.config.use_processes)
+        self.scheduler = FairScheduler(self.pool,
+                                       max_pending=self.config.max_pending,
+                                       metrics=self.metrics)
+        self._feeds = ThreadPoolExecutor(
+            max_workers=max(1, int(self.config.feed_threads)),
+            thread_name_prefix="repro-serve-feed",
+        )
+        self._loop = None
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self):
+        self._loop = asyncio.get_running_loop()
+        self.scheduler.start()
+        return self
+
+    async def drain(self):
+        """Graceful shutdown: finish committed work, journal the rest.
+
+        Order matters: feeds may block on pool re-solves, so the feed
+        executor drains while the scheduler is still dispatching; only
+        when both are quiet are in-flight migrations suspended to their
+        journals and the pool torn down.
+        """
+        self.draining = True
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self._feeds.shutdown)
+        await self.scheduler.join()
+        await self.scheduler.stop()
+        for tenant in self.tenants.values():
+            tenant.suspend()
+        await loop.run_in_executor(None, self.pool.shutdown)
+
+    # ------------------------------------------------------------------
+    # Tenant lifecycle
+    # ------------------------------------------------------------------
+
+    def _tenant(self, tenant_id):
+        tenant = self.tenants.get(tenant_id)
+        if tenant is None or tenant.deleted:
+            raise UnknownTenantError("no tenant %r" % tenant_id)
+        return tenant
+
+    def _check_open(self):
+        if self.draining:
+            raise ServiceDrainingError("service is draining; no new work")
+
+    def _controller_config(self, overrides, tenant_id):
+        values = {}
+        for key, value in (overrides or {}).items():
+            if key not in _TUNABLE:
+                raise ReproError("unknown controller option %r" % key)
+            values[key] = value
+        if self.config.state_dir is not None:
+            values["journal_dir"] = os.path.join(self.config.state_dir,
+                                                 tenant_id)
+        return ControllerConfig(**values)
+
+    def _advise_options(self, config, extra=None):
+        options = {
+            "method": config.solver_method,
+            "restarts": config.restarts,
+            "regular": config.regular,
+            "solve_budget_s": config.solve_budget_s,
+        }
+        options.update(extra or {})
+        return options
+
+    def _solve_fn(self, tenant_id):
+        """Blocking bridge from a tenant's feed thread to the pool.
+
+        Re-solves triggered by an admitted trace chunk are pre-admitted:
+        the service already accepted the chunk, so shedding its follow-up
+        would silently drop a control decision.
+        """
+        def run(problem, initial_matrix):
+            tenant = self._tenant(tenant_id)
+            options = self._advise_options(tenant.config,
+                                           {"regular": False})
+            future = asyncio.run_coroutine_threadsafe(
+                self.scheduler.submit(tenant_id, resolve_job, problem,
+                                      initial_matrix, options,
+                                      preadmitted=True),
+                self._loop,
+            )
+            return future.result()
+        return run
+
+    async def create_tenant(self, payload):
+        """Admit a tenant; returns its id, layout, and resume count."""
+        self._check_open()
+        if not isinstance(payload, dict) or "problem" not in payload:
+            raise ReproError("create_tenant needs a 'problem' description")
+        tenant_id = payload.get("tenant_id")
+        if tenant_id is None:
+            self._seq += 1
+            tenant_id = "tenant-%04d" % self._seq
+        tenant_id = str(tenant_id)
+        if not _TENANT_ID.match(tenant_id):
+            raise ReproError("invalid tenant id %r" % tenant_id)
+        if tenant_id in self.tenants:
+            raise ReproError("tenant %r already exists" % tenant_id)
+
+        from repro.cli import load_problem
+
+        problem = load_problem(payload["problem"])
+        config = self._controller_config(payload.get("controller"),
+                                         tenant_id)
+        weight = float(payload.get("weight", 1.0))
+        self.scheduler.register(tenant_id, weight=weight)
+        try:
+            if "layout" in payload:
+                layout = self._explicit_layout(problem, payload["layout"])
+            else:
+                out = await self.scheduler.submit(
+                    tenant_id, advise_job, problem,
+                    self._advise_options(config),
+                )
+                layout = self._explicit_layout(problem,
+                                               out["payload"]["layout"])
+        except BaseException:
+            self.scheduler.forget(tenant_id)
+            raise
+
+        tenant = Tenant(tenant_id, problem, layout, config=config,
+                        weight=weight, solve_fn=self._solve_fn(tenant_id))
+        resumed = self._resume_journals(tenant)
+        self.tenants[tenant_id] = tenant
+        self.metrics.counter("repro_serve_tenants_created_total").inc()
+        self.metrics.gauge("repro_serve_tenants").set(len(self.tenants))
+        return {
+            "tenant": tenant_id,
+            "layout": tenant.controller.layout.fractions_by_name(),
+            "resumed_migrations": resumed,
+        }
+
+    @staticmethod
+    def _explicit_layout(problem, fractions):
+        import numpy as np
+
+        missing = [name for name in problem.object_names
+                   if name not in fractions]
+        if missing:
+            raise ReproError("layout misses objects: %s"
+                             % ", ".join(missing))
+        matrix = np.asarray(
+            [fractions[name] for name in problem.object_names], dtype=float
+        )
+        return problem.make_layout(matrix)
+
+    def _resume_journals(self, tenant):
+        """Finish uncommitted migrations a drained/crashed predecessor
+        left in this tenant's state dir."""
+        journal_dir = tenant.config.journal_dir
+        if journal_dir is None or not os.path.isdir(journal_dir):
+            return 0
+        from repro.faults.journal import MigrationJournal
+
+        resumed = 0
+        for name in sorted(os.listdir(journal_dir)):
+            match = re.match(r"migration-(\d+)\.jsonl$", name)
+            if not match:
+                continue
+            # New journals must not collide with a predecessor's files.
+            tenant.controller._journal_seq = max(
+                tenant.controller._journal_seq, int(match.group(1))
+            )
+            path = os.path.join(journal_dir, name)
+            if MigrationJournal.load(path).committed:
+                continue  # the placement swap happened before the drain
+            tenant.controller.resume_migration(path)
+            resumed += 1
+        if resumed:
+            self.metrics.counter(
+                "repro_serve_migrations_resumed_total"
+            ).inc(resumed)
+        return resumed
+
+    async def delete_tenant(self, tenant_id):
+        tenant = self._tenant(tenant_id)
+        tenant.deleted = True
+        del self.tenants[tenant_id]
+        self.scheduler.forget(tenant_id)
+        tenant.suspend()
+        self.metrics.gauge("repro_serve_tenants").set(len(self.tenants))
+        return {"tenant": tenant_id, "deleted": True}
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+
+    async def advise(self, tenant_id, options=None):
+        """One-shot advise for a tenant's problem on the shared pool."""
+        self._check_open()
+        tenant = self._tenant(tenant_id)
+        merged = self._advise_options(tenant.config, options)
+        started = time.perf_counter()
+        out = await self.scheduler.submit(tenant_id, advise_job,
+                                          tenant.problem, merged)
+        tenant.advises += 1
+        self.metrics.histogram("repro_serve_advise_seconds").observe(
+            time.perf_counter() - started
+        )
+        return {
+            "tenant": tenant_id,
+            "solver_time_s": out["solver_time_s"],
+            **out["payload"],
+        }
+
+    async def feed_trace_chunk(self, tenant_id, entries):
+        """Stream completion records into the tenant's control loop."""
+        self._check_open()
+        tenant = self._tenant(tenant_id)
+        records = records_from_payload(entries)
+        self.metrics.counter("repro_serve_records_total").inc(len(records))
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._feeds, tenant.feed, records)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def status(self):
+        scheduler = self.scheduler
+        return {
+            "tenants": len(self.tenants),
+            "draining": self.draining,
+            "uptime_s": round(time.time() - self.started_s, 3),
+            "queue": {
+                "pending": scheduler.pending,
+                "inflight": scheduler.inflight,
+                "completed": scheduler.completed,
+                "rejected": scheduler.rejected,
+                "max_pending": scheduler.max_pending,
+            },
+            "pool": {
+                "workers": self.pool.max_workers,
+                "processes": self.pool.use_processes,
+                "generation": self.pool.generation,
+            },
+        }
+
+    def tenant_status(self, tenant_id):
+        tenant = self._tenant(tenant_id)
+        status = tenant.status()
+        status["served_solver_s"] = round(
+            self.scheduler.served_seconds(tenant_id), 6
+        )
+        status["jobs_done"] = self.scheduler.jobs_done(tenant_id)
+        return status
+
+    def tenant_events(self, tenant_id):
+        return {"tenant": tenant_id,
+                "events": list(self._tenant(tenant_id).controller.log)}
+
+    def metrics_text(self):
+        """The whole service as one Prometheus exposition document:
+        the service registry plus every tenant's, labelled."""
+        sections = [({}, self.metrics)]
+        for tenant_id, tenant in sorted(self.tenants.items()):
+            sections.append(({"tenant": tenant_id}, tenant.obs.metrics))
+        return prometheus_text_multi(sections)
+
+    def fairness_spread(self, keys=None):
+        return self.scheduler.fairness_spread(keys)

@@ -1,0 +1,317 @@
+"""Per-tenant serving state: controller, clock, and migration pacing.
+
+Each tenant the service hosts is one layout problem plus one
+:class:`ServedController` — the ordinary online controller
+(monitor → drift detect → warm re-solve → migrate) with two served
+twists:
+
+* re-solves run on the **shared solver pool** through the fair
+  scheduler instead of in-process, via the ``solve_fn`` hook, so one
+  tenant's drift storm cannot monopolize the service's CPU;
+* accepted migrations are **journaled at accept time** and paced by the
+  tenant's own trace clock.  A served migration is in flight from the
+  moment the decision lands until enough trace time has passed to pay
+  the copy bill; a drain (SIGTERM) that lands mid-flight leaves an
+  uncommitted journal on disk that the tenant's next incarnation
+  finishes via the controller's existing
+  :meth:`~repro.online.controller.OnlineController.resume_migration`.
+
+Tenants advance on *their* time, not wall time: trace chunks carry
+simulated timestamps and the control loop (checks, migration pacing)
+runs against those, exactly like
+:meth:`~repro.online.controller.OnlineController.replay` — but
+incrementally, chunk by chunk, holding the clock between HTTP requests.
+"""
+
+import os
+import threading
+
+from repro.core.migration import plan_migration
+from repro.errors import ReproError
+from repro.faults.journal import MigrationJournal
+from repro.obs import Instrumentation
+from repro.online.controller import ControllerConfig, OnlineController
+from repro.serve.pool import rebuild_solve_result
+from repro.storage.request import CompletionRecord
+from repro.workload.trace_io import _FIELDS
+
+#: Trace-chunk record fields a client may omit, with their defaults.
+_RECORD_DEFAULTS = {
+    "submit_time": None,   # defaults to finish_time
+    "target": "",
+    "stream_id": 0,
+    "kind": "read",
+    "lba": 0,
+    "logical_offset": None,
+    "size": 8192,
+    "service_time": 0.0,
+}
+
+
+def records_from_payload(entries):
+    """Parse a ``feed_trace_chunk`` body into completion records.
+
+    Each entry needs ``obj`` and ``finish_time``; everything else in
+    the archived-trace schema (:data:`repro.workload.trace_io._FIELDS`)
+    is optional with sensible defaults, so a thin client can stream
+    just ``{"obj": ..., "finish_time": ..., "kind": ..., "size": ...}``.
+    """
+    records = []
+    for position, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise ReproError(
+                "trace chunk record %d is not an object" % position
+            )
+        if "obj" not in entry or "finish_time" not in entry:
+            raise ReproError(
+                "trace chunk record %d needs 'obj' and 'finish_time'"
+                % position
+            )
+        values = {}
+        for field in _FIELDS:
+            if field in entry:
+                values[field] = entry[field]
+            elif field == "obj":
+                values[field] = entry["obj"]
+            elif field == "finish_time":
+                values[field] = float(entry["finish_time"])
+            else:
+                values[field] = _RECORD_DEFAULTS[field]
+        if values["submit_time"] is None:
+            values["submit_time"] = values["finish_time"]
+        values["finish_time"] = float(values["finish_time"])
+        values["submit_time"] = float(values["submit_time"])
+        records.append(CompletionRecord(**values))
+    return records
+
+
+class ServedController(OnlineController):
+    """An online controller whose solves and migrations are served.
+
+    Args:
+        solve_fn: Blocking callable ``(problem, initial_matrix) ->
+            resolve_job dict`` that routes the warm re-solve through
+            the service's fair-scheduled pool.  ``None`` falls back to
+            the in-process solve (tests, standalone use).
+        Everything else goes to
+            :class:`~repro.online.controller.OnlineController`.
+
+    Served migration semantics (``ctx is None`` always): an accepted
+    plan immediately writes a chunk journal under
+    ``config.journal_dir``, the controller marks itself migrating, and
+    :meth:`pump_migration` — called by the tenant's feed loop as its
+    trace clock advances — records copied chunks proportionally to
+    elapsed trace time, committing and installing the layout when the
+    estimated migration time has fully passed.
+    """
+
+    def __init__(self, *args, solve_fn=None, **kwargs):
+        self._solve_fn = solve_fn
+        self._served = None    # {"started": t, "cost_s": s} while in flight
+        super().__init__(*args, **kwargs)
+
+    # -- solver routing -------------------------------------------------
+
+    def _run_solve(self, problem):
+        if self._solve_fn is None:
+            return super()._run_solve(problem)
+        initial = [[float(f) for f in row] for row in self.layout.matrix]
+        out = self._solve_fn(problem, initial)
+        return rebuild_solve_result(problem, out), out.get("rung", "")
+
+    # -- journaled, trace-paced migration -------------------------------
+
+    def _install(self, pending, now, bytes_moved, elapsed_s, virtual):
+        fresh = (virtual
+                 and pending.journal is None
+                 and self.config.journal_dir is not None
+                 and self._served is None
+                 and bytes_moved > 0)
+        if not fresh:
+            super()._install(pending, now, bytes_moved, elapsed_s, virtual)
+            return
+        # Journal at accept: the plan is durable before any trace time
+        # is spent "copying", so a drain or crash between accept and
+        # completion leaves a resumable journal, never a lost decision.
+        plan = plan_migration(self.layout, pending.layout, self.object_sizes)
+        os.makedirs(self.config.journal_dir, exist_ok=True)
+        self._journal_seq += 1
+        path = os.path.join(self.config.journal_dir,
+                            "migration-%04d.jsonl" % self._journal_seq)
+        pending.journal = MigrationJournal.create(
+            path, plan, self.config.migration_chunk,
+            meta=self._journal_meta(pending.layout, pending.fitted,
+                                    pending.predicted_util,
+                                    pending.accepted_at),
+        )
+        cost_s = max(0.0, float(now) - float(pending.accepted_at))
+        self._served = {"started": float(pending.accepted_at),
+                        "cost_s": cost_s}
+        self._pending = pending
+        self.migrating = True
+        self.log.emit(pending.accepted_at, "migration-journaled",
+                      journal=os.path.basename(path),
+                      plan_bytes=int(bytes_moved),
+                      cost_s=round(cost_s, 4))
+
+    def pump_migration(self, now):
+        """Advance the in-flight migration to trace time ``now``.
+
+        Chunks are recorded in the journal proportionally to elapsed
+        trace time over the estimated copy duration; once the estimate
+        has fully elapsed the journal is committed and the layout
+        installed.  Returns True when a migration completed.
+        """
+        if self._served is None:
+            return False
+        state = self._served
+        pending = self._pending
+        journal = pending.journal
+        if state["cost_s"] <= 0:
+            fraction = 1.0
+        else:
+            fraction = (float(now) - state["started"]) / state["cost_s"]
+        fraction = max(0.0, min(1.0, fraction))
+        target = journal.total_chunks if fraction >= 1.0 else int(
+            fraction * journal.total_chunks
+        )
+        for index in range(target):
+            journal.record_chunk(index)
+        if fraction < 1.0:
+            return False
+        journal.record_commit()
+        journal.close()
+        self._served = None
+        self._pending = None
+        self.migrating = False
+        super()._install(pending, now, bytes_moved=pending.plan_bytes,
+                         elapsed_s=state["cost_s"], virtual=True)
+        return True
+
+    def suspend_migration(self):
+        """Drain: flush and close the in-flight journal, uncommitted.
+
+        The chunks recorded so far stay durable; the next incarnation
+        of this tenant resumes from the journal and finishes the rest.
+        """
+        if self._served is None:
+            return None
+        journal = self._pending.journal
+        journal.close()
+        return journal.path
+
+    def resume_migration(self, journal_path):
+        journal = super().resume_migration(journal_path)
+        if not journal.committed:
+            # The base class already installed the layout virtually
+            # (ctx is None); finishing the journal records the tail
+            # chunks as copied and commits, so recovery is idempotent.
+            for index in journal.remaining():
+                journal.record_chunk(index)
+            journal.record_commit()
+            journal.close()
+        return journal
+
+
+class Tenant:
+    """One hosted tenant: problem, controller, clock, and accounting.
+
+    Args:
+        tenant_id: The tenant's name (also its metrics label).
+        problem: The tenant's :class:`~repro.core.problem.LayoutProblem`.
+        initial_layout: Layout currently in effect for the tenant.
+        config: The tenant's :class:`ControllerConfig` (its
+            ``journal_dir`` should point at the tenant's state dir).
+        weight: Fair-share weight in the solver scheduler.
+        solve_fn: Passed to :class:`ServedController`.
+
+    All feed/advise bookkeeping is guarded by a lock: trace chunks for
+    one tenant are applied strictly one at a time even when the client
+    pipelines requests.
+    """
+
+    def __init__(self, tenant_id, problem, initial_layout, config=None,
+                 weight=1.0, solve_fn=None):
+        self.tenant_id = str(tenant_id)
+        self.problem = problem
+        self.weight = float(weight)
+        self.obs = Instrumentation.on()
+        self.config = config or ControllerConfig()
+        sizes = {name: int(size) for name, size in
+                 zip(problem.object_names, problem.sizes)}
+        self.controller = ServedController(
+            targets=problem.targets,
+            object_sizes=sizes,
+            initial_layout=initial_layout,
+            solved_workloads=problem.workloads,
+            stripe_size=problem.stripe_size,
+            config=self.config,
+            obs=self.obs,
+            solve_fn=solve_fn,
+        )
+        self.lock = threading.Lock()
+        self._next_check = None
+        self.records_fed = 0
+        self.chunks_fed = 0
+        self.advises = 0
+        self.last_time = None
+        self.deleted = False
+
+    # ------------------------------------------------------------------
+
+    def feed(self, records):
+        """Apply one trace chunk: observe records, run due checks, pace
+        any in-flight migration.  Blocking; call from a worker thread.
+
+        Mirrors :meth:`OnlineController.replay`, but incrementally —
+        the check clock persists between chunks, so a trace streamed in
+        many small chunks makes the same decisions as one replayed in a
+        single call.
+        """
+        with self.lock:
+            records = sorted(records, key=lambda r: r.finish_time)
+            controller = self.controller
+            if records:
+                if (self.last_time is not None
+                        and records[0].finish_time < self.last_time):
+                    raise ReproError(
+                        "trace chunk goes back in time (%.3f < %.3f)"
+                        % (records[0].finish_time, self.last_time)
+                    )
+                if self._next_check is None:
+                    self._next_check = (records[0].finish_time
+                                        + self.config.check_interval_s)
+                for record in records:
+                    while record.finish_time >= self._next_check:
+                        controller.pump_migration(self._next_check)
+                        controller.check(self._next_check)
+                        self._next_check += self.config.check_interval_s
+                    controller.monitor.observe(record)
+                controller.pump_migration(records[-1].finish_time)
+                self.last_time = records[-1].finish_time
+                self.records_fed += len(records)
+                self.chunks_fed += 1
+            return self.status()
+
+    def status(self):
+        """JSON-safe snapshot of the tenant's serving state."""
+        controller = self.controller
+        return {
+            "tenant": self.tenant_id,
+            "weight": self.weight,
+            "advises": self.advises,
+            "chunks_fed": self.chunks_fed,
+            "records_fed": self.records_fed,
+            "clock_s": self.last_time,
+            "resolves": controller.resolves,
+            "migrating": controller.migrating,
+            "events": len(controller.log),
+            "layout": {name: [round(float(f), 6) for f in row]
+                       for name, row in
+                       controller.layout.fractions_by_name().items()},
+        }
+
+    def suspend(self):
+        """Drain hook: leave any in-flight migration journaled on disk."""
+        with self.lock:
+            return self.controller.suspend_migration()

@@ -149,3 +149,21 @@ def test_summary_counts_by_kind():
     assert "checks" in text
     assert "utilization: 1" in text
     assert "rejected 1" in text
+
+
+def test_summary_surfaces_skipped_line_count(tmp_path):
+    """Data loss on load is reported in the summary itself, not only
+    as a Python warning an operator never sees."""
+    path = tmp_path / "events.jsonl"
+    path.write_text("\n".join([
+        json.dumps({"seq": 0, "time": 1.0, "kind": "baseline"}),
+        "{torn line",
+        json.dumps({"seq": 1, "time": 2.0, "kind": "check"}),
+    ]) + "\n")
+    with pytest.warns(RuntimeWarning):
+        loaded = EventLog.from_jsonl(str(path))
+    text = loaded.summary()
+    assert "SKIPPED" in text
+    assert "1  malformed line dropped on load" in text
+    # A log without losses stays quiet about them.
+    assert "SKIPPED" not in EventLog().summary()

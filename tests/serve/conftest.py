@@ -1,0 +1,61 @@
+"""Shared helpers for the serving-layer tests.
+
+Most tests run the real :class:`~repro.serve.service.AdvisorService`
+on an in-process thread pool (``use_processes=False``) — fast,
+deterministic, and exactly the code path the HTTP layer serves.  Tests
+that target process-pool crash recovery build their own service.
+"""
+
+from repro.serve.service import AdvisorService, ServeConfig
+
+#: Small but heterogeneous: the disk/SSD asymmetry makes re-solves move
+#: data when request rates flip, so migration paths get exercised.
+PROBLEM = {
+    "stripe_size": 1 << 20,
+    "targets": [
+        {"name": "d0", "capacity": 64 << 20, "kind": "disk15k"},
+        {"name": "d1", "capacity": 64 << 20, "kind": "ssd"},
+    ],
+    "objects": [
+        {"name": "a", "size": 24 << 20, "read_rate": 120.0, "run_count": 4},
+        {"name": "b", "size": 24 << 20, "read_rate": 20.0, "run_count": 4},
+    ],
+}
+
+#: Everything parked on the slow disk — re-solves have room to improve.
+LAYOUT = {"a": [1.0, 0.0], "b": [1.0, 0.0]}
+
+#: Trigger-happy controller so short synthetic traces cause decisions.
+CONTROLLER = {
+    "check_interval_s": 2.0,
+    "patience": 1,
+    "cooldown_s": 0.0,
+    "min_gain": 0.001,
+    "amortization_s": 10000.0,
+    "monitor_halflife_s": 4.0,
+}
+
+
+def make_service(**overrides):
+    values = dict(port=0, workers=2, use_processes=False, feed_threads=2)
+    values.update(overrides)
+    return AdvisorService(ServeConfig(**values))
+
+
+def trace_records(obj, start, end, rate, target="d0", size=8192):
+    """Synthetic completion records for one object at a fixed rate."""
+    out, t, step = [], float(start), 1.0 / float(rate)
+    while t < end:
+        out.append({"obj": obj, "finish_time": round(t, 6), "kind": "read",
+                    "size": size, "target": target, "service_time": 0.004})
+        t += step
+    return out
+
+
+def hot_chunk(start, end):
+    """A chunk where the cold object turns hot — drives a re-solve."""
+    return sorted(
+        trace_records("a", start, end, rate=20.0)
+        + trace_records("b", start, end, rate=200.0),
+        key=lambda r: r["finish_time"],
+    )

@@ -1,0 +1,190 @@
+"""HTTP front-end tests: routing, status-code mapping, keep-alive,
+and malformed-request handling."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.client import ServeClient, ServeHttpError
+from repro.serve.http import HttpFrontend
+
+from tests.serve.conftest import (CONTROLLER, LAYOUT, PROBLEM, hot_chunk,
+                                  make_service)
+
+
+async def _frontend(**overrides):
+    frontend = HttpFrontend(make_service(**overrides))
+    await frontend.start()
+    return frontend
+
+
+def _create_body(tenant_id="t1"):
+    return {"tenant_id": tenant_id, "problem": PROBLEM, "layout": LAYOUT,
+            "controller": CONTROLLER}
+
+
+def test_http_end_to_end_tenant_lifecycle():
+    async def scenario():
+        frontend = await _frontend()
+        client = ServeClient("127.0.0.1", frontend.port)
+        try:
+            made = await client.create_tenant(_create_body())
+            assert made["tenant"] == "t1"
+            assert made["layout"]["a"] == [1.0, 0.0]
+
+            status = await client.status()
+            assert status["tenants"] == 1 and not status["draining"]
+
+            _, answer = await client.advise("t1")
+            assert answer["tenant"] == "t1" and "layout" in answer
+
+            _, fed = await client.feed("t1", hot_chunk(0.0, 6.0))
+            assert fed["records_fed"] > 0 and fed["chunks_fed"] == 1
+
+            tenant = await client.tenant_status("t1")
+            assert tenant["advises"] == 1
+
+            _, events = await client.request("GET", "/tenants/t1/events")
+            assert events["tenant"] == "t1"
+            assert any(e["kind"] == "check" for e in events["events"])
+
+            text = await client.metrics()
+            assert text.startswith("# ")
+            assert 'tenant="t1"' in text
+
+            _, gone = await client.delete_tenant("t1")
+            assert gone["deleted"]
+            with pytest.raises(ServeHttpError) as error:
+                await client.tenant_status("t1")
+            assert error.value.status == 404
+        finally:
+            await client.close()
+            await frontend.stop()
+
+    asyncio.run(scenario())
+
+
+def test_http_error_code_mapping():
+    async def scenario():
+        frontend = await _frontend()
+        client = ServeClient("127.0.0.1", frontend.port)
+
+        async def code(method, path, body=None):
+            status, _ = await client.request(method, path, body,
+                                             raise_for_status=False)
+            return status
+
+        try:
+            assert await code("GET", "/nope") == 404
+            assert await code("GET", "/tenants") == 405
+            assert await code("PUT", "/tenants/t1") == 405
+            assert await code("POST", "/tenants/ghost/advise") == 404
+            assert await code("POST", "/tenants", {"tenant_id": "x"}) \
+                == 400  # missing problem
+            assert await code("POST", "/tenants",
+                              {"tenant_id": "bad id!",
+                               "problem": PROBLEM}) == 400
+            await client.create_tenant(_create_body())
+            assert await code("POST", "/tenants/t1/trace",
+                              {"records": "not-a-list"}) == 400
+            assert await code("POST", "/tenants/t1/trace",
+                              {"records": ["garbage"]}) == 400
+        finally:
+            await client.close()
+            await frontend.stop()
+
+    asyncio.run(scenario())
+
+
+def test_http_draining_maps_to_503():
+    async def scenario():
+        frontend = await _frontend()
+        client = ServeClient("127.0.0.1", frontend.port)
+        try:
+            await client.create_tenant(_create_body())
+            # Flag only — the full drain would also close the listener.
+            frontend.service.draining = True
+            status, payload = await client.advise("t1",
+                                                  raise_for_status=False)
+            assert status == 503
+            assert payload["kind"] == "ServiceDrainingError"
+            status, _ = await client.request(
+                "POST", "/tenants", _create_body("t2"),
+                raise_for_status=False,
+            )
+            assert status == 503
+        finally:
+            frontend.service.draining = False
+            await client.close()
+            await frontend.stop()
+
+    asyncio.run(scenario())
+
+
+def test_http_rejects_malformed_requests():
+    async def scenario():
+        frontend = await _frontend()
+        try:
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", frontend.port
+            )
+            writer.write(b"THIS IS NOT HTTP\r\n\r\n")
+            await writer.drain()
+            line = await reader.readline()
+            assert b"400" in line
+            writer.close()
+
+            # Non-JSON body on a JSON route.
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", frontend.port
+            )
+            writer.write(b"POST /tenants HTTP/1.1\r\n"
+                         b"Content-Length: 9\r\n\r\nnot json!")
+            await writer.drain()
+            line = await reader.readline()
+            assert b"400" in line
+            writer.close()
+        finally:
+            await frontend.stop()
+
+    asyncio.run(scenario())
+
+
+def test_http_keep_alive_reuses_the_connection():
+    async def scenario():
+        frontend = await _frontend()
+        client = ServeClient("127.0.0.1", frontend.port)
+        try:
+            await client.status()
+            socket_before = client._writer
+            await client.status()
+            await client.status()
+            assert client._writer is socket_before  # never reconnected
+        finally:
+            await client.close()
+            await frontend.stop()
+
+    asyncio.run(scenario())
+
+
+def test_http_honors_connection_close():
+    async def scenario():
+        frontend = await _frontend()
+        try:
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", frontend.port
+            )
+            writer.write(b"GET /status HTTP/1.1\r\n"
+                         b"Connection: close\r\n\r\n")
+            await writer.drain()
+            raw = await reader.read()  # server closes after responding
+            head, _, body = raw.partition(b"\r\n\r\n")
+            assert b"200" in head.split(b"\r\n")[0]
+            assert b"Connection: close" in head
+            assert json.loads(body)["tenants"] == 0
+            writer.close()
+        finally:
+            await frontend.stop()
+
+    asyncio.run(scenario())

@@ -1,0 +1,212 @@
+"""Unit tests for weighted-fair scheduling and bounded admission."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ReproError
+from repro.serve.scheduler import (AdmissionError, FairScheduler,
+                                   TenantGoneError)
+
+
+class FakePool:
+    """In-loop stand-in for the solver pool: runs jobs inline, and can
+    hold them on a gate so queues build up deterministically."""
+
+    def __init__(self, max_workers=1, gate=None):
+        self.max_workers = max_workers
+        self.gate = gate
+
+    async def run(self, fn, *args):
+        if self.gate is not None:
+            await self.gate.wait()
+        return fn(*args)
+
+
+def _charging_job(order):
+    def job(key, charge=1.0):
+        order.append(key)
+        return {"solver_time_s": charge}
+    return job
+
+
+def test_equal_weights_interleave_under_backlog():
+    async def scenario():
+        sched = FairScheduler(FakePool(max_workers=1), max_pending=100)
+        sched.register("a")
+        sched.register("b")
+        order = []
+        job = _charging_job(order)
+        tasks = [asyncio.ensure_future(sched.submit(key, job, key))
+                 for key in ["a"] * 4 + ["b"] * 4]
+        await asyncio.sleep(0)  # enqueue everything before dispatch starts
+        sched.start()
+        await asyncio.gather(*tasks)
+        await sched.stop()
+        return order, sched
+
+    order, sched = asyncio.run(scenario())
+    assert len(order) == 8
+    # Virtual-time dispatch never lets either tenant run more than one
+    # job ahead, even though all of a's jobs were enqueued first.
+    for i in range(1, len(order) + 1):
+        prefix = order[:i]
+        assert abs(prefix.count("a") - prefix.count("b")) <= 1
+    assert sched.fairness_spread(["a", "b"]) == pytest.approx(1.0)
+
+
+def test_weights_bias_the_allocation():
+    async def scenario():
+        sched = FairScheduler(FakePool(max_workers=1), max_pending=100)
+        sched.register("a", weight=1.0)
+        sched.register("b", weight=3.0)
+        order = []
+        job = _charging_job(order)
+        tasks = [asyncio.ensure_future(sched.submit(key, job, key))
+                 for key in ["a"] * 6 + ["b"] * 6]
+        await asyncio.sleep(0)
+        sched.start()
+        await asyncio.gather(*tasks)
+        await sched.stop()
+        return order
+
+    order = asyncio.run(scenario())
+    # Weight 3 earns roughly 3 of every 4 early slots.
+    assert order[:8].count("b") >= 5
+
+
+def test_admission_bound_rejects_and_preadmission_bypasses():
+    async def scenario():
+        gate = asyncio.Event()
+        sched = FairScheduler(FakePool(max_workers=1, gate=gate),
+                              max_pending=2).start()
+        sched.register("a")
+
+        def job():
+            return {"solver_time_s": 0.0}
+
+        tasks = [asyncio.ensure_future(sched.submit("a", job))]
+        await asyncio.sleep(0.02)  # first dispatched, held on the gate
+        tasks += [asyncio.ensure_future(sched.submit("a", job))
+                  for _ in range(2)]
+        await asyncio.sleep(0.02)  # the pool slot is busy: both queue
+        assert sched.inflight == 1 and sched.pending == 2
+        with pytest.raises(AdmissionError):
+            await sched.submit("a", job)
+        assert sched.rejected == 1
+        # Internal follow-up work ignores the bound.
+        tasks.append(asyncio.ensure_future(
+            sched.submit("a", job, preadmitted=True)
+        ))
+        await asyncio.sleep(0.02)
+        assert sched.pending == 3
+        gate.set()
+        await asyncio.gather(*tasks)
+        await sched.stop()
+        assert sched.completed == 4
+
+    asyncio.run(scenario())
+
+
+def test_submit_for_unknown_tenant_fails():
+    async def scenario():
+        sched = FairScheduler(FakePool(), max_pending=4)
+        with pytest.raises(TenantGoneError):
+            await sched.submit("ghost", lambda: None)
+
+    asyncio.run(scenario())
+
+
+def test_forget_fails_queued_jobs_only():
+    async def scenario():
+        gate = asyncio.Event()
+        sched = FairScheduler(FakePool(max_workers=1, gate=gate),
+                              max_pending=10).start()
+        sched.register("a")
+        sched.register("b")
+
+        def job(key):
+            return {"solver_time_s": 1.0, "key": key}
+
+        keeper = asyncio.ensure_future(sched.submit("a", job, "a"))
+        doomed = [asyncio.ensure_future(sched.submit("b", job, "b"))
+                  for _ in range(2)]
+        await asyncio.sleep(0.02)
+        sched.forget("b")
+        gate.set()
+        result = await keeper
+        assert result["key"] == "a"
+        for task in doomed:
+            with pytest.raises(TenantGoneError):
+                await task
+        # The forgotten tenant no longer submits.
+        with pytest.raises(TenantGoneError):
+            await sched.submit("b", job, "b")
+        await sched.stop()
+
+    asyncio.run(scenario())
+
+
+def test_charges_use_worker_reported_solver_time():
+    async def scenario():
+        sched = FairScheduler(FakePool(max_workers=1),
+                              max_pending=10).start()
+        sched.register("a")
+        sched.register("b")
+        await sched.submit("a", lambda: {"solver_time_s": 2.5})
+        await sched.submit("b", lambda: {"solver_time_s": 5.0})
+        assert sched.served_seconds("a") == pytest.approx(2.5)
+        assert sched.jobs_done("a") == 1
+        assert sched.fairness_spread(["a", "b"]) == pytest.approx(2.0)
+        await sched.stop()
+
+    asyncio.run(scenario())
+
+
+def test_job_errors_propagate_to_the_caller():
+    async def scenario():
+        sched = FairScheduler(FakePool(max_workers=1),
+                              max_pending=10).start()
+        sched.register("a")
+
+        def boom():
+            raise ValueError("solver exploded")
+
+        with pytest.raises(ValueError, match="solver exploded"):
+            await sched.submit("a", boom)
+        ok = await sched.submit("a", lambda: {"solver_time_s": 0.1})
+        assert ok["solver_time_s"] == 0.1
+        await sched.stop()
+
+    asyncio.run(scenario())
+
+
+def test_stop_fails_jobs_still_queued():
+    async def scenario():
+        sched = FairScheduler(FakePool(max_workers=1), max_pending=10)
+        sched.register("a")
+        task = asyncio.ensure_future(sched.submit("a", lambda: None))
+        await asyncio.sleep(0)  # queued; dispatcher never started
+        await sched.stop()
+        with pytest.raises(ReproError, match="scheduler stopped"):
+            await task
+
+    asyncio.run(scenario())
+
+
+def test_late_tenant_enters_at_current_virtual_time():
+    async def scenario():
+        sched = FairScheduler(FakePool(max_workers=1),
+                              max_pending=10).start()
+        sched.register("a")
+        for _ in range(4):
+            await sched.submit("a", lambda: {"solver_time_s": 1.0})
+        await asyncio.sleep(0.02)
+        sched.register("late")
+        # No credit for time spent idle/unregistered: the newcomer
+        # starts at the service's virtual clock, not at zero.
+        assert sched._vtimes["late"] == pytest.approx(sched._vclock)
+        assert sched._vclock > 0
+        await sched.stop()
+
+    asyncio.run(scenario())

@@ -356,6 +356,49 @@ def test_report_missing_file_is_an_error(capsys):
     assert "error" in capsys.readouterr().err
 
 
+def test_report_corrupt_trace_is_one_line_error(tmp_path, capsys):
+    """A garbled trace gets one clean diagnostic, not a traceback."""
+    path = tmp_path / "trace.jsonl"
+    path.write_text('{"type": "meta"}\n{torn line, not JSON\n')
+    assert main(["report", str(path)]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert len(err.strip().splitlines()) == 1
+
+
+def test_report_non_object_trace_line_is_one_line_error(tmp_path, capsys):
+    path = tmp_path / "trace.jsonl"
+    path.write_text('{"type": "meta"}\n"a string, not a record"\n')
+    assert main(["report", str(path)]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "not an instrumentation trace record" in err
+    assert len(err.strip().splitlines()) == 1
+
+
+def test_report_renders_controller_event_log(tmp_path, capsys):
+    """``report`` on a controller event log prints the run summary —
+    including the skipped-malformed-line counter, with the per-line
+    warnings silenced (the summary already says it)."""
+    import warnings
+
+    path = tmp_path / "events.jsonl"
+    path.write_text("\n".join([
+        json.dumps({"seq": 0, "time": 0.0, "kind": "baseline"}),
+        json.dumps({"seq": 1, "time": 2.0, "kind": "check"}),
+        "{torn line",
+        json.dumps({"seq": 2, "time": 4.0, "kind": "trigger",
+                    "reason": "utilization"}),
+    ]) + "\n")
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # the CLI must not leak warnings
+        assert main(["report", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "online controller summary" in out
+    assert "SKIPPED" in out
+    assert "drift triggers" in out
+
+
 def test_replay_online_metrics_trace(online_problem_file, tmp_path,
                                      capsys):
     from repro.obs.export import read_trace
