@@ -13,58 +13,33 @@ The run also audits the migration mechanics: the copy is real simulator
 I/O, so foreground scan throughput is observably lower while it runs
 than in the controller-less run over the same interval, and recovers
 once the placement map swaps.
+
+The workload is no longer hardcoded: it lowers from a declarative
+scenario (``repro.scenarios``) via open-loop live streams.  The classic
+drift run ships as the ``oltp-scan-drift`` library scenario (aliased
+``default``); pass ``--scenario NAME_OR_FILE`` to pytest to replay any
+other drift-shaped scenario through the same ON/OFF comparison.
 """
 
 import json
 import os
 
-import numpy as np
+import pytest
 
 from benchmarks.conftest import RESULTS_DIR, report
 from repro import units
-from repro.core.layout import Layout
-from repro.core.problem import TargetSpec
+from repro.cli import load_problem
+from repro.core.advisor import LayoutAdvisor
 from repro.experiments.reporting import format_table
-from repro.models.analytic import analytic_disk_target_model
 from repro.online.controller import ControllerConfig, OnlineController
+from repro.scenarios import compile_scenario, load_scenario
+from repro.scenarios.live import LiveScenario
 from repro.storage.disk import DiskDrive
 from repro.storage.engine import SimulationEngine
 from repro.storage.mapping import PlacementMap
-from repro.storage.streams import SimContext, SteadyStream
+from repro.storage.streams import SimContext
 from repro.storage.target import StorageTarget
-from repro.workload.spec import ObjectWorkload
 
-N_DISKS = 4
-CAPACITY = units.mib(400)
-SIZES = {
-    "orders": units.mib(96),
-    "history": units.mib(64),
-    "lineitem": units.mib(192),
-}
-
-#: The layout in effect when the run starts: solved long ago for the
-#: OLTP phase, when lineitem was cold — OLTP tables spread over three
-#: spindles, lineitem parked whole on the fourth.
-INITIAL = Layout(
-    [
-        [1 / 3, 1 / 3, 1 / 3, 0.0],   # orders
-        [1 / 3, 1 / 3, 1 / 3, 0.0],   # history
-        [0.0, 0.0, 0.0, 1.0],         # lineitem
-    ],
-    ["orders", "history", "lineitem"],
-    ["d%d" % j for j in range(N_DISKS)],
-)
-
-#: What that layout was solved for (the controller's drift baseline).
-#: Rates match what the phase-A closed-loop streams actually achieve.
-SOLVED_FOR = [
-    ObjectWorkload("orders", read_rate=130.0, write_rate=35.0),
-    ObjectWorkload("history", read_rate=55.0, write_rate=15.0),
-    ObjectWorkload("lineitem"),
-]
-
-T_DRIFT = 30.0    # OLTP -> scan phase switch
-T_END = 100.0
 SAMPLE_S = 1.0
 
 CONFIG = ControllerConfig(
@@ -85,89 +60,86 @@ CONFIG = ControllerConfig(
 )
 
 
-def _solve_targets():
-    return [
-        TargetSpec("d%d" % j, CAPACITY, analytic_disk_target_model("d%d" % j))
-        for j in range(N_DISKS)
-    ]
+@pytest.fixture(scope="module")
+def compiled(request):
+    spec = load_scenario(request.config.getoption("--scenario"))
+    if not spec.targets:
+        pytest.skip("scenario %r has no targets section" % spec.name)
+    return compile_scenario(spec)
+
+
+def _initial_layout(compiled, problem):
+    layout = compiled.initial_layout()
+    if layout is not None:
+        return layout
+    return LayoutAdvisor(problem, regular=False).recommend().recommended
+
+
+def _drift_object(compiled):
+    """The object whose rate grows most from phase A to the end phase —
+    what 'scan throughput' means for an arbitrary drift scenario."""
+    t_drift = compiled.spec.schedule[0].t1
+    base = {w.name: w.read_rate + w.write_rate
+            for w in compiled.mean_workloads(0.0, t_drift)}
+    end = {w.name: w.read_rate + w.write_rate
+           for w in compiled.mean_workloads(0.75 * compiled.duration_s,
+                                            compiled.duration_s)}
+    return max(end, key=lambda obj: end[obj] - base.get(obj, 0.0))
 
 
 class _DriftRun:
     """One phased simulation, with or without the controller."""
 
-    def __init__(self, controlled):
+    def __init__(self, compiled, controlled):
+        self.compiled = compiled
+        self.t_end = compiled.duration_s
+        self.problem = load_problem(compiled.problem_payload())
+        self.initial = _initial_layout(compiled, self.problem)
+        self.drift_obj = _drift_object(compiled)
+
         self.engine = SimulationEngine()
+        capacities = [t.capacity for t in compiled.spec.targets]
         self.targets = [
-            StorageTarget(DiskDrive("d%d" % j, CAPACITY), self.engine)
-            for j in range(N_DISKS)
+            StorageTarget(DiskDrive(t.name, t.capacity), self.engine)
+            for t in compiled.spec.targets
         ]
         placement = PlacementMap(
-            SIZES, INITIAL.fractions_by_name(), [CAPACITY] * N_DISKS
+            compiled.object_sizes, self.initial.fractions_by_name(),
+            capacities,
         )
         self.ctx = SimContext(self.engine, placement, self.targets)
         self.controller = None
         if controlled:
             self.controller = OnlineController(
-                targets=_solve_targets(),
-                object_sizes=SIZES,
-                initial_layout=INITIAL,
-                solved_workloads=SOLVED_FOR,
+                targets=self.problem.targets,
+                object_sizes=compiled.object_sizes,
+                initial_layout=self.initial,
+                solved_workloads=self.problem.workloads,
                 ctx=self.ctx,
                 config=CONFIG,
             ).start()
 
+        self.live = LiveScenario(self.ctx, compiled)
         self.scan_completions = 0
         self.engine.add_completion_observer(self._count)
         self.samples = []          # (time, [busy..], scan_completions)
-        self._oltp = []
-        self._scans = []
 
     def _count(self, record):
-        if record.obj == "lineitem":
+        if record.obj == self.drift_obj:
             self.scan_completions += 1
-
-    def _stream(self, obj, kind, think_s, run_count=1, window=1, seed=0):
-        rng = np.random.default_rng(seed)
-        return SteadyStream(
-            self.ctx, obj, run_count=run_count, rng=rng, window=window,
-            kind=kind, think_s=think_s,
-        ).start()
-
-    def _start_oltp(self):
-        for i in range(5):
-            self._oltp.append(self._stream("orders", "read", 0.03, seed=i))
-        for i in range(2):
-            self._oltp.append(
-                self._stream("orders", "write", 0.05, seed=10 + i))
-        for i in range(2):
-            self._oltp.append(
-                self._stream("history", "read", 0.03, seed=20 + i))
-        self._oltp.append(self._stream("history", "write", 0.06, seed=30))
-
-    def _switch_to_scans(self):
-        for stream in self._oltp:
-            stream.stop()
-        # A residual trickle of OLTP survives the phase change.
-        self._oltp = [self._stream("orders", "read", 0.06, seed=40)]
-        for i in range(3):
-            self._scans.append(self._stream(
-                "lineitem", "read", 0.004, run_count=64, window=2,
-                seed=50 + i,
-            ))
 
     def _sample(self):
         busy = [
             sum(s.busy_time for s in t._servers) for t in self.targets
         ]
         self.samples.append((self.engine.now, busy, self.scan_completions))
-        if self.engine.now < T_END - SAMPLE_S / 2:
+        if self.engine.now < self.t_end - SAMPLE_S / 2:
             self.engine.schedule(SAMPLE_S, self._sample)
 
     def run(self):
-        self._start_oltp()
-        self.engine.schedule(T_DRIFT, self._switch_to_scans)
+        self.live.start()
         self.engine.schedule(SAMPLE_S, self._sample)
-        self.engine.run(until=T_END)
+        self.engine.run(until=self.t_end)
         if self.controller is not None:
             self.controller.stop()
         return self
@@ -197,10 +169,13 @@ class _DriftRun:
         return (after[1] - before[1]) / (after[0] - before[0])
 
 
-def test_online_drift_controller(benchmark):
+def test_online_drift_controller(benchmark, compiled):
+    t_drift = compiled.spec.schedule[0].t1
+    t_end = compiled.duration_s
+
     def run():
-        return _DriftRun(controlled=False).run(), \
-            _DriftRun(controlled=True).run()
+        return _DriftRun(compiled, controlled=False).run(), \
+            _DriftRun(compiled, controlled=True).run()
 
     off, on = benchmark.pedantic(run, rounds=1, iterations=1)
     log = on.controller.log
@@ -215,15 +190,15 @@ def test_online_drift_controller(benchmark):
     assert migrations, "accepted layout never migrated"
     t_accept = accepts[0]["time"]
     t_done = migrations[0]["time"]
-    steady0 = max(t_done + 10.0, T_DRIFT + 20.0)
+    steady0 = max(t_done + 10.0, t_drift + 20.0)
 
-    off_steady = off.mean_max_util(steady0, T_END)
-    on_steady = on.mean_max_util(steady0, T_END)
-    off_scan = off.scan_rate(steady0, T_END)
-    on_scan = on.scan_rate(steady0, T_END)
+    off_steady = off.mean_max_util(steady0, t_end)
+    on_steady = on.mean_max_util(steady0, t_end)
+    off_scan = off.scan_rate(steady0, t_end)
+    on_scan = on.scan_rate(steady0, t_end)
     off_during = off.scan_rate(t_accept, t_done)
     on_during = on.scan_rate(t_accept, t_done)
-    on_after = on.scan_rate(t_done + 2.0, min(t_done + 12.0, T_END))
+    on_after = on.scan_rate(t_done + 2.0, min(t_done + 12.0, t_end))
 
     report("online_drift", format_table(
         ["Metric", "controller OFF", "controller ON"],
@@ -240,8 +215,9 @@ def test_online_drift_controller(benchmark):
             ["migration wall time (s)", "-",
              "%.1f" % migrations[0]["elapsed_s"]],
         ],
-        title="Online controller under OLTP -> scan drift "
-              "(drift at t=%.0fs, horizon %.0fs)" % (T_DRIFT, T_END),
+        title="Online controller under scenario %r "
+              "(drift at t=%.0fs, horizon %.0fs)"
+              % (compiled.name, t_drift, t_end),
     ))
 
     # The controller re-solved at least once, boundedly.

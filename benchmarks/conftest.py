@@ -41,6 +41,14 @@ RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 _REPORTS = []
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--scenario", default="default", metavar="NAME_OR_FILE",
+        help="scenario for bench_online_drift (library name or YAML "
+             "path; 'default' aliases the classic OLTP -> scan drift)",
+    )
+
+
 def report(name, text):
     """Persist one figure's reproduction and queue it for the summary."""
     os.makedirs(RESULTS_DIR, exist_ok=True)

@@ -35,6 +35,14 @@ Usage::
         [--interval S] [--events out.jsonl] [--metrics out.jsonl|out.prom]
     python -m repro.cli report out.jsonl [--tree]
     python -m repro.cli serve [--port P] [--workers N] [--state-dir DIR]
+    python -m repro.cli scenarios list
+    python -m repro.cli scenarios validate FILE [FILE ...]
+    python -m repro.cli experiments run matrix.yaml [--workers N]
+        [--out BENCH.json] [--report out.txt]
+
+``scenarios``/``experiments`` drive the declarative scenario layer
+(:mod:`repro.scenarios`): list or validate YAML scenario specs and
+sweep a scenario × controller matrix into a comparison report.
 
 ``advise`` is the paper's one-shot offline tool.  ``monitor`` fits
 sliding-window workload estimates from an archived completion trace
@@ -385,6 +393,78 @@ def serve(args):
     return 0
 
 
+def scenarios_cmd(args):
+    from repro.scenarios import (
+        compile_scenario,
+        list_scenarios,
+        load_scenario,
+    )
+
+    if args.action == "list":
+        entries = list_scenarios()
+        if args.json:
+            print(json.dumps([
+                {"name": name, "path": path} for name, path in entries
+            ], indent=2))
+            return 0
+        if not entries:
+            print("no scenarios found (set REPRO_SCENARIO_DIR or run "
+                  "from the repository root)")
+            return 1
+        for name, path in entries:
+            try:
+                spec = load_scenario(path)
+                detail = spec.description or ""
+            except ReproError as error:
+                detail = "INVALID: %s" % error
+            print("%-26s %s" % (name, detail))
+        return 0
+
+    # validate: exit 0 only when every named spec compiles cleanly.
+    failures = 0
+    for ref in args.scenario:
+        try:
+            spec = load_scenario(ref)
+            compiled = compile_scenario(spec, seed=args.seed)
+            mean_rate = (compiled.rate_integral()
+                         / max(compiled.duration_s, 1e-9))
+            print("%-26s ok  (%.0fs, %d segments, mean %.0f req/s)"
+                  % (spec.name, compiled.duration_s,
+                     len(compiled.segments), mean_rate))
+        except ReproError as error:
+            failures += 1
+            print("%s: INVALID: %s" % (ref, error), file=sys.stderr)
+    return 1 if failures else 0
+
+
+def experiments_cmd(args):
+    from repro.obs.report import render_matrix_report
+    from repro.scenarios.matrix import (
+        check_results,
+        load_matrix,
+        run_matrix,
+        save_results,
+    )
+
+    matrix = load_matrix(args.matrix)
+    results = run_matrix(matrix, workers=args.workers, seed=args.seed)
+    check_results(results)
+    if args.out:
+        save_results(results, args.out)
+    rendered = render_matrix_report(results)
+    if args.report:
+        with open(args.report, "w") as handle:
+            handle.write(rendered + "\n")
+    if args.json:
+        print(json.dumps(results, indent=2, sort_keys=True))
+    else:
+        print(rendered)
+        if args.out:
+            print()
+            print("results written to %s" % args.out)
+    return 1 if results["errors"] else 0
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="repro", description="workload-aware storage layout advisor"
@@ -521,6 +601,55 @@ def main(argv=None):
                               help="per-tenant state root (migration "
                                    "journals; enables drain-resume)")
     serve_parser.set_defaults(func=serve)
+
+    scenarios_parser = subparsers.add_parser(
+        "scenarios", help="list or validate declarative YAML scenarios"
+    )
+    scenarios_sub = scenarios_parser.add_subparsers(dest="action",
+                                                    required=True)
+    scenarios_list = scenarios_sub.add_parser(
+        "list", help="list the scenario library (REPRO_SCENARIO_DIR or "
+                     "./scenarios)"
+    )
+    scenarios_list.add_argument("--json", action="store_true",
+                                help="emit machine-readable JSON")
+    scenarios_list.set_defaults(func=scenarios_cmd)
+    scenarios_validate = scenarios_sub.add_parser(
+        "validate", help="parse, validate, and compile scenario specs; "
+                         "non-zero exit when any is invalid"
+    )
+    scenarios_validate.add_argument("scenario", nargs="+",
+                                    help="scenario file path or library "
+                                         "name")
+    scenarios_validate.add_argument("--seed", type=int, default=None,
+                                    help="compile-seed override")
+    scenarios_validate.set_defaults(func=scenarios_cmd)
+
+    experiments_parser = subparsers.add_parser(
+        "experiments", help="sweep a scenario × controller matrix"
+    )
+    experiments_sub = experiments_parser.add_subparsers(dest="action",
+                                                        required=True)
+    experiments_run = experiments_sub.add_parser(
+        "run", help="run every (scenario, controller) cell and render "
+                    "the comparison table"
+    )
+    experiments_run.add_argument("matrix", help="matrix YAML path")
+    experiments_run.add_argument("--workers", type=int, default=None,
+                                 help="parallel cell processes (default: "
+                                      "the matrix's 'workers' field)")
+    experiments_run.add_argument("--seed", type=int, default=None,
+                                 help="compile-seed override for every "
+                                      "cell")
+    experiments_run.add_argument("--out", metavar="FILE",
+                                 help="write the results dict as JSON "
+                                      "(BENCH_scenarios.json format)")
+    experiments_run.add_argument("--report", metavar="FILE",
+                                 help="also write the rendered table here")
+    experiments_run.add_argument("--json", action="store_true",
+                                 help="print the results dict instead of "
+                                      "the table")
+    experiments_run.set_defaults(func=experiments_cmd)
 
     args = parser.parse_args(argv)
     try:

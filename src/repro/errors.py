@@ -55,6 +55,16 @@ class SolverError(ReproError):
     """The NLP solve failed to produce any usable layout."""
 
 
+class ScenarioError(ReproError):
+    """A scenario spec or experiment matrix is malformed.
+
+    Examples: a YAML file that does not parse, a schedule entry naming
+    an unknown mix, a task weight that is not positive.  Messages are
+    one line and carry the file/field path so a CLI user can fix the
+    spec without reading a traceback.
+    """
+
+
 class FaultError(ReproError):
     """A fault plan or migration journal is malformed or inconsistent.
 

@@ -166,6 +166,42 @@ def _sim_section(trace):
     return lines
 
 
+def render_matrix_report(results):
+    """Render a scenario-matrix results dict as a comparison table.
+
+    ``results`` is the output of
+    :func:`repro.scenarios.matrix.run_matrix`.  One row per cell;
+    ``util frozen`` is the initial layout scored against the final
+    quarter of the scenario, ``util end`` the layout the controller
+    actually ended with — their gap is what adaptation bought.
+    """
+    lines = [
+        "scenario matrix %r  (%d ok, %d failed, %.1f s)"
+        % (results.get("matrix", "?"), results.get("ok", 0),
+           results.get("errors", 0), results.get("elapsed_s", 0.0)),
+        "",
+        "  %-24s %-10s %8s %4s %5s %9s %7s %7s %7s %8s"
+        % ("scenario", "controller", "records", "rs", "migr",
+           "moved-MiB", "base", "frozen", "end", "p99-ms"),
+    ]
+    for cell in results.get("cells", []):
+        if cell.get("status") != "ok":
+            lines.append("  %-24s %-10s ERROR %s"
+                         % (cell.get("scenario", "?"),
+                            cell.get("controller", "?"),
+                            cell.get("error", "")))
+            continue
+        lines.append(
+            "  %-24s %-10s %8d %4d %5d %9.1f %7.4f %7.4f %7.4f %8.2f"
+            % (cell["scenario"], cell["controller"], cell["records"],
+               cell["resolves"], cell["migrations"],
+               cell["bytes_moved"] / (1 << 20), cell["util_baseline"],
+               cell["util_end_frozen"], cell["util_end"],
+               cell["latency_p99_ms"])
+        )
+    return "\n".join(lines)
+
+
 def render_report(trace, tree=False, max_depth=3):
     """Render one saved :class:`~repro.obs.export.TraceData` as text."""
     sections = []

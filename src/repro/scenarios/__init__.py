@@ -1,0 +1,47 @@
+"""Declarative scenario language and scenario matrix runner.
+
+A *scenario* is a YAML file describing a workload as data instead of
+code: named objects, weighted task mixes over object sets, time-phased
+schedules (ramp, diurnal sine, flash-crowd step, mix-to-mix drift),
+optional tenant arrival/churn for serve-mode runs, and an embedded
+fault section that compiles to a :class:`~repro.faults.plan.FaultPlan`.
+
+The pipeline is::
+
+    YAML file ──parse──▶ ScenarioSpec ──compile(seed)──▶ CompiledScenario
+                                                │
+                 ┌──────────────┬───────────────┼──────────────┐
+                 ▼              ▼               ▼              ▼
+          ObjectWorkloads  synthetic trace  FaultPlan   tenant schedule
+          (workload/spec)  (trace_io)       (faults)    (serve)
+
+Compilation is seed-deterministic: the same spec and seed always yield
+an identical :meth:`CompiledScenario.signature` and byte-identical
+synthesized traces — the same contract
+:meth:`repro.faults.plan.FaultPlan.signature` provides for chaos runs.
+
+The shipped scenario library lives in the repository's ``scenarios/``
+directory (:mod:`repro.scenarios.library`), and
+:mod:`repro.scenarios.matrix` sweeps scenarios × controller configs in
+parallel and emits a comparison report.
+"""
+
+from repro.scenarios.compiler import CompiledScenario, compile_scenario
+from repro.scenarios.library import (
+    library_dir,
+    list_scenarios,
+    load_scenario,
+)
+from repro.scenarios.schema import ScenarioSpec
+from repro.scenarios.yamlio import load_yaml_file, parse_yaml
+
+__all__ = [
+    "CompiledScenario",
+    "ScenarioSpec",
+    "compile_scenario",
+    "library_dir",
+    "list_scenarios",
+    "load_scenario",
+    "load_yaml_file",
+    "parse_yaml",
+]

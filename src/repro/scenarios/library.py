@@ -1,0 +1,80 @@
+"""The shipped scenario library.
+
+Named scenarios live as YAML files in the repository's ``scenarios/``
+directory; :func:`load_scenario` resolves either a library name
+(``oltp-steady``) or an explicit file path.  The search order is the
+``REPRO_SCENARIO_DIR`` environment variable, the repository checkout
+(located relative to this package), then ``./scenarios`` under the
+current working directory.
+"""
+
+import os
+
+from repro.errors import ScenarioError
+from repro.scenarios.schema import ScenarioSpec
+from repro.scenarios.yamlio import load_yaml_file
+
+#: Alias names accepted by :func:`load_scenario` (satisfying callers
+#: that predate the library, e.g. the online drift benchmark's old
+#: hardcoded shape).
+ALIASES = {
+    "default": "oltp-scan-drift",
+}
+
+_SUFFIXES = (".yaml", ".yml")
+
+
+def library_dir():
+    """Directory holding the shipped scenario YAML files (or None)."""
+    override = os.environ.get("REPRO_SCENARIO_DIR")
+    if override:
+        return override
+    package = os.path.dirname(os.path.abspath(__file__))
+    repo_root = os.path.dirname(os.path.dirname(os.path.dirname(package)))
+    for base in (repo_root, os.getcwd()):
+        candidate = os.path.join(base, "scenarios")
+        if os.path.isdir(candidate):
+            return candidate
+    return None
+
+
+def list_scenarios(directory=None):
+    """Sorted (name, path) pairs of the library's scenario files."""
+    directory = directory or library_dir()
+    if directory is None or not os.path.isdir(directory):
+        return []
+    out = []
+    for entry in sorted(os.listdir(directory)):
+        base, ext = os.path.splitext(entry)
+        if ext not in _SUFFIXES or base.startswith("matrix"):
+            continue
+        out.append((base, os.path.join(directory, entry)))
+    return out
+
+
+def resolve_scenario(name_or_path, directory=None):
+    """Resolve a scenario name or path to a YAML file path."""
+    if os.path.sep in name_or_path or name_or_path.endswith(_SUFFIXES):
+        if not os.path.isfile(name_or_path):
+            raise ScenarioError("scenario file %s does not exist"
+                                % name_or_path)
+        return name_or_path
+    name = ALIASES.get(name_or_path, name_or_path)
+    directory = directory or library_dir()
+    if directory:
+        for suffix in _SUFFIXES:
+            candidate = os.path.join(directory, name + suffix)
+            if os.path.isfile(candidate):
+                return candidate
+    known = ", ".join(sorted(
+        set([n for n, _ in list_scenarios(directory)] + list(ALIASES))
+    )) or "(no scenario library found)"
+    raise ScenarioError("unknown scenario %r; known: %s"
+                        % (name_or_path, known))
+
+
+def load_scenario(name_or_path, directory=None):
+    """Load and validate one scenario by library name or file path."""
+    path = resolve_scenario(name_or_path, directory=directory)
+    data = load_yaml_file(path)
+    return ScenarioSpec.from_payload(data, label=os.path.basename(path))

@@ -11,7 +11,9 @@ layer stays trivial.
 Tenant lifecycle:
 
 * ``create_tenant`` parses the problem JSON (the exact ``repro.cli
-  advise`` schema), registers the tenant with the fair scheduler, and
+  advise`` schema) — or compiles a named library scenario
+  (``{"scenario": "oltp-steady"}``) into that schema — registers the
+  tenant with the fair scheduler, and
   either adopts an explicitly supplied layout or runs the initial
   advise through the shared pool (admission applies — creating hundreds
   of tenants at once is exactly the overload the bounded queue is for).
@@ -191,7 +193,24 @@ class AdvisorService:
     async def create_tenant(self, payload):
         """Admit a tenant; returns its id, layout, and resume count."""
         self._check_open()
-        if not isinstance(payload, dict) or "problem" not in payload:
+        if not isinstance(payload, dict):
+            raise ReproError("create_tenant needs a 'problem' description")
+        if "scenario" in payload:
+            # A scenario name (or path) stands in for an inline problem:
+            # compile the spec and lower its targets/baseline mix into
+            # the advise problem schema.
+            if "problem" in payload:
+                raise ReproError("create_tenant takes 'problem' or "
+                                 "'scenario', not both")
+            from repro.scenarios import compile_scenario, load_scenario
+
+            compiled = compile_scenario(
+                load_scenario(str(payload["scenario"])),
+                seed=payload.get("scenario_seed"),
+            )
+            payload = dict(payload)
+            payload["problem"] = compiled.problem_payload()
+        if "problem" not in payload:
             raise ReproError("create_tenant needs a 'problem' description")
         tenant_id = payload.get("tenant_id")
         if tenant_id is None:

@@ -1,0 +1,46 @@
+"""Shared builders for the scenario-language tests."""
+
+import copy
+
+import pytest
+
+
+def base_payload(**overrides):
+    """A minimal valid scenario payload; override fields per test."""
+    payload = {
+        "name": "unit",
+        "description": "unit-test scenario",
+        "duration_s": 20,
+        "seed": 7,
+        "objects": {
+            "hot": {"size_mib": 32},
+            "cold": {"size_mib": 64},
+        },
+        "sets": {"all": ["hot", "cold"]},
+        "targets": [
+            {"name": "d0", "kind": "disk15k", "capacity_mib": 200},
+            {"name": "d1", "kind": "disk15k", "capacity_mib": 200},
+        ],
+        "mixes": {
+            "steady": {
+                "rate": 100,
+                "tasks": [
+                    {"name": "read", "weight": 70, "objects": "hot",
+                     "kind": "read"},
+                    {"name": "write", "weight": 30, "objects": "all",
+                     "kind": "write"},
+                ],
+            },
+        },
+        "schedule": [
+            {"mix": "steady", "shape": "constant", "t0": 0, "t1": 20,
+             "level": 1.0},
+        ],
+    }
+    payload.update(copy.deepcopy(overrides))
+    return payload
+
+
+@pytest.fixture
+def payload():
+    return base_payload()

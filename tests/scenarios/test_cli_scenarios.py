@@ -1,0 +1,75 @@
+"""Tests for the `repro scenarios` / `repro experiments` subcommands."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+from tests.scenarios.test_matrix import write_matrix, write_scenario
+
+
+@pytest.fixture
+def scenario_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_SCENARIO_DIR", str(tmp_path))
+    write_scenario(tmp_path, name="alpha", duration_s=10)
+    write_scenario(tmp_path, name="beta", duration_s=10)
+    return tmp_path
+
+
+def test_scenarios_list(scenario_dir, capsys):
+    assert main(["scenarios", "list"]) == 0
+    out = capsys.readouterr().out
+    assert "alpha" in out and "beta" in out
+
+
+def test_scenarios_list_json(scenario_dir, capsys):
+    assert main(["scenarios", "list", "--json"]) == 0
+    entries = json.loads(capsys.readouterr().out)
+    assert [e["name"] for e in entries] == ["alpha", "beta"]
+
+
+def test_scenarios_validate_ok(scenario_dir, capsys):
+    assert main(["scenarios", "validate", "alpha", "beta"]) == 0
+    out = capsys.readouterr().out
+    assert out.count(" ok ") == 2
+
+
+def test_scenarios_validate_reports_failures(scenario_dir, capsys):
+    bad = scenario_dir / "bad.yaml"
+    bad.write_text("name: bad\n")
+    assert main(["scenarios", "validate", "alpha", str(bad)]) == 1
+    captured = capsys.readouterr()
+    assert "INVALID" in captured.err
+    assert "alpha" in captured.out
+
+
+def test_scenarios_validate_unknown_name(scenario_dir, capsys):
+    assert main(["scenarios", "validate", "ghost"]) == 1
+    assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_experiments_run(scenario_dir, tmp_path, capsys):
+    matrix = write_matrix(tmp_path, ["alpha", "beta"])
+    out_json = tmp_path / "bench.json"
+    out_txt = tmp_path / "report.txt"
+    assert main(["experiments", "run", matrix,
+                 "--out", str(out_json), "--report", str(out_txt)]) == 0
+    table = capsys.readouterr().out
+    assert "alpha" in table and "beta" in table
+    results = json.loads(out_json.read_text())
+    assert results["ok"] == 2 and results["errors"] == 0
+    assert "scenario matrix" in out_txt.read_text()
+
+
+def test_experiments_run_json_output(scenario_dir, tmp_path, capsys):
+    matrix = write_matrix(tmp_path, ["alpha"])
+    assert main(["experiments", "run", matrix, "--json"]) == 0
+    results = json.loads(capsys.readouterr().out)
+    assert results["cells"][0]["status"] == "ok"
+
+
+def test_experiments_run_missing_matrix(tmp_path, capsys):
+    assert main(["experiments", "run",
+                 str(tmp_path / "missing.yaml")]) == 1
+    assert "error:" in capsys.readouterr().err

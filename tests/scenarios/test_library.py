@@ -1,0 +1,77 @@
+"""Tests for the shipped scenario library."""
+
+import shutil
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.scenarios import (
+    compile_scenario,
+    library_dir,
+    list_scenarios,
+    load_scenario,
+)
+from repro.scenarios.library import ALIASES
+
+
+def test_library_present_and_large_enough():
+    names = [name for name, _ in list_scenarios()]
+    assert len(names) >= 10
+    assert "oltp-scan-drift" in names
+    assert "oltp-steady" in names
+
+
+def test_every_library_scenario_validates_and_compiles():
+    for name, path in list_scenarios():
+        spec = load_scenario(path)
+        assert spec.name == name, "file %s names itself %r" % (path,
+                                                               spec.name)
+        compiled = compile_scenario(spec)
+        assert compiled.rate_integral() > 0
+        assert compiled.signature() == compile_scenario(spec).signature()
+
+
+def test_default_alias_resolves_to_drift_scenario():
+    assert ALIASES["default"] == "oltp-scan-drift"
+    assert load_scenario("default").name == "oltp-scan-drift"
+
+
+def test_drift_scenario_keeps_the_benchmark_contract():
+    """The library file still encodes the classic bench's shape."""
+    spec = load_scenario("oltp-scan-drift")
+    compiled = compile_scenario(spec)
+    assert spec.schedule[0].t1 == pytest.approx(30.0)
+    assert spec.duration_s == pytest.approx(100.0)
+    baseline = {w.name: w for w in compiled.baseline_workloads()}
+    assert baseline["orders"].read_rate == pytest.approx(130.0)
+    assert baseline["orders"].write_rate == pytest.approx(35.0)
+    assert baseline["history"].read_rate == pytest.approx(55.0)
+    assert baseline["history"].write_rate == pytest.approx(15.0)
+    assert baseline["lineitem"].read_rate == pytest.approx(0.0)
+    layout = compiled.initial_layout()
+    assert layout is not None
+    assert layout.fractions_by_name()["lineitem"] == \
+        pytest.approx([0.0, 0.0, 0.0, 1.0])
+
+
+def test_matrix_files_are_not_listed_as_scenarios():
+    assert all(not name.startswith("matrix")
+               for name, _ in list_scenarios())
+
+
+def test_unknown_scenario_error_names_known_ones():
+    with pytest.raises(ScenarioError, match="oltp-steady"):
+        load_scenario("no-such-scenario")
+
+
+def test_missing_file_path_errors():
+    with pytest.raises(ScenarioError, match="does not exist"):
+        load_scenario("/nonexistent/path/scn.yaml")
+
+
+def test_env_override_directory(tmp_path, monkeypatch):
+    src = dict(list_scenarios())["oltp-steady"]
+    shutil.copy(src, tmp_path / "only-one.yaml")
+    monkeypatch.setenv("REPRO_SCENARIO_DIR", str(tmp_path))
+    assert library_dir() == str(tmp_path)
+    assert [name for name, _ in list_scenarios()] == ["only-one"]

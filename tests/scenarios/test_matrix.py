@@ -1,0 +1,172 @@
+"""Tests for the scenario × controller matrix runner."""
+
+import json
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.scenarios.matrix import (
+    check_results,
+    load_matrix,
+    run_cell,
+    run_matrix,
+    save_results,
+)
+
+from tests.scenarios.conftest import base_payload
+
+
+def write_scenario(tmp_path, name="cell", **overrides):
+    payload = base_payload(**overrides)
+    payload["name"] = name
+    path = tmp_path / ("%s.yaml" % name)
+    lines = [
+        "name: %s" % payload["name"],
+        "duration_s: %s" % payload["duration_s"],
+        "seed: %s" % payload["seed"],
+        "objects:",
+        "  hot: {size_mib: 32}",
+        "  cold: {size_mib: 64}",
+        "targets:",
+        "  - {name: d0, kind: disk15k, capacity_mib: 200}",
+        "  - {name: d1, kind: disk15k, capacity_mib: 200}",
+        "mixes:",
+        "  steady:",
+        "    rate: 50",
+        "    tasks:",
+        "      - {name: read, weight: 70, objects: hot, kind: read}",
+        "      - {name: write, weight: 30, objects: cold, kind: write}",
+        "schedule:",
+        "  - {mix: steady, shape: constant, t0: 0, t1: %s}"
+        % payload["duration_s"],
+    ]
+    path.write_text("\n".join(lines) + "\n")
+    return str(path)
+
+
+def write_matrix(tmp_path, scenarios, controllers=None, workers=1):
+    controllers = controllers or [{"name": "frozen", "enabled": False}]
+    lines = ["name: unit", "seed: 3", "workers: %d" % workers,
+             "scenarios:"]
+    lines += ["  - %s" % ref for ref in scenarios]
+    lines.append("controllers:")
+    for entry in controllers:
+        fields = ", ".join("%s: %s" % (k, str(v).lower()
+                                       if isinstance(v, bool) else v)
+                           for k, v in entry.items())
+        lines.append("  - {%s}" % fields)
+    path = tmp_path / "matrix.yaml"
+    path.write_text("\n".join(lines) + "\n")
+    return str(path)
+
+
+def test_load_matrix_validates(tmp_path):
+    scenario = write_scenario(tmp_path)
+    path = write_matrix(tmp_path, [scenario],
+                        [{"name": "frozen", "enabled": False},
+                         {"name": "eager", "patience": 1}])
+    matrix = load_matrix(path)
+    assert matrix["name"] == "unit"
+    assert matrix["scenarios"] == [scenario]
+    assert [c["name"] for c in matrix["controllers"]] == ["frozen",
+                                                          "eager"]
+
+
+def test_load_matrix_rejects_unknown_config_field(tmp_path):
+    scenario = write_scenario(tmp_path)
+    path = write_matrix(tmp_path, [scenario],
+                        [{"name": "bad", "no_such_knob": 1}])
+    with pytest.raises(ScenarioError, match="no_such_knob"):
+        load_matrix(path)
+
+
+def test_load_matrix_rejects_duplicate_controllers(tmp_path):
+    scenario = write_scenario(tmp_path)
+    path = write_matrix(tmp_path, [scenario],
+                        [{"name": "x"}, {"name": "x"}])
+    with pytest.raises(ScenarioError, match="duplicates"):
+        load_matrix(path)
+
+
+def test_load_matrix_rejects_missing_scenario(tmp_path):
+    path = write_matrix(tmp_path, [str(tmp_path / "ghost.yaml")])
+    with pytest.raises(ScenarioError, match="does not exist"):
+        load_matrix(path)
+
+
+def test_run_cell_stats(tmp_path):
+    scenario = write_scenario(tmp_path, duration_s=10)
+    cell = run_cell(scenario, {"name": "frozen", "enabled": False},
+                    seed=1)
+    assert cell["status"] == "ok"
+    assert cell["records"] > 0
+    assert cell["resolves"] == 0
+    assert cell["util_end"] == cell["util_end_frozen"]
+    assert cell["latency_p99_ms"] >= cell["latency_p50_ms"] > 0
+
+
+def test_run_cell_is_seed_deterministic(tmp_path):
+    scenario = write_scenario(tmp_path, duration_s=10)
+    one = run_cell(scenario, {"name": "frozen", "enabled": False}, seed=5)
+    two = run_cell(scenario, {"name": "frozen", "enabled": False}, seed=5)
+    for key in ("records", "latency_p50_ms", "latency_p99_ms",
+                "util_baseline", "util_end"):
+        assert one[key] == two[key]
+
+
+def test_matrix_isolates_failing_cells(tmp_path):
+    good = write_scenario(tmp_path, name="good", duration_s=10)
+    # Syntactically valid scenario with no targets section: the cell
+    # fails at problem lowering, the sweep must survive it.
+    bad = tmp_path / "bad.yaml"
+    bad.write_text("\n".join([
+        "name: bad", "duration_s: 5",
+        "objects: {x: {size_mib: 8}}",
+        "mixes:",
+        "  m: {rate: 10, tasks: [{name: t, weight: 1, objects: x}]}",
+        "schedule:",
+        "  - {mix: m, shape: constant, t0: 0, t1: 5}",
+    ]) + "\n")
+    path = write_matrix(tmp_path, [good, str(bad)])
+    results = run_matrix(path)
+    assert results["ok"] == 1
+    assert results["errors"] == 1
+    statuses = {cell["scenario"]: cell["status"]
+                for cell in results["cells"]}
+    assert statuses["good"] == "ok"
+    failed = [c for c in results["cells"] if c["status"] == "error"]
+    assert "targets" in failed[0]["error"]
+    check_results(results)  # one ok cell is enough for the gate
+
+
+def test_matrix_parallel_matches_serial(tmp_path):
+    refs = [write_scenario(tmp_path, name="s%d" % i, duration_s=8,
+                           seed=i + 1)
+            for i in range(2)]
+    path = write_matrix(tmp_path, refs, workers=2)
+    serial = run_matrix(path, workers=1)
+    parallel = run_matrix(path, workers=2)
+    strip = ("elapsed_s",)
+    for a, b in zip(serial["cells"], parallel["cells"]):
+        assert {k: v for k, v in a.items() if k not in strip} \
+            == {k: v for k, v in b.items() if k not in strip}
+
+
+def test_save_and_check_results(tmp_path):
+    scenario = write_scenario(tmp_path, duration_s=10)
+    results = run_matrix(write_matrix(tmp_path, [scenario]))
+    out = tmp_path / "bench.json"
+    save_results(results, str(out))
+    loaded = json.loads(out.read_text())
+    check_results(loaded)
+    assert loaded["ok"] == 1
+
+
+def test_check_results_rejects_malformed():
+    with pytest.raises(ScenarioError):
+        check_results({"cells": [{"scenario": "x"}]})
+    with pytest.raises(ScenarioError, match="no successful"):
+        check_results({"cells": [
+            {"scenario": "x", "controller": "c", "status": "error",
+             "error": "boom"},
+        ]})

@@ -1,0 +1,55 @@
+"""Serve-mode integration: tenants created from scenario names."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ReproError
+from repro.serve.service import AdvisorService, ServeConfig
+
+from tests.scenarios.test_matrix import write_scenario
+
+
+@pytest.fixture
+def scenario_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_SCENARIO_DIR", str(tmp_path))
+    write_scenario(tmp_path, name="tenant-mix", duration_s=10)
+    return tmp_path
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_create_tenant_from_scenario(scenario_dir):
+    async def scenario():
+        service = AdvisorService(ServeConfig(workers=1,
+                                             use_processes=False))
+        await service.start()
+        try:
+            out = await service.create_tenant({"scenario": "tenant-mix"})
+            assert out["tenant"] == "tenant-0001"
+            assert set(out["layout"]) == {"hot", "cold"}
+            tenant = service.tenants[out["tenant"]]
+            assert tenant.problem.object_names == ["hot", "cold"]
+        finally:
+            await service.drain()
+
+    run(scenario())
+
+
+def test_create_tenant_rejects_scenario_and_problem(scenario_dir):
+    async def scenario():
+        service = AdvisorService(ServeConfig(workers=1,
+                                             use_processes=False))
+        await service.start()
+        try:
+            with pytest.raises(ReproError, match="not both"):
+                await service.create_tenant(
+                    {"scenario": "tenant-mix", "problem": {}})
+            with pytest.raises(ReproError, match="unknown scenario"):
+                await service.create_tenant({"scenario": "ghost"})
+        finally:
+            await service.drain()
+
+    run(scenario())

@@ -1,0 +1,90 @@
+"""Tests for the YAML loader and the safe-subset fallback parser."""
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.scenarios.yamlio import _MiniYaml, load_yaml_file, parse_yaml
+
+SAMPLE = """
+name: sample
+duration_s: 12.5
+nested:
+  flag: true
+  nothing: null
+  quoted: "a: b"
+list:
+  - 1
+  - two
+  - {k: v, n: 3}
+compact:
+  - {name: read, weight: 60, objects: [a, b], kind: read}
+  - name: write
+    weight: 40
+"""
+
+
+def mini(text):
+    return _MiniYaml(text, "<test>").parse()
+
+
+def test_parse_yaml_basic_types():
+    data = parse_yaml(SAMPLE, "<test>")
+    assert data["name"] == "sample"
+    assert data["duration_s"] == 12.5
+    assert data["nested"] == {"flag": True, "nothing": None,
+                             "quoted": "a: b"}
+    assert data["list"] == [1, "two", {"k": "v", "n": 3}]
+    assert data["compact"][0]["objects"] == ["a", "b"]
+    assert data["compact"][1] == {"name": "write", "weight": 40}
+
+
+def test_mini_parser_matches_pyyaml_on_sample():
+    yaml = pytest.importorskip("yaml")
+    assert mini(SAMPLE) == yaml.safe_load(SAMPLE)
+
+
+def test_mini_parser_multiline_flow():
+    text = "tasks:\n  - {name: scan, weight: 90,\n     run_count: 64}\n"
+    assert mini(text) == {
+        "tasks": [{"name": "scan", "weight": 90, "run_count": 64}]
+    }
+
+
+def test_mini_parser_comments_and_blanks():
+    text = "# header\na: 1  # trailing\n\nb: '#not a comment'\n"
+    assert mini(text) == {"a": 1, "b": "#not a comment"}
+
+
+def test_mini_parser_rejects_tabs():
+    with pytest.raises(ScenarioError, match="tabs"):
+        mini("a:\n\tb: 1\n")
+
+
+def test_mini_parser_rejects_duplicate_keys():
+    with pytest.raises(ScenarioError, match="duplicate key"):
+        mini("a: 1\na: 2\n")
+
+
+def test_mini_parser_rejects_unterminated_flow():
+    with pytest.raises(ScenarioError, match="flow"):
+        mini("a: [1, 2\n")
+
+
+def test_error_carries_file_and_line(tmp_path):
+    path = tmp_path / "bad.yaml"
+    path.write_text("a: 1\n\tb: 2\n")
+    with pytest.raises(ScenarioError, match="bad.yaml"):
+        _MiniYaml(path.read_text(), str(path)).parse()
+
+
+def test_load_yaml_file_missing(tmp_path):
+    with pytest.raises(ScenarioError, match="cannot read"):
+        load_yaml_file(str(tmp_path / "nope.yaml"))
+
+
+def test_pyyaml_error_is_one_line(tmp_path):
+    path = tmp_path / "broken.yaml"
+    path.write_text("a: [1, 2\nb: }\n")
+    with pytest.raises(ScenarioError) as exc:
+        load_yaml_file(str(path))
+    assert "\n" not in str(exc.value)
