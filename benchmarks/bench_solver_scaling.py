@@ -10,15 +10,26 @@ so the wall-clock ratio isolates the evaluation-layer speedup, and the
 two objectives must agree to 1e-9 — the incremental path is a
 performance layer, never a different model.
 
+A second sweep exercises the partitioned scale-out path
+(:func:`repro.core.partition.solve_partitioned`) at fleet sizes the
+monolithic solve cannot reach interactively (N=1000, M=64), plus a
+**parity gate**: at the largest regular swept size the problem is
+re-solved with decomposition *forced* (``max_partition_size`` well
+below N) and the partitioned objective must land within
+``PARTITION_PARITY_RTOL`` of the monolithic coordinate objective —
+decomposition is a scaling strategy, not a different optimizer.
+
 Writes machine-readable results to ``benchmarks/results/BENCH_solver.json``:
-per-N wall clock, evaluation counts, objective parity, and direct probe
-parity (random candidate rows evaluated through both paths).
+per-N wall clock, evaluation counts, objective parity, direct probe
+parity (random candidate rows evaluated through both paths), and the
+partitioned sweep/parity records.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_solver_scaling.py \
-        [--sizes 10 20 40 80] [--targets 8] [--restarts 2] [--out FILE] \
-        [--trace FILE]
+        [--sizes 10 20 40 80] [--targets 8] [--restarts 2] \
+        [--partitioned-sizes 1000] [--partitioned-targets 64] \
+        [--partitioned-ceiling 30] [--out FILE] [--trace FILE]
 
 ``--trace`` additionally runs one fully instrumented solve of the
 largest swept size (outside the timed loop, so the recorded wall
@@ -38,9 +49,15 @@ import numpy as np
 
 from repro import units
 from repro.core.objective import ObjectiveEvaluator
+from repro.core.partition import (
+    PARTITION_PARITY_RTOL,
+    overlap_partitions,
+    solve_partitioned,
+)
 from repro.core.problem import LayoutProblem, TargetSpec
 from repro.core.solver import solve
 from repro.models.analytic import analytic_disk_target_model
+from repro.models.target_model import workload_arrays
 from repro.workload.spec import ObjectWorkload
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
@@ -161,11 +178,109 @@ def run_sweep(sizes, n_targets=8, restarts=2, workers=None):
     }
 
 
+def run_partition_parity(n_objects, n_targets=8, max_partition_size=None,
+                         seed=0):
+    """Partitioned-vs-monolithic gate record at one problem size.
+
+    Decomposition is *forced* (``max_partition_size`` defaults to
+    ``n_objects // 2 + 1``, guaranteeing at least two partitions even
+    when the overlap graph is one component) so the gate actually
+    exercises the split-solve-stitch-balance path rather than
+    degenerating into a plain coordinate solve.
+    """
+    if max_partition_size is None:
+        max_partition_size = n_objects // 2 + 1
+    problem = make_scaling_problem(n_objects, n_targets=n_targets, seed=seed)
+    partitions = overlap_partitions(
+        workload_arrays(problem.workloads)["overlap"], max_partition_size
+    )
+
+    started = time.perf_counter()
+    mono = solve(problem, method="coordinate", restarts=1, seed=0, workers=1)
+    mono_wall = time.perf_counter() - started
+
+    started = time.perf_counter()
+    part = solve_partitioned(problem, restarts=1, seed=0,
+                             max_partition_size=max_partition_size)
+    part_wall = time.perf_counter() - started
+
+    relative = (part.objective - mono.objective) / mono.objective
+    print("parity N=%-4d M=%-3d partitions=%d  coordinate %.3fs obj %.6f  "
+          "partitioned %.3fs obj %.6f  rel %+.4f (tol %.2f)"
+          % (n_objects, n_targets, len(partitions), mono_wall,
+             mono.objective, part_wall, part.objective, relative,
+             PARTITION_PARITY_RTOL))
+    return {
+        "n_objects": n_objects,
+        "n_targets": n_targets,
+        "max_partition_size": max_partition_size,
+        "n_partitions": len(partitions),
+        "coordinate": {"wall_s": mono_wall, "objective": mono.objective},
+        "partitioned": {"wall_s": part_wall, "objective": part.objective},
+        "relative_diff": relative,
+        "tolerance": PARTITION_PARITY_RTOL,
+    }
+
+
+def run_partitioned_sweep(sizes, n_targets=64, workers=None, ceiling_s=None):
+    """Time the partitioned path at scale-out sizes (N=1000 class).
+
+    These sizes are far past where the monolithic baseline is worth
+    timing (it would dominate the benchmark's wall clock many times
+    over), so each entry records the partitioned solve alone plus the
+    optional wall-clock ceiling it must meet.
+    """
+    if workers is None:
+        workers = os.cpu_count() or 1
+    entries = []
+    for n in sizes:
+        problem = make_scaling_problem(n, n_targets=n_targets)
+        started = time.perf_counter()
+        result = solve(problem, method="partitioned", restarts=1, seed=0,
+                       workers=workers)
+        wall = time.perf_counter() - started
+        n_partitions = len(overlap_partitions(
+            workload_arrays(problem.workloads)["overlap"]
+        ))
+        entry = {
+            "n_objects": n,
+            "n_targets": n_targets,
+            "variables": n * n_targets,
+            "n_partitions": n_partitions,
+            "wall_s": wall,
+            "objective": result.objective,
+            "evaluations": result.evaluations,
+            "method": result.method,
+            "ceiling_s": ceiling_s,
+        }
+        entries.append(entry)
+        print("partitioned N=%-5d M=%-3d vars=%-6d partitions=%-3d  "
+              "%.2fs  obj %.6f%s"
+              % (n, n_targets, entry["variables"], n_partitions, wall,
+                 result.objective,
+                 "  (ceiling %.0fs)" % ceiling_s if ceiling_s else ""))
+    return entries
+
+
 def check_parity(payload):
-    """Raise AssertionError unless every swept size meets the 1e-9 budget."""
+    """Raise AssertionError unless every swept size meets its budget.
+
+    Regular sweep entries must meet the 1e-9 incremental/full parity
+    budget.  Partitioned records must meet the decomposition parity
+    gate (no more than ``tolerance`` worse than monolithic — better is
+    fine) and any wall-clock ceiling they were run under.
+    """
     for entry in payload["sweep"]:
         assert entry["objective_abs_diff"] <= PARITY_TOL, entry
         assert entry["probe_parity_max_abs"] <= PARITY_TOL, entry
+    partitioned = payload.get("partitioned")
+    if partitioned:
+        parity = partitioned["parity"]
+        assert parity["relative_diff"] <= parity["tolerance"], parity
+        assert parity["n_partitions"] > 1, parity
+        for entry in partitioned["sweep"]:
+            if entry["ceiling_s"] is not None:
+                assert entry["wall_s"] <= entry["ceiling_s"], entry
 
 
 def write_traced_solve(path, n_objects, n_targets=8, restarts=2):
@@ -194,8 +309,14 @@ def write_traced_solve(path, n_objects, n_targets=8, restarts=2):
 
 
 def test_solver_scaling_smoke(tmp_path):
-    """CI smoke: a tiny sweep still upholds the parity invariant."""
+    """CI smoke: a tiny sweep still upholds the parity invariants."""
     payload = run_sweep([6, 10], n_targets=4, restarts=1)
+    payload["partitioned"] = {
+        "parity": run_partition_parity(12, n_targets=4,
+                                       max_partition_size=5),
+        "sweep": run_partitioned_sweep([16], n_targets=4, workers=1,
+                                       ceiling_s=60.0),
+    }
     check_parity(payload)
     assert all(e["speedup"] > 0 for e in payload["sweep"])
     out = tmp_path / "BENCH_solver.json"
@@ -212,6 +333,17 @@ def main(argv=None):
     parser.add_argument("--restarts", type=int, default=2)
     parser.add_argument("--workers", type=int, default=None,
                         help="portfolio processes (default: cpu count)")
+    parser.add_argument("--partitioned-sizes", type=int, nargs="*",
+                        default=[1000],
+                        help="object counts for the partitioned scale-out "
+                             "sweep (empty list skips it)")
+    parser.add_argument("--partitioned-targets", type=int, default=64,
+                        help="target count for the partitioned sweep "
+                             "(default 64)")
+    parser.add_argument("--partitioned-ceiling", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock ceiling each partitioned point "
+                             "must meet (checked by the parity gate)")
     parser.add_argument("--out", default=DEFAULT_OUT,
                         help="output JSON path (default %s)" % DEFAULT_OUT)
     parser.add_argument("--trace", default=None,
@@ -221,6 +353,17 @@ def main(argv=None):
 
     payload = run_sweep(args.sizes, n_targets=args.targets,
                         restarts=args.restarts, workers=args.workers)
+    if args.partitioned_sizes:
+        payload["partitioned"] = {
+            "parity": run_partition_parity(max(args.sizes),
+                                           n_targets=args.targets),
+            "sweep": run_partitioned_sweep(
+                args.partitioned_sizes,
+                n_targets=args.partitioned_targets,
+                workers=args.workers,
+                ceiling_s=args.partitioned_ceiling,
+            ),
+        }
     check_parity(payload)
     if args.trace:
         traced = write_traced_solve(args.trace, max(args.sizes),

@@ -29,6 +29,7 @@ build measured cost models from the simulator instead.
 Usage::
 
     python -m repro.cli advise problem.json [--non-regular] [--restarts N]
+        [--method auto|slsqp|coordinate|anneal|partitioned]
         [--trace out.jsonl]
     python -m repro.cli monitor trace.jsonl [--window W] [--halflife H]
     python -m repro.cli replay-online problem.json trace.jsonl
@@ -167,13 +168,15 @@ def advise(args):
     obs = _build_obs(args.trace)
     result = LayoutAdvisor(
         problem, regular=not args.non_regular, restarts=args.restarts,
-        workers=args.workers, solve_budget_s=args.solver_budget, obs=obs,
+        method=args.method, workers=args.workers,
+        solve_budget_s=args.solver_budget, obs=obs,
     ).recommend()
     if obs is not None:
         _write_obs(args.trace, obs, meta={
             "command": "advise",
             "problem": args.problem,
             "restarts": args.restarts,
+            "method": args.method,
             "regular": not args.non_regular,
         })
 
@@ -479,6 +482,14 @@ def main(argv=None):
                                help="skip the regularization step")
     advise_parser.add_argument("--restarts", type=int, default=1,
                                help="solver starting points (default 1)")
+    advise_parser.add_argument("--method", default="auto",
+                               choices=["auto", "slsqp", "coordinate",
+                                        "anneal", "partitioned"],
+                               help="solve method; 'partitioned' "
+                                    "decomposes the overlap graph for "
+                                    "thousand-object fleets, 'auto' "
+                                    "escalates to it on large problems "
+                                    "(default auto)")
     advise_parser.add_argument("--workers", type=int, default=1,
                                help="processes for the multi-start solver "
                                     "portfolio (default 1: serial)")
@@ -488,8 +499,9 @@ def main(argv=None):
     advise_parser.add_argument("--solver-budget", type=float, default=None,
                                metavar="SECONDS",
                                help="wall-clock budget for the solve; on "
-                                    "overrun fall back portfolio -> serial "
-                                    "-> greedy instead of hanging")
+                                    "overrun fall back portfolio -> "
+                                    "partitioned -> serial -> greedy "
+                                    "instead of hanging")
     advise_parser.add_argument("--json", action="store_true",
                                help="emit machine-readable JSON")
     advise_parser.add_argument("--trace",
@@ -548,8 +560,8 @@ def main(argv=None):
     replay_parser.add_argument("--solver-budget", type=float, default=None,
                                metavar="SECONDS",
                                help="wall-clock budget per re-solve; on "
-                                    "timeout fall back portfolio -> serial "
-                                    "-> greedy")
+                                    "timeout fall back portfolio -> "
+                                    "partitioned -> serial -> greedy")
     replay_parser.add_argument("--non-regular", action="store_true",
                                help="skip the regularization step")
     replay_parser.add_argument("--calibrate", action="store_true",

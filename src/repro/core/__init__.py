@@ -12,6 +12,7 @@ from repro.core.objective import ObjectiveEvaluator
 from repro.core.initial import initial_layout
 from repro.core.solver import solve, solve_slsqp, solve_coordinate, SolveResult
 from repro.core.anneal import solve_anneal
+from repro.core.partition import overlap_partitions, solve_partitioned
 from repro.core.robust import RobustProblem, RobustEvaluator
 from repro.core.migration import (
     MigrationPlan,
@@ -33,6 +34,8 @@ __all__ = [
     "solve_slsqp",
     "solve_coordinate",
     "solve_anneal",
+    "solve_partitioned",
+    "overlap_partitions",
     "SolveResult",
     "RobustProblem",
     "RobustEvaluator",

@@ -110,7 +110,11 @@ class LayoutAdvisor:
             the layout mechanism round-robin stripes; see Definition 2).
         restarts: Number of solver starting points (Figure 4 repeat loop).
         method: Solve method, ``"auto"`` / ``"slsqp"`` / ``"coordinate"``
-            / ``"anneal"``.
+            / ``"anneal"`` / ``"partitioned"``.  ``"partitioned"``
+            decomposes the workload overlap graph and solves the pieces
+            independently (:mod:`repro.core.partition`) — the scale-out
+            path for thousand-object fleets; ``"auto"`` picks it on its
+            own above the solver's variable-count threshold.
         seed: RNG seed for restart jitter.
         expert_layouts: Optional domain-expert starting layouts, used as
             extra solver restarts (paper §4.1).
@@ -121,7 +125,8 @@ class LayoutAdvisor:
         solve_budget_s: Optional wall-clock budget for the solve step.
             When set, the solve runs under
             :func:`~repro.core.watchdog.solve_with_watchdog` and falls
-            back portfolio → serial → greedy rather than overrunning;
+            back portfolio → partitioned → serial → greedy rather than
+            overrunning;
             the result's ``degraded`` / ``watchdog_rung`` report which
             rung answered.
         chaos_hook: Optional no-arg callable run at the start of each

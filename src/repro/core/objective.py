@@ -22,6 +22,7 @@ import warnings
 import numpy as np
 
 from repro.models.target_model import (
+    batch_model_groups,
     estimate_utilization_matrix,
     workload_arrays,
 )
@@ -92,6 +93,8 @@ class ObjectiveEvaluator:
         self._competing = None
         self._run_counts = None
         self._neighbors = None
+        self._overlap_offdiag = None
+        self._model_groups = None
         self._commits = 0
 
     # ------------------------------------------------------------------
@@ -149,7 +152,9 @@ class ObjectiveEvaluator:
         self._base = np.array(matrix, dtype=float, copy=True)
         self._mu = self.utilization_matrix(self._base)
         self._colsums = self._mu.sum(axis=0)
-        self._competing = a["overlap"] @ (a["total_rate"][:, None] * self._base)
+        self._competing = self._overlap() @ (
+            a["total_rate"][:, None] * self._base
+        )
         self._run_counts = per_target_run_counts(
             a["run_count"], a["mean_size"], self._base,
             self.problem.stripe_size,
@@ -183,13 +188,39 @@ class ObjectiveEvaluator:
                 )
             self.bind(matrix)
 
-    def _neighbor_indices(self, i):
-        """Objects whose contention factor depends on object *i*'s row."""
-        if self._neighbors is None:
+    def _overlap(self):
+        """The overlap matrix with its diagonal normalized to zero.
+
+        Eq. 2 sums over ``k ≠ i``; :func:`workload_arrays` already zeroes
+        the diagonal, but callers can hand the evaluator externally-built
+        arrays, and a nonzero diagonal would put every object in its own
+        neighbor set — double-counting its µ contribution in probe totals
+        and desynchronizing the contention-numerator cache.
+        """
+        if self._overlap_offdiag is None:
             overlap = self.arrays["overlap"]
-            self._neighbors = [
-                np.nonzero(overlap[:, k])[0] for k in range(overlap.shape[0])
-            ]
+            if np.any(np.diagonal(overlap) != 0.0):
+                overlap = overlap.copy()
+                np.fill_diagonal(overlap, 0.0)
+            self._overlap_offdiag = overlap
+        return self._overlap_offdiag
+
+    def _neighbor_indices(self, i):
+        """Objects ``k ≠ i`` whose contention depends on object *i*'s row.
+
+        Built once for all objects from the sparse nonzero structure of
+        the overlap matrix — one ``np.nonzero`` over the whole matrix
+        plus an argsort of the column indices — instead of N dense
+        column scans, which dominated cache construction at fleet scale.
+        """
+        if self._neighbors is None:
+            overlap = self._overlap()
+            n = overlap.shape[0]
+            rows, cols = np.nonzero(overlap)
+            order = np.argsort(cols, kind="stable")
+            rows = rows[order]
+            counts = np.bincount(cols, minlength=n)
+            self._neighbors = np.split(rows, np.cumsum(counts)[:-1])
         return self._neighbors[i]
 
     def _probe(self, i, rows):
@@ -206,6 +237,7 @@ class ObjectiveEvaluator:
         only widens the batched arrays).
         """
         a = self.arrays
+        overlap = self._overlap()
         k_count, m = rows.shape
 
         q_i = per_target_run_counts(
@@ -216,7 +248,7 @@ class ObjectiveEvaluator:
         delta = rows - self._base[i][None, :]
         nbrs = [
             int(k) for k in self._neighbor_indices(i)
-            if a["overlap"][k, i] * a["total_rate"][i] != 0.0
+            if overlap[k, i] * a["total_rate"][i] != 0.0
         ]
         objs = np.array([i] + nbrs)
         p_count = len(objs)
@@ -234,7 +266,7 @@ class ObjectiveEvaluator:
             0.0,
         )
         for t, k in enumerate(nbrs, start=1):
-            coupling = a["overlap"][k, i] * a["total_rate"][i]
+            coupling = overlap[k, i] * a["total_rate"][i]
             competing = self._competing[k][None, :] + coupling * delta
             own_k = a["total_rate"][k] * self._base[k]
             chi[t] = np.where(
@@ -245,26 +277,37 @@ class ObjectiveEvaluator:
             fractions[t] = self._base[k][None, :]
             run_counts[t] = self._run_counts[k][None, :]
 
-        read_sizes = a["read_size"][objs][:, None]
-        write_sizes = a["write_size"][objs][:, None]
-        read_rates = a["read_rate"][objs][:, None]
-        write_rates = a["write_rate"][objs][:, None]
+        read_sizes = a["read_size"][objs][:, None, None]
+        write_sizes = a["write_size"][objs][:, None, None]
+        read_rates = a["read_rate"][objs][:, None, None]
+        write_rates = a["write_rate"][objs][:, None, None]
         mu = np.empty((p_count, k_count, m))
-        for j, model in enumerate(self.problem.models):
+        # One vectorized lookup per distinct target model, not per
+        # target: on homogeneous fleets the per-target Python loop was
+        # the per-partition hot path at M = 64.
+        for cols, model in self._target_groups():
             read = model.read_model.lookup(
-                read_sizes, run_counts[:, :, j], chi[:, :, j]
+                read_sizes, run_counts[:, :, cols], chi[:, :, cols]
             )
             write = model.write_model.lookup(
-                write_sizes, run_counts[:, :, j], chi[:, :, j]
+                write_sizes, run_counts[:, :, cols], chi[:, :, cols]
             )
-            mu[:, :, j] = (read_rates * fractions[:, :, j] * read
-                           + write_rates * fractions[:, :, j] * write)
+            mu[:, :, cols] = (
+                read_rates * fractions[:, :, cols] * read
+                + write_rates * fractions[:, :, cols] * write
+            )
 
         totals = (self._colsums[None, :]
                   + mu.sum(axis=0)
                   - self._mu[objs].sum(axis=0)[None, :])
         neighbours = [(k, mu[t]) for t, k in enumerate(nbrs, start=1)]
         return totals, mu[0], q_i, neighbours
+
+    def _target_groups(self):
+        """Targets grouped by identical cost models (lazily cached)."""
+        if self._model_groups is None:
+            self._model_groups = batch_model_groups(self.problem.models)
+        return self._model_groups
 
     def utilizations_with_rows(self, matrix, i, rows):
         """µ_j for ``matrix`` with row *i* replaced by each candidate.
@@ -344,7 +387,8 @@ class ObjectiveEvaluator:
         nbrs = self._neighbor_indices(i)
         if nbrs.size:
             delta = row - self._base[i]
-            coupling = (a["overlap"][nbrs, i] * a["total_rate"][i])[:, None]
+            coupling = (self._overlap()[nbrs, i]
+                        * a["total_rate"][i])[:, None]
             self._competing[nbrs] += coupling * delta[None, :]
         self._base[i] = row
         self._run_counts[i] = q_i[0]

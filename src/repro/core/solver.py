@@ -28,12 +28,24 @@ from repro.obs import ensure_obs
 #: coordinate method under ``method="auto"``.
 SLSQP_VARIABLE_LIMIT = 600
 
+#: Instances with more than this many layout variables use the
+#: partitioned method under ``method="auto"``: one monolithic
+#: block-coordinate pass stops fitting interactive budgets well before
+#: the overlap graph stops decomposing.
+PARTITIONED_VARIABLE_LIMIT = 8192
+
 #: Entries below this are snapped to zero after the continuous solve.
 SNAP_THRESHOLD = 1e-4
 
 #: Problems with fewer layout variables than this never use the process
 #: pool: worker startup would dwarf the solve itself.
 PARALLEL_MIN_VARIABLES = 64
+
+#: Coordinate search enumerates equal-share candidate rows over the k
+#: least-utilized targets for every k up to this; beyond it k follows a
+#: geometric ladder so wide fleets (M = 64+) do not pay O(M) candidate
+#: evaluations per object step.
+DENSE_CANDIDATE_TARGETS = 16
 
 
 @dataclass
@@ -74,12 +86,22 @@ def _renormalize_row(row, upper):
     scaled = row / total
     if np.all(scaled <= upper + 1e-12):
         return scaled
-    row = row.copy()
+    row = np.minimum(row.copy(), upper)
+    clamped_total = row.sum()
+    if clamped_total > 1.0:
+        # Clamping left a surplus: scaling *down* shrinks every entry,
+        # so the result stays under the caps and sums to exactly one.
+        return row / clamped_total
     for _ in range(row.size + 1):
         deficit = 1.0 - row.sum()
         if deficit <= 1e-12:
             break
-        free = row < upper - 1e-12
+        # Strict headroom test: the old ``row < upper - 1e-12`` marked
+        # entries within 1e-12 of their cap as frozen, so a row whose
+        # caps are binding yet sum to one (within float tolerance) could
+        # exit with a residual deficit spread across those entries.
+        head = upper - row
+        free = head > 0.0
         if not free.any():
             # Caps sum to less than one: no valid row exists, return the
             # clamped best effort and let layout validation flag it.
@@ -88,9 +110,17 @@ def _renormalize_row(row, upper):
         if mass > 0:
             grown = row[free] * (mass + deficit) / mass
         else:
-            head = upper[free] - row[free]
-            grown = row[free] + deficit * head / head.sum()
+            grown = row[free] + deficit * head[free] / head[free].sum()
         row[free] = np.minimum(grown, upper[free])
+    deficit = 1.0 - row.sum()
+    if deficit > 1e-12:
+        # Mass-proportional growth cannot feed zero-mass entries, and
+        # clamping can strand a sub-1e-12 sliver per entry; one exact
+        # headroom-proportional water-fill clears any residual whenever
+        # the caps admit a full row at all.
+        head = np.maximum(upper - row, 0.0)
+        if head.sum() > 0.0:
+            row = np.minimum(row + deficit * head / head.sum(), upper)
     return row
 
 
@@ -228,9 +258,21 @@ def _row_candidates(problem, matrix, i, utilizations, upper):
         return []
 
     candidates = []
-    # Equal shares over the k least-utilized allowed targets.
+    # Equal shares over the k least-utilized allowed targets.  Dense in
+    # k on narrow fleets; a geometric ladder past
+    # DENSE_CANDIDATE_TARGETS keeps the per-object candidate count
+    # O(log M) on wide ones.
     by_load = sorted(allowed, key=lambda j: (utilizations[j], j))
-    for k in range(1, len(by_load) + 1):
+    count = len(by_load)
+    if count <= DENSE_CANDIDATE_TARGETS:
+        widths = range(1, count + 1)
+    else:
+        widths = list(range(1, DENSE_CANDIDATE_TARGETS + 1))
+        k = DENSE_CANDIDATE_TARGETS
+        while k < count:
+            k = min(count, k * 3 // 2)
+            widths.append(k)
+    for k in widths:
         candidates.append(Layout.regular_row(by_load[:k], m))
 
     # Shift part of the row's mass from its most-loaded used target to
@@ -300,17 +342,24 @@ def solve_coordinate(problem, initial, evaluator=None, max_rounds=25,
             iteration += 1
             utilizations = evaluator.utilizations_for(matrix)
             other_bytes = problem.sizes @ matrix - problem.sizes[i] * matrix[i]
-            candidates = [
-                row
-                for row in _row_candidates(problem, matrix, i, utilizations,
-                                           upper)
-                if not np.any(other_bytes + problem.sizes[i] * row
-                              > problem.capacities * (1 + 1e-9))
-            ]
-            if not candidates:
+            proposed = _row_candidates(problem, matrix, i, utilizations,
+                                       upper)
+            if not proposed:
                 continue
+            # One vectorized capacity check over the whole candidate
+            # stack (a per-row np.any here dominates profiles on wide
+            # fleets).
+            stack = np.array(proposed)
+            fits = ~np.any(
+                other_bytes + problem.sizes[i] * stack
+                > problem.capacities * (1 + 1e-9),
+                axis=1,
+            )
+            if not fits.any():
+                continue
+            candidates = stack[fits]
             # One vectorized incremental pass over every candidate row.
-            values = evaluator.evaluate_rows(matrix, i, np.array(candidates))
+            values = evaluator.evaluate_rows(matrix, i, candidates)
             pick = int(np.argmin(values))
             if values[pick] < current - 1e-9:
                 matrix[i] = candidates[pick]
@@ -395,8 +444,15 @@ def solve(problem, initial=None, method="auto", restarts=1, seed=0,
         problem: The layout problem.
         initial: Starting layout; the Section 4.2 greedy layout when
             omitted.  Extra restarts perturb the greedy construction.
-        method: ``"slsqp"``, ``"coordinate"``, ``"anneal"``, or
-            ``"auto"`` (pick by problem size).
+        method: ``"slsqp"``, ``"coordinate"``, ``"anneal"``,
+            ``"partitioned"``, or ``"auto"`` (pick by problem size:
+            SLSQP up to :data:`SLSQP_VARIABLE_LIMIT` variables,
+            block-coordinate up to :data:`PARTITIONED_VARIABLE_LIMIT`,
+            overlap-graph-partitioned beyond).  ``"partitioned"``
+            delegates to :func:`repro.core.partition.solve_partitioned`:
+            the restart portfolio runs per partition and
+            ``expert_layouts`` are ignored (partition budgets make them
+            ill-defined).
         restarts: Number of starting points (Figure 4's repeat loop).
             Restart/seed interaction: attempt 0 starts from ``initial``
             when given (unjittered greedy otherwise); attempts 1..k-1
@@ -444,11 +500,21 @@ def solve(problem, initial=None, method="auto", restarts=1, seed=0,
     obs = ensure_obs(obs)
     if evaluator is None:
         evaluator = problem.evaluator(metrics=obs.metrics)
+    variables = problem.n_objects * problem.n_targets
     if method == "auto":
-        method = (
-            "slsqp"
-            if problem.n_objects * problem.n_targets <= SLSQP_VARIABLE_LIMIT
-            else "coordinate"
+        if variables <= SLSQP_VARIABLE_LIMIT:
+            method = "slsqp"
+        elif variables <= PARTITIONED_VARIABLE_LIMIT:
+            method = "coordinate"
+        else:
+            method = "partitioned"
+    if method == "partitioned":
+        from repro.core.partition import solve_partitioned
+
+        return solve_partitioned(
+            problem, initial=initial, restarts=restarts, seed=seed,
+            evaluator=evaluator, max_iter=max_iter,
+            warm_start=warm_start, workers=workers, obs=obs,
         )
 
     def run(start_layout, attempt_seed, attempt):
@@ -521,6 +587,12 @@ def solve(problem, initial=None, method="auto", restarts=1, seed=0,
                                 method=result.method).inc()
             if best is None or result.objective < best.objective:
                 best = result
+        # Serial restarts share one evaluator, and each result snapshots
+        # its lifetime counter at that restart's finish — so the best
+        # restart's snapshot undercounts whenever a later restart did
+        # more work.  Report the same lifetime total the parallel path
+        # reports.
+        best = replace(best, evaluations=evaluator.evaluations)
     if best is None:
         raise SolverError("no solve attempt produced a layout")
 

@@ -9,9 +9,17 @@ blows its share of the budget (or raises), falls back to a cheaper one:
 
 1. **portfolio** — the full requested solve (multi-start, possibly a
    parallel worker pool);
-2. **serial** — a single-start, single-process solve from the best
+2. **partitioned** — a single-start partitioned solve
+   (:func:`repro.core.partition.solve_partitioned`): decompose the
+   overlap graph, solve the pieces, stitch and balance.  On large
+   instances this finishes in a fraction of the monolithic time, so it
+   is the natural first fallback when the portfolio rung blows its
+   budget.  Skipped when the caller already asked for
+   ``method="partitioned"`` (retrying the same thing is not a
+   fallback);
+3. **serial** — a single-start, single-process solve from the best
    available starting layout, with a tightened iteration cap;
-3. **greedy** — the Section-4.2 greedy construction, evaluated inline.
+4. **greedy** — the Section-4.2 greedy construction, evaluated inline.
    It needs no optimization loop at all and always yields a valid,
    capacity-respecting layout, so the chain cannot come back empty.
 
@@ -41,6 +49,7 @@ MIN_RUNG_BUDGET_S = 0.05
 SERIAL_FALLBACK_MAX_ITER = 40
 
 RUNG_PORTFOLIO = "portfolio"
+RUNG_PARTITIONED = "partitioned"
 RUNG_SERIAL = "serial"
 RUNG_GREEDY = "greedy"
 
@@ -51,8 +60,8 @@ class WatchdogResult:
 
     Attributes:
         result: The winning :class:`~repro.core.solver.SolveResult`.
-        rung: Which rung answered (``portfolio`` / ``serial`` /
-            ``greedy``).
+        rung: Which rung answered (``portfolio`` / ``partitioned`` /
+            ``serial`` / ``greedy``).
         degraded: True when the first rung did not answer — the layout
             is valid but weaker than an unconstrained solve would give.
         budget_s: The wall-clock budget (None = unbounded).
@@ -168,6 +177,18 @@ def solve_with_watchdog(problem, initial=None, budget_s=None, method="auto",
             seed=seed, max_iter=max_iter, expert_layouts=expert_layouts,
             warm_start=warm_start, workers=workers,
         )),
+    ]
+    if method != "partitioned":
+        # A partitioned single-start solve is dramatically cheaper than
+        # the portfolio on large instances while staying a real
+        # optimization — worth a rung of its own before the tightened
+        # serial retry.  Pointless when the portfolio rung *was*
+        # partitioned already.
+        rungs.append((RUNG_PARTITIONED, lambda: solve(
+            problem, initial=initial, method="partitioned", restarts=1,
+            seed=seed, max_iter=max_iter, workers=workers,
+        )))
+    rungs += [
         (RUNG_SERIAL, lambda: solve(
             problem, initial=initial, method=method, restarts=1, seed=seed,
             max_iter=min(max_iter, SERIAL_FALLBACK_MAX_ITER),

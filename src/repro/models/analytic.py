@@ -32,12 +32,21 @@ class AnalyticDiskCostModel:
         self.n_members = int(n_members)
         self.kind = kind
 
+    def batch_key(self):
+        """Structural identity: two instances with equal parameters
+        produce identical lookups, so the evaluator may batch their
+        targets into one vectorized call."""
+        return ("analytic-disk", self.params, self.n_members, self.kind)
+
     def lookup(self, sizes, run_counts, chis):
         p = self.params
+        # No explicit broadcast: the cost expression below mixes all
+        # three inputs, so ordinary numpy broadcasting produces the full
+        # output shape — and skipping np.broadcast_arrays keeps this
+        # hot path (called once per probe per direction) cheap.
         sizes = np.asarray(sizes, dtype=float)
         run_counts = np.maximum(np.asarray(run_counts, dtype=float), 1.0)
         chis = np.maximum(np.asarray(chis, dtype=float), 0.0)
-        sizes, run_counts, chis = np.broadcast_arrays(sizes, run_counts, chis)
 
         transfer = sizes / p.transfer_bps
         # Elevator gain: average seek shrinks as the queue deepens.
@@ -70,6 +79,10 @@ class AnalyticSsdCostModel:
     def __init__(self, params=SATA_SSD_2010, kind="read"):
         self.params = params
         self.kind = kind
+
+    def batch_key(self):
+        """Structural identity for cross-target lookup batching."""
+        return ("analytic-ssd", self.params, self.kind)
 
     def lookup(self, sizes, run_counts, chis):
         p = self.params

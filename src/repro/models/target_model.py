@@ -75,6 +75,13 @@ class ScaledCostModel:
         self.model = model
         self.factor = float(factor)
 
+    def batch_key(self):
+        """Batchable iff the wrapped model is, at the same factor."""
+        inner = _batch_key(self.model)
+        if inner is None:
+            return None
+        return ("scaled", inner, self.factor)
+
     def lookup(self, sizes, run_counts, chis):
         return self.model.lookup(sizes, run_counts, chis) * self.factor
 
@@ -85,7 +92,13 @@ def workload_arrays(workloads):
     Returns a dict with keys ``read_rate``, ``write_rate``, ``read_size``,
     ``write_size``, ``total_rate``, ``mean_size``, ``run_count`` (each of
     shape (N,)) and ``overlap`` of shape (N, N) with a zero diagonal.
+    The diagonal is normalized to zero unconditionally: Eq. 2 sums over
+    ``k ≠ i``, and a self-overlap entry smuggled in through a workload
+    spec (or a hand-built matrix) would double-count the object's own µ
+    contribution in the incremental probe path.
     """
+    overlap = overlap_matrix(workloads)
+    np.fill_diagonal(overlap, 0.0)
     return {
         "read_rate": np.array([w.read_rate for w in workloads]),
         "write_rate": np.array([w.write_rate for w in workloads]),
@@ -94,8 +107,52 @@ def workload_arrays(workloads):
         "total_rate": np.array([w.total_rate for w in workloads]),
         "mean_size": np.array([w.mean_size for w in workloads]),
         "run_count": np.array([w.run_count for w in workloads]),
-        "overlap": overlap_matrix(workloads),
+        "overlap": overlap,
     }
+
+
+def _batch_key(cost_model):
+    """Structural identity of a cost model, or None when unbatchable.
+
+    Cost models that can prove two instances produce identical lookups
+    expose a hashable ``batch_key()``; models without one (e.g.
+    per-target calibrated tables) fall back to singleton groups.
+    """
+    key = getattr(cost_model, "batch_key", None)
+    if key is None:
+        return None
+    try:
+        return key()
+    except TypeError:
+        return None
+
+
+def batch_model_groups(models):
+    """Group target indices whose read *and* write models are identical.
+
+    Returns a list of ``(column_indices, representative_model)`` pairs
+    covering every target exactly once.  The evaluator's probe loop runs
+    one vectorized lookup per group instead of one per target, which is
+    the difference between O(M) and O(#distinct-models) Python-level
+    calls on homogeneous fleets.
+    """
+    groups = {}
+    order = []
+    for j, model in enumerate(models):
+        read_key = _batch_key(model.read_model)
+        write_key = _batch_key(model.write_model)
+        if read_key is None or write_key is None:
+            key = ("__singleton__", j)
+        else:
+            key = (read_key, write_key)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(j)
+    return [
+        (np.array(groups[key], dtype=int), models[groups[key][0]])
+        for key in order
+    ]
 
 
 def estimate_utilization_matrix(workloads, layout, models,
@@ -131,16 +188,16 @@ def estimate_utilization_matrix(workloads, layout, models,
     chi = contention_factors(arrays["total_rate"], arrays["overlap"], layout)
 
     mu = np.zeros((n_objects, n_targets))
-    for j in range(n_targets):
-        read_cost = models[j].read_model.lookup(
-            arrays["read_size"], run_counts[:, j], chi[:, j]
+    for cols, model in batch_model_groups(models):
+        read_cost = model.read_model.lookup(
+            arrays["read_size"][:, None], run_counts[:, cols], chi[:, cols]
         )
-        write_cost = models[j].write_model.lookup(
-            arrays["write_size"], run_counts[:, j], chi[:, j]
+        write_cost = model.write_model.lookup(
+            arrays["write_size"][:, None], run_counts[:, cols], chi[:, cols]
         )
-        mu[:, j] = (
-            arrays["read_rate"] * layout[:, j] * read_cost
-            + arrays["write_rate"] * layout[:, j] * write_cost
+        mu[:, cols] = (
+            arrays["read_rate"][:, None] * layout[:, cols] * read_cost
+            + arrays["write_rate"][:, None] * layout[:, cols] * write_cost
         )
     return mu
 

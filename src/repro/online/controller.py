@@ -91,7 +91,7 @@ class ControllerConfig:
             granularity and throttle of the background migrator.
         solve_budget_s: Optional wall-clock watchdog budget for drift
             re-solves; when set, the solve falls back portfolio →
-            serial → greedy instead of overrunning (see
+            partitioned → serial → greedy instead of overrunning (see
             :mod:`repro.core.watchdog`).
         emergency_budget_s: Wall-clock watchdog budget for emergency
             (evacuation) re-solves — these always run under the

@@ -30,6 +30,12 @@ def contention_factors(total_rates, overlap_matrix, layout, floor=1e-9):
     rates = np.asarray(total_rates, dtype=float)
     overlaps = np.asarray(overlap_matrix, dtype=float)
     layout = np.asarray(layout, dtype=float)
+    if np.any(np.diagonal(overlaps) != 0.0):
+        # Enforce the k ≠ i sum of Eq. 2 even for hand-built matrices:
+        # a nonzero diagonal would count an object's own requests as
+        # competing with themselves.
+        overlaps = overlaps.copy()
+        np.fill_diagonal(overlaps, 0.0)
 
     per_target = rates[:, None] * layout            # λ_kj, shape (N, M)
     competing = overlaps @ per_target               # Σ_k O_i[k]·λ_k·L_kj

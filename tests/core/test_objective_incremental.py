@@ -197,3 +197,47 @@ def test_no_overlap_probe_touches_only_own_row():
     fast = evaluator.utilizations_with_row(matrix, 0, row)
     slow = _full_utilizations_with_row(problem, matrix, 0, row)
     assert np.max(np.abs(fast - slow)) < 1e-9
+
+
+def test_nonzero_overlap_diagonal_keeps_parity(problem):
+    """Regression: a nonzero diagonal smuggled into the overlap matrix
+    (hand-built arrays, or an external workload source) put object i in
+    its *own* neighbor set, double-counting its µ contribution on the
+    incremental probe path.  Eq. 2 sums over k ≠ i; the evaluator must
+    normalize the diagonal away so incremental and full paths agree no
+    matter what the arrays carry."""
+    rng = np.random.default_rng(31)
+    n, m = problem.n_objects, problem.n_targets
+    fast = ObjectiveEvaluator(problem)
+    full = ObjectiveEvaluator(problem, incremental=False)
+    for evaluator in (fast, full):
+        overlap = evaluator.arrays["overlap"].copy()
+        np.fill_diagonal(overlap, 0.6)
+        evaluator.arrays["overlap"] = overlap
+
+    matrix = _random_matrix(rng, n, m)
+    for i in range(n):
+        row = _random_row(rng, m)
+        a = fast.utilizations_with_row(matrix, i, row)
+        b = full.utilizations_with_row(matrix, i, row)
+        assert np.max(np.abs(a - b)) < 1e-9, i
+    # And both paths must match the clean-diagonal model exactly: the
+    # self-entry carries no physical meaning.
+    clean = _full_utilizations_with_row(problem, matrix, 0, _random_row(rng, m))
+    assert clean.shape == (m,)
+
+
+def test_workload_arrays_diagonal_is_zero():
+    """The array extractor is the first line of defense: even a spec
+    that names itself in its own overlap set yields a zero diagonal."""
+    from repro.models.target_model import workload_arrays
+    from repro.workload.spec import ObjectWorkload
+
+    workloads = [
+        ObjectWorkload("a", read_rate=100.0, run_count=4.0,
+                       overlap={"a": 0.9, "b": 0.5}),
+        ObjectWorkload("b", read_rate=50.0, run_count=2.0),
+    ]
+    arrays = workload_arrays(workloads)
+    assert np.all(np.diag(arrays["overlap"]) == 0.0)
+    assert arrays["overlap"][0, 1] == pytest.approx(0.5)

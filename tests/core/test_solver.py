@@ -2,6 +2,7 @@
 
 import numpy as np
 import pytest
+from hypothesis import assume, given, settings, strategies as st
 
 from repro import units
 from repro.core.initial import initial_layout
@@ -178,6 +179,24 @@ def test_result_diagnostics_populated(problem):
     assert result.objective == pytest.approx(result.utilizations.max())
 
 
+def test_serial_restarts_report_lifetime_evaluations(problem):
+    """Regression: serial restarts share one evaluator, and each restart
+    result snapshots the counter at its own finish — so when an *early*
+    restart wins, the reported count silently dropped everything later
+    restarts spent.  Both the serial and parallel paths must report the
+    evaluator's lifetime total."""
+    evaluator = problem.evaluator()
+    result = solve(problem, method="coordinate", restarts=3, seed=0,
+                   evaluator=evaluator, workers=1)
+    assert result.evaluations == evaluator.evaluations
+
+    # A single-start solve does strictly less work, so the multi-start
+    # count can only be a lifetime total, never one restart's snapshot.
+    single = solve(problem, method="coordinate", restarts=1, seed=0,
+                   workers=1)
+    assert result.evaluations > single.evaluations
+
+
 # ----------------------------------------------------------------------
 # Warm-started (incremental) solves
 # ----------------------------------------------------------------------
@@ -294,6 +313,54 @@ def test_renormalize_zero_row():
     fixed = _renormalize_row(np.zeros(3), np.array([0.2, 0.5, 1.0]))
     assert fixed.sum() == pytest.approx(1.0)
     assert np.all(fixed <= np.array([0.2, 0.5, 1.0]) + 1e-12)
+
+
+def test_renormalize_clamped_surplus_scales_down_within_caps():
+    """A row far over budget whose proportional scaling violates a cap:
+    clamping leaves a surplus, which must be scaled away rather than
+    returned (found by the property test below)."""
+    row = np.array([2.8459, 0.9355])
+    upper = np.array([0.5867, 1.0])
+    fixed = _renormalize_row(row, upper)
+    assert fixed.sum() == pytest.approx(1.0, abs=1e-9)
+    assert np.all(fixed <= upper + 1e-12)
+
+
+def test_renormalize_exact_cap_sum_has_no_residual_deficit():
+    """Regression: when the caps are binding and sum to exactly 1.0,
+    the cap-clamp loop can terminate with a residual deficit (float
+    tolerance in the headroom test) and return a row summing to less
+    than 1.  The only feasible answer is the caps themselves."""
+    row = np.array([0.3, 0.2])
+    upper = np.array([0.3, 0.7])
+    fixed = _renormalize_row(row, upper)
+    assert fixed.sum() == pytest.approx(1.0, abs=1e-9)
+    assert fixed == pytest.approx([0.3, 0.7])
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    seed=st.integers(0, 100_000),
+    m=st.integers(2, 6),
+    tight=st.booleans(),
+)
+def test_renormalize_row_property(seed, m, tight):
+    """Whenever the caps admit a distribution (upper.sum() >= 1), the
+    renormalized row is one: sums to 1 within 1e-9, within caps,
+    nonnegative.  ``tight`` draws caps summing to exactly 1.0 — the
+    regime of the residual-deficit regression."""
+    rng = np.random.default_rng(seed)
+    upper = rng.random(m) + 1e-3
+    if tight:
+        upper = upper / upper.sum()
+    else:
+        upper = np.minimum(1.0, upper * (1.0 + rng.random()))
+        assume(upper.sum() >= 1.0)
+    row = rng.random(m) * rng.choice([0.2, 1.0, 3.0])
+    fixed = _renormalize_row(row, upper)
+    assert abs(fixed.sum() - 1.0) <= 1e-9
+    assert np.all(fixed <= upper + 1e-9)
+    assert np.all(fixed >= -1e-12)
 
 
 def test_snap_rows_sum_to_one_within_caps():

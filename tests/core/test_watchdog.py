@@ -6,6 +6,7 @@ import pytest
 
 from repro.core.watchdog import (
     RUNG_GREEDY,
+    RUNG_PARTITIONED,
     RUNG_PORTFOLIO,
     RUNG_SERIAL,
     solve_with_watchdog,
@@ -50,6 +51,7 @@ def test_hung_solve_falls_back_to_greedy(problem):
     assert outcome.degraded is True
     assert outcome.attempts == [
         (RUNG_PORTFOLIO, "timeout"),
+        (RUNG_PARTITIONED, "skipped"),
         (RUNG_SERIAL, "skipped"),
         (RUNG_GREEDY, "ok"),
     ]
@@ -63,6 +65,7 @@ def test_zero_budget_still_yields_a_valid_layout(problem):
     assert outcome.degraded is True
     assert outcome.attempts == [
         (RUNG_PORTFOLIO, "skipped"),
+        (RUNG_PARTITIONED, "skipped"),
         (RUNG_SERIAL, "skipped"),
         (RUNG_GREEDY, "ok"),
     ]
@@ -71,10 +74,11 @@ def test_zero_budget_still_yields_a_valid_layout(problem):
     assert outcome.result.objective > 0
 
 
-def test_one_shot_failure_lands_on_the_serial_rung(problem):
+def test_one_shot_failure_lands_on_the_partitioned_rung(problem):
     """A hook that blows up only its first caller models a transient
     solver crash: the portfolio rung errors out immediately (leaving
-    budget on the table), the retry on the serial rung sails through."""
+    budget on the table), the retry on the partitioned rung sails
+    through."""
     calls = {"n": 0}
 
     def flaky():
@@ -83,11 +87,47 @@ def test_one_shot_failure_lands_on_the_serial_rung(problem):
             raise RuntimeError("transient solver crash")
 
     outcome = solve_with_watchdog(problem, budget_s=5.0, chaos_hook=flaky)
-    assert outcome.rung == RUNG_SERIAL
+    assert outcome.rung == RUNG_PARTITIONED
     assert outcome.degraded is True
     assert outcome.attempts[0] == (RUNG_PORTFOLIO, "error")
-    assert outcome.attempts[1] == (RUNG_SERIAL, "ok")
+    assert outcome.attempts[1] == (RUNG_PARTITIONED, "ok")
+    assert outcome.result.method in ("partitioned", "partitioned-fallback")
     problem.validate_layout(outcome.layout)
+
+
+def test_two_shot_failure_lands_on_the_serial_rung(problem):
+    """Two consecutive crashes burn the portfolio and partitioned
+    rungs; the tightened serial retry answers."""
+    calls = {"n": 0}
+
+    def flaky():
+        calls["n"] += 1
+        if calls["n"] <= 2:
+            raise RuntimeError("transient solver crash")
+
+    outcome = solve_with_watchdog(problem, budget_s=5.0, chaos_hook=flaky)
+    assert outcome.rung == RUNG_SERIAL
+    assert outcome.degraded is True
+    assert outcome.attempts[:3] == [
+        (RUNG_PORTFOLIO, "error"),
+        (RUNG_PARTITIONED, "error"),
+        (RUNG_SERIAL, "ok"),
+    ]
+    problem.validate_layout(outcome.layout)
+
+
+def test_partitioned_method_skips_the_partitioned_rung(problem):
+    """When the caller already asked for a partitioned solve, retrying
+    the identical thing is not a fallback — the chain goes straight
+    from portfolio to serial."""
+    outcome = solve_with_watchdog(
+        problem, budget_s=0.0, method="partitioned",
+    )
+    assert outcome.attempts == [
+        (RUNG_PORTFOLIO, "skipped"),
+        (RUNG_SERIAL, "skipped"),
+        (RUNG_GREEDY, "ok"),
+    ]
 
 
 def test_rung_error_falls_through(problem, monkeypatch):
@@ -99,7 +139,7 @@ def test_rung_error_falls_through(problem, monkeypatch):
     monkeypatch.setattr(watchdog_module, "solve", explode)
     outcome = solve_with_watchdog(problem, budget_s=5.0)
     assert outcome.rung == RUNG_GREEDY
-    assert [a for _, a in outcome.attempts[:2]] == ["error", "error"]
+    assert [a for _, a in outcome.attempts[:3]] == ["error"] * 3
     problem.validate_layout(outcome.layout)
 
 

@@ -283,6 +283,29 @@ def test_replay_online_malformed_fault_plan_is_an_error(
     assert capsys.readouterr().err.startswith("error:")
 
 
+def test_advise_method_partitioned(problem_file, capsys):
+    """--method partitioned routes the solve through the overlap-graph
+    decomposition and reports its method in the JSON payload."""
+    assert main(["advise", problem_file, "--method", "partitioned",
+                 "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["method"] in ("partitioned", "partitioned-fallback")
+    for row in payload["layout"].values():
+        assert sum(row) == pytest.approx(1.0, abs=1e-6)
+
+
+def test_advise_method_explicit_coordinate(problem_file, capsys):
+    assert main(["advise", problem_file, "--method", "coordinate",
+                 "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["method"] == "coordinate"
+
+
+def test_advise_rejects_unknown_method(problem_file, capsys):
+    with pytest.raises(SystemExit):
+        main(["advise", problem_file, "--method", "simplex"])
+
+
 def test_advise_solver_budget_accepts_and_solves(problem_file, capsys):
     assert main(["advise", problem_file, "--solver-budget", "30",
                  "--json"]) == 0
