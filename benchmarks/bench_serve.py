@@ -8,14 +8,22 @@ sockets, one keep-alive connection per tenant:
    ``ramp``: staggered), each one's initial advise running on the
    shared pool under the bounded admission queue (429s are retried
    closed-loop and counted);
-2. **advise storm** — every tenant issues back-to-back advises; per
-   request latency lands in the p50/p99 summary;
+2. **advise storm** — every tenant issues back-to-back advises, once
+   with request tracing off and once with it on: the traced run is the
+   headline p50/p99 (it is the production configuration) and the pair
+   is the tracing-overhead gate (traced p99 within 5% of untraced, or
+   within an absolute noise floor);
 3. **feed** — every tenant streams a drifted trace chunk, so the
    server-side controllers run monitor → drift → re-solve on the pool;
    re-solve throughput is the pool's completed-job rate over this
    phase;
 4. **fairness** — per-tenant charged solver seconds at equal weight;
    the spread (max/min) must stay ≤ 2× even under saturation.
+
+The traced phases also feed the per-tenant SLO engine and (with
+``--access-log``) the JSONL access log; the payload reports SLO
+attainment across tenants and the queue-wait vs solve-time p50/p99
+split recovered from the log.
 
 Results go to ``benchmarks/results/BENCH_serve.json``.
 """
@@ -61,6 +69,12 @@ CONTROLLER = {
 #: Retry pause after a 429 (closed loop: the tenant waits, not drops).
 BACKOFF_S = 0.05
 
+#: Tracing-overhead gate: traced advise p99 must stay within 5% of the
+#: untraced p99, OR within this absolute floor — small runs (CI smoke)
+#: have single-digit sample counts where a ratio alone is pure noise.
+OVERHEAD_RATIO_BOUND = 1.05
+OVERHEAD_NOISE_FLOOR_MS = 50.0
+
 
 def drifted_chunk(horizon_s=12.0):
     """A trace whose rates invert the solved-for workload: ``b`` hot."""
@@ -101,12 +115,14 @@ async def _with_backpressure(call, counters):
 
 async def run_bench(tenants=120, mode="max-rate", workers=None,
                     use_processes=True, advises=3, feed=True,
-                    max_pending=48, fairness_window_s=20.0):
+                    max_pending=48, fairness_window_s=20.0,
+                    access_log=None):
     workers = workers or max(2, (os.cpu_count() or 2) - 1)
     config = ServeConfig(port=0, workers=workers,
                          use_processes=use_processes,
                          max_pending=max_pending,
-                         feed_threads=max(4, workers))
+                         feed_threads=max(4, workers),
+                         access_log=access_log)
     frontend = HttpFrontend(AdvisorService(config))
     await frontend.start()
     clients = [ServeClient(frontend.host, frontend.port)
@@ -147,7 +163,7 @@ async def run_bench(tenants=120, mode="max-rate", workers=None,
             "rate_per_s": round(tenants / create_wall, 2),
         }
 
-        # -- phase 2: advise storm ------------------------------------
+        # -- phase 2: advise storm, untraced then traced --------------
         async def storm(index):
             latencies = []
             for _ in range(advises):
@@ -157,16 +173,36 @@ async def run_bench(tenants=120, mode="max-rate", workers=None,
                 )
                 latencies.append(latency)
             return latencies
-        wall = time.perf_counter()
-        lat = [s for per in await asyncio.gather(
-            *(storm(i) for i in range(tenants))) for s in per]
-        advise_wall = time.perf_counter() - wall
+
+        async def run_storm():
+            wall = time.perf_counter()
+            latencies = [s for per in await asyncio.gather(
+                *(storm(i) for i in range(tenants))) for s in per]
+            return latencies, time.perf_counter() - wall
+
+        # Identical storm twice: tracing off (baseline), then on (the
+        # production configuration and the headline numbers).
+        frontend.service.config.trace_requests = False
+        untraced, _ = await run_storm()
+        frontend.service.config.trace_requests = True
+        lat, advise_wall = await run_storm()
         payload["advise"] = {
             "requests": len(lat),
             "wall_s": round(advise_wall, 3),
             "p50_ms": round(percentile(lat, 0.50) * 1e3, 2),
             "p99_ms": round(percentile(lat, 0.99) * 1e3, 2),
             "throughput_rps": round(len(lat) / advise_wall, 2),
+        }
+        untraced_p99 = percentile(untraced, 0.99) * 1e3
+        traced_p99 = payload["advise"]["p99_ms"]
+        payload["tracing_overhead"] = {
+            "untraced_p50_ms": round(percentile(untraced, 0.50) * 1e3, 2),
+            "untraced_p99_ms": round(untraced_p99, 2),
+            "traced_p50_ms": payload["advise"]["p50_ms"],
+            "traced_p99_ms": traced_p99,
+            "p99_ratio": (round(traced_p99 / untraced_p99, 4)
+                          if untraced_p99 > 0 else None),
+            "p99_delta_ms": round(traced_p99 - untraced_p99, 2),
         }
 
         # -- phase 3: feed (server-side re-solves) --------------------
@@ -233,6 +269,45 @@ async def run_bench(tenants=120, mode="max-rate", workers=None,
             "max_solver_s": round(max(deltas), 4),
         }
 
+        # -- SLO attainment across every traced advise ----------------
+        slo = await clients[0].slo()
+        snaps = list(slo["tenants"].values())
+        if snaps:
+            payload["slo"] = {
+                "objective": slo["default_objective"],
+                "tenants": len(snaps),
+                "attained_tenants": sum(1 for s in snaps if s["attained"]),
+                "min_attainment": round(
+                    min(s["attainment"] for s in snaps), 4),
+                "mean_attainment": round(
+                    sum(s["attainment"] for s in snaps) / len(snaps), 4),
+                "worst_burn_rate": round(
+                    max(s["worst_burn_rate"] for s in snaps), 3),
+            }
+
+        # -- queue-wait vs solve-time split from the access log -------
+        if access_log is not None:
+            entries = [json.loads(line)
+                       for line in open(access_log).read().splitlines()]
+            waits = [e["queue_wait_s"] for e in entries
+                     if e["route"] == "advise"
+                     and e.get("queue_wait_s") is not None]
+            solves = [e["solve_s"] for e in entries
+                      if e["route"] == "advise"
+                      and e.get("solve_s") is not None]
+            if waits and solves:
+                payload["latency_breakdown"] = {
+                    "advises_logged": len(waits),
+                    "queue_wait_p50_ms": round(
+                        percentile(waits, 0.50) * 1e3, 2),
+                    "queue_wait_p99_ms": round(
+                        percentile(waits, 0.99) * 1e3, 2),
+                    "solve_p50_ms": round(
+                        percentile(solves, 0.50) * 1e3, 2),
+                    "solve_p99_ms": round(
+                        percentile(solves, 0.99) * 1e3, 2),
+                }
+
         status = await clients[0].status()
         payload["rejected_429"] = counters["rejected"]
         payload["queue"] = status["queue"]
@@ -263,6 +338,13 @@ def check_serve(payload, p99_bound_s=None):
         assert payload["resolve"]["throughput_per_s"] > 0, payload
     if p99_bound_s is not None:
         assert advise["p99_ms"] <= p99_bound_s * 1e3, payload
+    # Request tracing must be near-free on the advise path.
+    overhead = payload["tracing_overhead"]
+    assert (overhead["p99_ratio"] is None
+            or overhead["p99_ratio"] <= OVERHEAD_RATIO_BOUND
+            or overhead["p99_delta_ms"] <= OVERHEAD_NOISE_FLOOR_MS), payload
+    # Every tenant's traced advises landed in an SLO window.
+    assert payload["slo"]["tenants"] == payload["tenants"], payload
 
 
 def _report(payload):
@@ -281,7 +363,19 @@ def _report(payload):
         ["admission rejections (429)", "%d" % payload["rejected_429"]],
         ["fairness spread (max/min solver s)",
          "%.2f" % payload["fairness"]["spread"]],
+        ["tracing overhead (p99 traced/untraced)",
+         "%s" % (payload["tracing_overhead"]["p99_ratio"] or "n/a")],
+        ["SLO attainment (tenants met / total)",
+         "%d / %d" % (payload["slo"]["attained_tenants"],
+                      payload["slo"]["tenants"])],
+        ["worst burn rate", "%.2f" % payload["slo"]["worst_burn_rate"]],
     ]
+    if "latency_breakdown" in payload:
+        split = payload["latency_breakdown"]
+        rows.append(["queue wait p50 / p99 (ms)", "%.1f / %.1f" % (
+            split["queue_wait_p50_ms"], split["queue_wait_p99_ms"])])
+        rows.append(["solve p50 / p99 (ms)", "%.1f / %.1f" % (
+            split["solve_p50_ms"], split["solve_p99_ms"])])
     if "resolve" in payload:
         rows.append(["re-solve throughput (jobs/s)",
                      "%.1f" % payload["resolve"]["throughput_per_s"]])
@@ -299,8 +393,15 @@ def test_serve_bench_smoke(tmp_path):
     payload = asyncio.run(run_bench(
         tenants=8, advises=1, workers=2, use_processes=False,
         max_pending=8, fairness_window_s=6.0,
+        access_log=str(tmp_path / "access.jsonl"),
     ))
     check_serve(payload, p99_bound_s=60.0)
+    assert payload["slo"]["tenants"] == 8
+    assert payload["tracing_overhead"]["traced_p99_ms"] > 0
+    split = payload["latency_breakdown"]
+    assert split["advises_logged"] >= 8
+    assert split["queue_wait_p99_ms"] >= 0.0
+    assert split["solve_p99_ms"] > 0.0
     out = tmp_path / "BENCH_serve.json"
     out.write_text(json.dumps(payload, indent=2))
     assert json.loads(out.read_text())["benchmark"] == "serve"
@@ -330,6 +431,9 @@ def main(argv=None):
     parser.add_argument("--p99-bound", type=float, default=None,
                         metavar="SECONDS",
                         help="fail if advise p99 exceeds this")
+    parser.add_argument("--access-log", default=None, metavar="FILE",
+                        help="JSONL access log path (also the source of "
+                             "the queue-wait vs solve-time breakdown)")
     parser.add_argument(
         "--out", default=os.path.join(RESULTS_DIR, "BENCH_serve.json"),
         help="output JSON path",
@@ -341,6 +445,7 @@ def main(argv=None):
         use_processes=not args.threads, advises=args.advises,
         feed=not args.no_feed, max_pending=args.max_pending,
         fairness_window_s=args.fairness_window,
+        access_log=args.access_log,
     ))
     check_serve(payload, p99_bound_s=args.p99_bound)
     _report(payload)

@@ -34,8 +34,9 @@ Usage::
     python -m repro.cli monitor trace.jsonl [--window W] [--halflife H]
     python -m repro.cli replay-online problem.json trace.jsonl
         [--interval S] [--events out.jsonl] [--metrics out.jsonl|out.prom]
-    python -m repro.cli report out.jsonl [--tree]
+    python -m repro.cli report out.jsonl [--tree] [--request-trace]
     python -m repro.cli serve [--port P] [--workers N] [--state-dir DIR]
+        [--access-log FILE] [--trace-ring N] [--no-request-traces]
     python -m repro.cli scenarios list
     python -m repro.cli scenarios validate FILE [FILE ...]
     python -m repro.cli experiments run matrix.yaml [--workers N]
@@ -60,7 +61,10 @@ convergence series — into one JSONL trace file;
 per-target latency/byte metrics rebuilt from the trace (a ``.prom``
 extension selects Prometheus text exposition instead); ``report``
 renders a saved trace as a stage-time / cache-efficiency / convergence
-table.
+table.  ``report --request-trace`` instead renders one stitched
+serve-layer request trace — the JSON of ``GET /debug/traces/{id}`` or
+its JSONL records — as a latency breakdown plus the cross-process span
+tree.
 """
 
 import argparse
@@ -76,6 +80,7 @@ from repro.models.analytic import (
     analytic_ssd_target_model,
 )
 from repro.models.target_model import TargetModel
+from repro.serve.tracing import DEFAULT_RING as _DEFAULT_RING
 from repro.storage.disk import ENTERPRISE_15K, NEARLINE_7200
 from repro.units import DEFAULT_STRIPE_SIZE
 from repro.workload.spec import ObjectWorkload
@@ -335,9 +340,17 @@ def _looks_like_event_log(path):
 
 
 def report(args):
-    from repro.obs.export import read_trace
-    from repro.obs.report import render_report
+    from repro.obs.export import read_request_trace, read_trace
+    from repro.obs.report import render_report, render_request_trace
 
+    if args.request_trace:
+        # Request traces render the full cross-process tree by default;
+        # the solver spans grafted from workers sit 4-5 levels deep.
+        trace = read_request_trace(args.trace)
+        print(render_request_trace(trace, max_depth=args.max_depth))
+        return 0
+    if args.max_depth is None:
+        args.max_depth = 3
     if _looks_like_event_log(args.trace):
         import warnings
 
@@ -366,6 +379,10 @@ def serve(args):
         host=args.host, port=args.port, workers=args.workers,
         use_processes=not args.threads, max_pending=args.max_pending,
         feed_threads=args.feed_threads, state_dir=args.state_dir,
+        trace_requests=not args.no_request_traces,
+        trace_ring=(args.trace_ring if args.trace_ring is not None
+                    else _DEFAULT_RING),
+        access_log=args.access_log,
     )
 
     async def run():
@@ -587,8 +604,13 @@ def main(argv=None):
                                              "summarized instead)")
     report_parser.add_argument("--tree", action="store_true",
                                help="also render the span tree")
-    report_parser.add_argument("--max-depth", type=int, default=3,
-                               help="span tree depth limit (default 3)")
+    report_parser.add_argument("--max-depth", type=int, default=None,
+                               help="span tree depth limit (default 3; "
+                                    "unlimited for --request-trace)")
+    report_parser.add_argument("--request-trace", action="store_true",
+                               help="render a stitched serve-layer request "
+                                    "trace (the JSON from GET /debug/"
+                                    "traces/{id}, or its JSONL records)")
     report_parser.set_defaults(func=report)
 
     serve_parser = subparsers.add_parser(
@@ -612,6 +634,16 @@ def main(argv=None):
     serve_parser.add_argument("--state-dir", default=None,
                               help="per-tenant state root (migration "
                                    "journals; enables drain-resume)")
+    serve_parser.add_argument("--access-log", default=None, metavar="FILE",
+                              help="append one JSONL line per traced "
+                                   "request (trace id, tenant, status, "
+                                   "queue wait, solve time)")
+    serve_parser.add_argument("--trace-ring", type=int, default=None,
+                              help="stitched traces kept for GET /debug/"
+                                   "traces (default %d)" % _DEFAULT_RING)
+    serve_parser.add_argument("--no-request-traces", action="store_true",
+                              help="disable per-request tracing and the "
+                                   "SLO latency feed")
     serve_parser.set_defaults(func=serve)
 
     scenarios_parser = subparsers.add_parser(

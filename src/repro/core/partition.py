@@ -30,6 +30,7 @@ a proof: the stitched-and-balanced objective must stay within
 :data:`PARTITION_PARITY_RTOL` of a monolithic coordinate solve.
 """
 
+import os
 import pickle
 import time
 import warnings
@@ -43,7 +44,7 @@ from repro.core.pinning import PinningConstraints
 from repro.core.problem import LayoutProblem, TargetSpec
 from repro.core.solver import SolveResult, solve_coordinate
 from repro.errors import SolverError
-from repro.obs import ensure_obs
+from repro.obs import Instrumentation, ensure_obs
 
 #: Default cap on objects per partition: big enough that ring cuts are
 #: rare relative to kept edges, small enough that a partition's
@@ -186,7 +187,8 @@ def _subproblem(problem, indices, budget):
                          stripe_size=problem.stripe_size, pinning=pinning)
 
 
-def _solve_partition(subproblem, start_rows, restarts, seed, max_iter):
+def _solve_partition(subproblem, start_rows, restarts, seed, max_iter,
+                     capture=False):
     """Solve one partition (module-level: process-pool picklable).
 
     Partitions always use block-coordinate descent — partitioned solving
@@ -194,8 +196,19 @@ def _solve_partition(subproblem, start_rows, restarts, seed, max_iter):
     would dominate the wall clock it exists to cut.  ``start_rows``
     optionally warm-starts the sub-solve from the caller's initial
     layout when those rows are valid under the partition budget.
+
+    With ``capture=True`` the sub-solve runs under live instrumentation
+    and returns ``{"result", "spans", "metrics", "pid"}``; the parent
+    stitches the serialized span tree into its own trace, preserving
+    per-round solver spans across the process boundary.
     """
     del max_iter  # coordinate search has no continuous iteration cap
+    obs = Instrumentation.on() if capture else None
+    root = None
+    if obs is not None:
+        root = obs.tracer.start("partition.solve",
+                                n_objects=subproblem.n_objects,
+                                pid=os.getpid())
     start = None
     if start_rows is not None:
         candidate = subproblem.make_layout(np.asarray(start_rows, dtype=float))
@@ -206,17 +219,20 @@ def _solve_partition(subproblem, start_rows, restarts, seed, max_iter):
             start = None
     if start is None:
         start = initial_layout(subproblem)
-    evaluator = subproblem.evaluator()
+    evaluator = subproblem.evaluator(
+        metrics=obs.metrics if obs is not None else None
+    )
     best = None
     for attempt in range(max(1, restarts)):
         attempt_start = start if attempt == 0 else initial_layout(
             subproblem, rng=np.random.default_rng(seed + attempt), jitter=0.3
         )
         result = solve_coordinate(subproblem, attempt_start,
-                                  evaluator=evaluator)
+                                  evaluator=evaluator, obs=obs,
+                                  attempt=attempt)
         if best is None or result.objective < best.objective:
             best = result
-    return SolveResult(
+    solved = SolveResult(
         layout=best.layout,
         objective=best.objective,
         utilizations=best.utilizations,
@@ -225,6 +241,15 @@ def _solve_partition(subproblem, start_rows, restarts, seed, max_iter):
         elapsed_s=best.elapsed_s,
         success=best.success,
     )
+    if obs is None:
+        return solved
+    obs.tracer.finish(root, objective=solved.objective)
+    return {
+        "result": solved,
+        "spans": obs.tracer.to_records(),
+        "metrics": obs.metrics.to_records(),
+        "pid": os.getpid(),
+    }
 
 
 def _run_partitions_parallel(tasks, workers):
@@ -294,28 +319,45 @@ def solve_partitioned(problem, initial=None, restarts=1, seed=0,
     obs.metrics.gauge("repro_solver_partition_count").set(len(partitions))
 
     budgets = _partition_budgets(problem, partitions)
+    capture = bool(obs.tracer.enabled)
     tasks = []
     for p, indices in enumerate(partitions):
         sub = _subproblem(problem, indices, budgets[p])
         start_rows = initial.matrix[indices] if initial is not None else None
-        tasks.append((sub, start_rows, restarts, seed + 1000 * p, max_iter))
+        tasks.append((sub, start_rows, restarts, seed + 1000 * p, max_iter,
+                      capture))
 
-    results = None
+    raw = None
     if workers is not None and workers > 1 and len(tasks) > 1:
-        results = _run_partitions_parallel(tasks, workers)
-    if results is None:
-        results = [_solve_partition(*task) for task in tasks]
+        raw = _run_partitions_parallel(tasks, workers)
+    if raw is None:
+        raw = [_solve_partition(*task) for task in tasks]
+    results = [entry["result"] if isinstance(entry, dict) else entry
+               for entry in raw]
 
     matrix = np.zeros((problem.n_objects, problem.n_targets))
     evaluations = 0
     for p, (indices, result) in enumerate(zip(partitions, results)):
         matrix[indices] = result.layout.matrix
         evaluations += result.evaluations
-        obs.tracer.add_span(
+        span = obs.tracer.add_span(
             "solver.partition", result.elapsed_s, partition=p,
             n_objects=len(indices), objective=result.objective,
             method=result.method,
         )
+        entry = raw[p]
+        if isinstance(entry, dict):
+            # Stitch the partition worker's span tree under this
+            # partition span (skew-anchored at its backdated end) and
+            # fold the worker's counters into the caller's registry.
+            grafted = obs.tracer.graft_records(
+                entry["spans"], parent=span, end_at=span.end_s
+            )
+            for remote in grafted:
+                if remote.parent_id == span.span_id:
+                    remote.set_tag("pid", entry["pid"])
+            if obs.metrics.enabled:
+                obs.metrics.merge_records(entry["metrics"])
         obs.metrics.counter("repro_solver_partitions_total",
                             method=result.method).inc()
     evaluator.evaluations += evaluations

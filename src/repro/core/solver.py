@@ -12,6 +12,7 @@ candidates, which the paper's related-work section sketches as the
 randomized-search alternative to an NLP solver.
 """
 
+import os
 import pickle
 import time
 from dataclasses import dataclass, replace
@@ -22,7 +23,7 @@ from scipy.optimize import minimize
 from repro.errors import SolverError
 from repro.core.initial import initial_layout
 from repro.core.layout import Layout
-from repro.obs import ensure_obs
+from repro.obs import Instrumentation, ensure_obs
 
 #: Instances with more than this many layout variables use the
 #: coordinate method under ``method="auto"``.
@@ -392,24 +393,51 @@ def solve_coordinate(problem, initial, evaluator=None, max_rounds=25,
 
 
 def _portfolio_attempt(problem, start_layout, method, attempt_seed,
-                       max_iter):
+                       max_iter, capture=False):
     """Run one restart with its own evaluator (worker-process entry).
 
     Module-level so :class:`~concurrent.futures.ProcessPoolExecutor`
     can pickle it; each worker builds a private evaluator because the
     incremental µ_ij cache cannot be shared across processes.
-    """
-    if method == "slsqp":
-        return solve_slsqp(problem, start_layout, max_iter=max_iter)
-    if method == "anneal":
-        from repro.core.anneal import solve_anneal
 
-        return solve_anneal(problem, start_layout, seed=attempt_seed)
-    return solve_coordinate(problem, start_layout)
+    With ``capture=True`` the attempt runs under live instrumentation
+    and returns ``{"result", "spans", "metrics", "pid"}`` instead of a
+    bare result, so the parent can stitch the worker's span tree into
+    its own trace (the registry itself still cannot be shared across
+    the process boundary — serialized records can).
+    """
+    obs = Instrumentation.on() if capture else None
+    root = None
+    if obs is not None:
+        root = obs.tracer.start("portfolio.attempt", method=method,
+                                pid=os.getpid())
+
+    def attempt():
+        if method == "slsqp":
+            return solve_slsqp(problem, start_layout, max_iter=max_iter,
+                               obs=obs)
+        if method == "anneal":
+            from repro.core.anneal import solve_anneal
+
+            return solve_anneal(problem, start_layout, seed=attempt_seed,
+                                obs=obs)
+        return solve_coordinate(problem, start_layout, obs=obs)
+
+    result = attempt()
+    if obs is None:
+        return result
+    obs.tracer.finish(root, objective=result.objective,
+                      method=result.method)
+    return {
+        "result": result,
+        "spans": obs.tracer.to_records(),
+        "metrics": obs.metrics.to_records(),
+        "pid": os.getpid(),
+    }
 
 
 def _run_portfolio_parallel(problem, starts, method, seed, max_iter,
-                            workers):
+                            workers, capture=False):
     """Fan the start portfolio out over a process pool.
 
     Per-restart seeds are assigned deterministically (``seed + attempt``)
@@ -427,7 +455,7 @@ def _run_portfolio_parallel(problem, starts, method, seed, max_iter,
         ) as pool:
             futures = [
                 pool.submit(_portfolio_attempt, problem, start, method,
-                            seed + attempt, max_iter)
+                            seed + attempt, max_iter, capture)
                 for attempt, start in enumerate(starts)
             ]
             return [future.result() for future in futures]
@@ -561,16 +589,30 @@ def solve(problem, initial=None, method="auto", restarts=1, seed=0,
         and problem.n_objects * problem.n_targets >= PARALLEL_MIN_VARIABLES
     )
     if use_pool:
-        results = _run_portfolio_parallel(problem, starts, method, seed,
-                                          max_iter, workers)
-        if results is not None:
+        raw = _run_portfolio_parallel(problem, starts, method, seed,
+                                      max_iter, workers,
+                                      capture=obs.tracer.enabled)
+        if raw is not None:
+            results = [entry["result"] if isinstance(entry, dict)
+                       else entry for entry in raw]
             evaluator.evaluations += sum(r.evaluations for r in results)
-            for attempt, result in enumerate(results):
-                obs.tracer.add_span(
+            for attempt, (entry, result) in enumerate(zip(raw, results)):
+                span = obs.tracer.add_span(
                     "solver.restart", result.elapsed_s, attempt=attempt,
                     method=result.method, objective=result.objective,
                     parallel=True,
                 )
+                if isinstance(entry, dict):
+                    # Stitch the worker's captured span tree under this
+                    # restart span, anchored at its (backdated) end.
+                    grafted = obs.tracer.graft_records(
+                        entry["spans"], parent=span, end_at=span.end_s
+                    )
+                    for remote in grafted:
+                        if remote.parent_id == span.span_id:
+                            remote.set_tag("pid", entry["pid"])
+                    if obs.metrics.enabled:
+                        obs.metrics.merge_records(entry["metrics"])
                 obs.metrics.counter("repro_solver_restarts_total",
                                     method=result.method).inc()
                 if best is None or result.objective < best.objective:

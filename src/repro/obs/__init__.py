@@ -39,6 +39,7 @@ from repro.obs.trace import (
     NullTracer,
     NULL_TRACER,
     Span,
+    TraceContext,
     Tracer,
 )
 
@@ -94,6 +95,7 @@ __all__ = [
     "NULL_TRACER",
     "Series",
     "Span",
+    "TraceContext",
     "Tracer",
     "ensure_obs",
 ]

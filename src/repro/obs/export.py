@@ -87,6 +87,66 @@ def read_trace(path):
     )
 
 
+def read_request_trace(path):
+    """Load one stitched serve-layer request trace into a
+    :class:`TraceData`.
+
+    Accepts either shape the serving layer emits:
+
+    * the JSON payload of ``GET /debug/traces/{trace_id}`` saved to a
+      file — one object with the request summary plus a ``"spans"``
+      list;
+    * JSONL records as written by
+      :meth:`~repro.serve.tracing.RequestTrace.to_records` — a
+      ``type == "request"`` meta line followed by span records.
+
+    Raises :class:`~repro.errors.ReproError` when neither shape fits,
+    so ``repro.cli report --request-trace`` reports one clean error.
+    """
+    with open(path) as handle:
+        text = handle.read()
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError:
+        payload = None
+    if isinstance(payload, dict) and isinstance(payload.get("spans"), list):
+        meta = {key: value for key, value in payload.items()
+                if key != "spans"}
+        records = payload["spans"]
+    else:
+        meta = {}
+        records = []
+        for number, line in enumerate(text.splitlines(), start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ReproError(
+                    "%s:%d: not a request-trace record (%s)"
+                    % (path, number, error)
+                ) from None
+            if not isinstance(record, dict):
+                raise ReproError(
+                    "%s:%d: not a request-trace record" % (path, number)
+                )
+            if record.get("type") == "request" and not meta:
+                meta = record
+            else:
+                records.append(record)
+        if not meta:
+            raise ReproError(
+                '%s: no request record (type == "request") — is this a '
+                "request trace?" % path
+            )
+    return TraceData(
+        Tracer.from_records(records),
+        MetricsRegistry.from_records(records),
+        meta=meta,
+    )
+
+
 # ----------------------------------------------------------------------
 # Prometheus text exposition
 # ----------------------------------------------------------------------
@@ -112,11 +172,22 @@ def _label_text(labels, extra=None):
 
 
 def _format_value(value):
-    if value == float("inf"):
-        return "+Inf"
+    """One sample value in exposition syntax.
+
+    Strict parsers accept only ``+Inf`` / ``-Inf`` / ``NaN`` for the
+    non-finite floats — Python's ``repr`` spellings (``inf``, ``-inf``,
+    ``nan``) are rejected — so the three specials are mapped explicitly.
+    """
     if isinstance(value, int):
         return str(value)
-    return repr(float(value))
+    value = float(value)
+    if value != value:
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return repr(value)
 
 
 def prometheus_text(metrics, extra_labels=None):

@@ -252,6 +252,45 @@ class MetricsRegistry:
                 )
         return registry
 
+    def merge_records(self, records):
+        """Fold another registry's serialized records into this one.
+
+        Used to stitch metrics captured inside a worker process back
+        into the parent's registry: counters and gauge values add,
+        histogram buckets merge bucket-wise (when the bounds match;
+        mismatched bounds fall back to re-observing the remote mean,
+        which keeps sum/count exact at bucket-resolution cost), and
+        series points are appended in arrival order.
+        """
+        for record in records:
+            if record.get("type") != "metric":
+                continue
+            labels = record.get("labels", {})
+            kind = record["kind"]
+            name = record["name"]
+            if kind == "counter":
+                self.counter(name, **labels).inc(record["value"])
+            elif kind == "gauge":
+                self.gauge(name, **labels).inc(record["value"])
+            elif kind == "histogram":
+                histogram = self.histogram(
+                    name, buckets=record["buckets"], **labels
+                )
+                if list(histogram.bounds) == [float(b) for b
+                                              in record["buckets"]]:
+                    for index, bucket in enumerate(record["bucket_counts"]):
+                        histogram.bucket_counts[index] += bucket
+                    histogram.sum += record["sum"]
+                    histogram.count += record["count"]
+                else:
+                    count = int(record["count"])
+                    mean = record["sum"] / count if count else 0.0
+                    for _ in range(count):
+                        histogram.observe(mean)
+            elif kind == "series":
+                self.series(name, **labels).points.extend(record["points"])
+        return self
+
     # -- summary --------------------------------------------------------
 
     def summary(self):

@@ -202,6 +202,52 @@ def render_matrix_report(results):
     return "\n".join(lines)
 
 
+def render_request_trace(trace, max_depth=None):
+    """Render one stitched serve-layer request trace as text.
+
+    ``trace`` is a :class:`~repro.obs.export.TraceData` loaded by
+    :func:`~repro.obs.export.read_request_trace`: the request summary
+    (route, tenant, status, where the latency went) followed by the
+    full cross-process span tree.  Spans recorded in worker processes
+    carry a ``pid`` tag, so the process hops are visible inline; spans
+    still open when the trace was captured render as ``…running``.
+    """
+    meta = trace.meta
+    lines = ["request %s" % meta.get("trace_id", "?")]
+    for key in ("route", "tenant", "status", "error", "rung"):
+        value = meta.get(key)
+        if value not in (None, ""):
+            lines.append("  %-12s %s" % (key, value))
+    duration = meta.get("duration_s")
+    if duration is not None:
+        lines.append("  %-12s %10.4f s" % ("duration", duration))
+        for key, label in (("queue_wait_s", "queue wait"),
+                           ("solve_s", "solve")):
+            value = meta.get(key)
+            if value is None:
+                continue
+            share = 100.0 * value / duration if duration > 0 else 0.0
+            lines.append("  %-12s %10.4f s  %5.1f%%"
+                         % (label, value, share))
+    pids = meta.get("worker_pids") or []
+    if pids:
+        lines.append("  %-12s %s" % (
+            "processes",
+            "1 local + %d worker (pid %s)"
+            % (len(pids), ", ".join(str(p) for p in pids)),
+        ))
+    sections = [lines]
+    if trace.tracer.spans:
+        sections.append(
+            ["span tree"]
+            + ["  " + line for line in
+               trace.tracer.render_tree(max_depth=max_depth).splitlines()]
+        )
+    else:
+        sections.append(["span tree", "  (no spans recorded)"])
+    return "\n\n".join("\n".join(section) for section in sections)
+
+
 def render_report(trace, tree=False, max_depth=3):
     """Render one saved :class:`~repro.obs.export.TraceData` as text."""
     sections = []

@@ -1,0 +1,275 @@
+"""Per-tenant latency SLOs: objectives, error budgets, burn rates.
+
+The serving layer promises each tenant a latency objective on its
+advise requests — "p99 under 2 s, 99% of requests under target".  This
+module tracks attainment against that promise over a sliding window of
+recent requests, the way an SRE error budget works:
+
+* an :class:`SloObjective` states the targets — a p50 and p99 latency
+  bound plus the fraction of requests (``slo_target``) that must land
+  under the p99 bound;
+* :class:`SloEngine` ingests one observation per completed request
+  (from the service's request-completion hook) and answers with
+  attainment %, remaining error budget, and burn rate per tenant.
+
+Burn rate follows the standard multiwindow-alerting definition: the
+observed breach fraction divided by the *allowed* breach fraction,
+
+    burn_rate = breach_rate / (1 - slo_target)
+
+so 1.0 means the tenant is consuming its error budget exactly as fast
+as the objective permits, and 10.0 means ten times too fast (the
+budget for the window will be gone in a tenth of the window).  Errors
+(HTTP 5xx, solver failures) always count as breaches — a fast failure
+is not a met objective.
+
+Everything here is plain in-memory bookkeeping guarded by one lock;
+the engine is shared between the asyncio event loop (request hooks)
+and exposition readers (``/slo``, ``/metrics``, ``/status``).
+"""
+
+import threading
+from collections import deque
+
+#: Window size (requests per tenant) the budget is computed over.
+DEFAULT_WINDOW = 256
+
+
+class SloObjective:
+    """Latency objective for one tenant's advise requests.
+
+    Args:
+        p50_s: Target median latency, seconds.
+        p99_s: Target tail latency, seconds — the bound the error
+            budget is written against.
+        slo_target: Fraction of requests that must finish under
+            ``p99_s`` (e.g. ``0.99``).  Must be in (0, 1): a target of
+            exactly 1.0 leaves no error budget and makes the burn rate
+            undefined.
+        window: Sliding-window length in requests.
+    """
+
+    __slots__ = ("p50_s", "p99_s", "slo_target", "window")
+
+    def __init__(self, p50_s=1.0, p99_s=5.0, slo_target=0.99,
+                 window=DEFAULT_WINDOW):
+        p50_s = float(p50_s)
+        p99_s = float(p99_s)
+        if p50_s <= 0 or p99_s <= 0:
+            raise ValueError("latency targets must be positive")
+        if p50_s > p99_s:
+            raise ValueError("p50 target must not exceed p99 target")
+        if not 0.0 < float(slo_target) < 1.0:
+            raise ValueError("slo_target must be in (0, 1)")
+        if int(window) < 1:
+            raise ValueError("window must be at least 1 request")
+        self.p50_s = p50_s
+        self.p99_s = p99_s
+        self.slo_target = float(slo_target)
+        self.window = int(window)
+
+    @classmethod
+    def from_payload(cls, payload, default=None):
+        """Build from a request payload's ``slo`` object, filling
+        unspecified fields from ``default`` (another objective)."""
+        if payload is None:
+            return default if default is not None else cls()
+        if not isinstance(payload, dict):
+            raise ValueError("slo must be an object")
+        base = default if default is not None else cls()
+        known = {"p50_s", "p99_s", "slo_target", "window"}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(
+                "unknown slo field(s): %s" % ", ".join(sorted(unknown))
+            )
+        return cls(
+            p50_s=payload.get("p50_s", base.p50_s),
+            p99_s=payload.get("p99_s", base.p99_s),
+            slo_target=payload.get("slo_target", base.slo_target),
+            window=payload.get("window", base.window),
+        )
+
+    def to_dict(self):
+        return {
+            "p50_s": self.p50_s,
+            "p99_s": self.p99_s,
+            "slo_target": self.slo_target,
+            "window": self.window,
+        }
+
+    def __repr__(self):
+        return ("SloObjective(p50_s=%g, p99_s=%g, slo_target=%g, window=%d)"
+                % (self.p50_s, self.p99_s, self.slo_target, self.window))
+
+
+class _TenantSlo:
+    """Sliding-window state for one tenant (engine-internal)."""
+
+    __slots__ = ("objective", "samples", "total", "total_breaches",
+                 "total_errors", "worst_burn_rate")
+
+    def __init__(self, objective):
+        self.objective = objective
+        # Each sample: (latency_s, breached, error) — breached already
+        # folds errors in, error is kept for separate reporting.
+        self.samples = deque(maxlen=objective.window)
+        self.total = 0
+        self.total_breaches = 0
+        self.total_errors = 0
+        self.worst_burn_rate = 0.0
+
+
+def _quantile(sorted_values, q):
+    """Nearest-rank quantile of an already-sorted list (None if empty)."""
+    if not sorted_values:
+        return None
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(q * len(sorted_values) + 0.5) - 1))
+    return sorted_values[rank]
+
+
+class SloEngine:
+    """Tracks every tenant's objective, window, and burn rate.
+
+    Thread-safe: ``observe`` is called from request-completion hooks on
+    the event loop, snapshots from exposition readers.
+    """
+
+    def __init__(self, default_objective=None):
+        self.default_objective = (default_objective if default_objective
+                                  is not None else SloObjective())
+        self._tenants = {}
+        self._lock = threading.Lock()
+
+    # -- registration ---------------------------------------------------
+
+    def register(self, tenant_id, objective=None):
+        """Start tracking a tenant; idempotent unless the objective
+        changes, in which case the window restarts under the new one."""
+        objective = (objective if objective is not None
+                     else self.default_objective)
+        with self._lock:
+            current = self._tenants.get(tenant_id)
+            if (current is not None
+                    and current.objective.to_dict() == objective.to_dict()):
+                return current.objective
+            self._tenants[tenant_id] = _TenantSlo(objective)
+        return objective
+
+    def forget(self, tenant_id):
+        with self._lock:
+            self._tenants.pop(tenant_id, None)
+
+    def objective_for(self, tenant_id):
+        with self._lock:
+            state = self._tenants.get(tenant_id)
+        return state.objective if state is not None else None
+
+    # -- ingestion ------------------------------------------------------
+
+    def observe(self, tenant_id, latency_s, error=False):
+        """Record one completed request.  Unregistered tenants are
+        registered on first sight under the default objective (a
+        request must never go uncounted)."""
+        latency_s = float(latency_s)
+        with self._lock:
+            state = self._tenants.get(tenant_id)
+            if state is None:
+                state = _TenantSlo(self.default_objective)
+                self._tenants[tenant_id] = state
+            breached = bool(error) or latency_s > state.objective.p99_s
+            state.samples.append((latency_s, breached, bool(error)))
+            state.total += 1
+            if breached:
+                state.total_breaches += 1
+            if error:
+                state.total_errors += 1
+            burn = self._burn_rate(state)
+            if burn > state.worst_burn_rate:
+                state.worst_burn_rate = burn
+            return breached
+
+    @staticmethod
+    def _burn_rate(state):
+        samples = state.samples
+        if not samples:
+            return 0.0
+        breach_rate = (sum(1 for _, breached, _ in samples if breached)
+                       / len(samples))
+        return breach_rate / (1.0 - state.objective.slo_target)
+
+    # -- reporting ------------------------------------------------------
+
+    def snapshot(self, tenant_id):
+        """One tenant's SLO standing (None if unknown)."""
+        with self._lock:
+            state = self._tenants.get(tenant_id)
+            if state is None:
+                return None
+            samples = list(state.samples)
+            objective = state.objective
+            total = state.total
+            total_breaches = state.total_breaches
+            total_errors = state.total_errors
+            worst = state.worst_burn_rate
+        latencies = sorted(s[0] for s in samples)
+        breaches = sum(1 for _, breached, _ in samples if breached)
+        errors = sum(1 for _, _, error in samples if error)
+        window_n = len(samples)
+        attainment = ((window_n - breaches) / window_n if window_n
+                      else 1.0)
+        allowed = 1.0 - objective.slo_target
+        burn = (breaches / window_n / allowed) if window_n else 0.0
+        # Error budget remaining: 1.0 = untouched, 0.0 = exhausted.
+        budget = 1.0 - min(1.0, (breaches / window_n / allowed)
+                           if window_n else 0.0)
+        return {
+            "objective": objective.to_dict(),
+            "window_requests": window_n,
+            "attainment": attainment,
+            "attained": attainment >= objective.slo_target,
+            "breaches": breaches,
+            "errors": errors,
+            "p50_s": _quantile(latencies, 0.50),
+            "p99_s": _quantile(latencies, 0.99),
+            "p50_met": (_quantile(latencies, 0.50) or 0.0)
+            <= objective.p50_s,
+            "burn_rate": burn,
+            "worst_burn_rate": worst,
+            "error_budget_remaining": budget,
+            "total_requests": total,
+            "total_breaches": total_breaches,
+            "total_errors": total_errors,
+        }
+
+    def snapshot_all(self):
+        """``tenant_id → snapshot`` for every tracked tenant."""
+        with self._lock:
+            tenant_ids = list(self._tenants)
+        report = {}
+        for tenant_id in tenant_ids:
+            snap = self.snapshot(tenant_id)
+            if snap is not None:
+                report[tenant_id] = snap
+        return report
+
+    def export_to(self, metrics):
+        """Mirror the current standing into a MetricsRegistry as
+        gauges, so ``/metrics`` exposes SLO state without a second
+        exposition path."""
+        for tenant_id, snap in self.snapshot_all().items():
+            metrics.gauge("repro_slo_attainment_ratio",
+                          tenant=tenant_id).set(snap["attainment"])
+            metrics.gauge("repro_slo_burn_rate",
+                          tenant=tenant_id).set(snap["burn_rate"])
+            metrics.gauge("repro_slo_error_budget_remaining",
+                          tenant=tenant_id).set(
+                              snap["error_budget_remaining"])
+            metrics.gauge("repro_slo_objective_p99_seconds",
+                          tenant=tenant_id).set(snap["objective"]["p99_s"])
+        return metrics
+
+    def __len__(self):
+        with self._lock:
+            return len(self._tenants)

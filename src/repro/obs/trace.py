@@ -17,6 +17,7 @@ building the keyword arguments altogether — the contract
 import itertools
 import json
 import time
+import uuid
 
 
 def json_default(value):
@@ -27,6 +28,48 @@ def json_default(value):
     raise TypeError(
         "Object of type %s is not JSON serializable" % type(value).__name__
     )
+
+
+class TraceContext:
+    """Cross-process trace identity: a trace id plus a parent span id.
+
+    Minted once per external request at HTTP admission, carried through
+    the scheduler queue, and pickled into solver-pool jobs and
+    partitioned-solver worker tasks, so every span recorded for one
+    request — in whichever OS process — shares a single ``trace_id``
+    and can be stitched back into one tree.  The wire form is a plain
+    dict (:meth:`to_dict`), so job payloads stay picklable and
+    JSON-safe without importing this class.
+    """
+
+    __slots__ = ("trace_id", "parent_span_id")
+
+    def __init__(self, trace_id, parent_span_id=None):
+        self.trace_id = str(trace_id)
+        self.parent_span_id = parent_span_id
+
+    @classmethod
+    def mint(cls):
+        """A fresh root context with a globally unique trace id."""
+        return cls(uuid.uuid4().hex[:16])
+
+    def child(self, span):
+        """The context a worker acting under ``span`` should carry."""
+        return TraceContext(self.trace_id, span.span_id)
+
+    def to_dict(self):
+        record = {"trace_id": self.trace_id}
+        if self.parent_span_id is not None:
+            record["parent"] = self.parent_span_id
+        return record
+
+    @classmethod
+    def from_dict(cls, record):
+        return cls(record["trace_id"], record.get("parent"))
+
+    def __repr__(self):
+        return "TraceContext(%r, parent=%r)" % (self.trace_id,
+                                                self.parent_span_id)
 
 
 class Span:
@@ -177,6 +220,52 @@ class Tracer:
         span.end_s = now
         return span
 
+    def graft_records(self, records, parent=None, end_at=None):
+        """Stitch a remote span tree (serialized by another process)
+        into this tracer.
+
+        Span ids are remapped onto this tracer's id sequence (so they
+        cannot collide with local spans), parent links inside the batch
+        are preserved, and batch roots are attached under ``parent``
+        (a local Span) when given.
+
+        Clock skew: a worker process stamps spans with *its own*
+        monotonic clock, whose epoch is unrelated to this tracer's.
+        With ``end_at`` (a timestamp on this tracer's clock — typically
+        the moment the result arrived), the whole remote tree is
+        shifted so its latest finished span ends at ``end_at``:
+        relative structure inside the worker is preserved exactly, and
+        the tree is backdated into the local timeline the same way
+        :meth:`add_span` backdates a single duration.  Unfinished
+        remote spans stay open.
+
+        Returns the grafted spans, in record order.
+        """
+        remote = [Span.from_record(r) for r in records
+                  if r.get("type") == "span"]
+        if not remote:
+            return []
+        offset = 0.0
+        if end_at is not None:
+            ends = [s.end_s for s in remote if s.end_s is not None]
+            anchor = max(ends) if ends else max(s.start_s for s in remote)
+            offset = float(end_at) - anchor
+        id_map = {}
+        for span in remote:
+            id_map[span.span_id] = next(self._ids)
+        parent_id = parent.span_id if parent is not None else None
+        for span in remote:
+            span.span_id = id_map[span.span_id]
+            if span.parent_id in id_map:
+                span.parent_id = id_map[span.parent_id]
+            else:
+                span.parent_id = parent_id
+            span.start_s += offset
+            if span.end_s is not None:
+                span.end_s += offset
+            self.spans.append(span)
+        return remote
+
     # -- inspection -----------------------------------------------------
 
     def find(self, name):
@@ -204,7 +293,8 @@ class Tracer:
             if max_depth is not None and depth > max_depth:
                 return
             duration = span.duration_s
-            label = "%.6fs" % duration if duration is not None else "open"
+            label = ("%.6fs" % duration if duration is not None
+                     else "…running")
             tags = "".join(
                 "  %s=%s" % (k, v) for k, v in sorted(span.tags.items())
                 if not isinstance(v, (dict, list))
@@ -293,6 +383,9 @@ class NullTracer:
 
     def add_span(self, name, duration_s, **tags):
         return NULL_SPAN
+
+    def graft_records(self, records, parent=None, end_at=None):
+        return []
 
     def find(self, name):
         return []

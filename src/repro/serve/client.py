@@ -126,6 +126,16 @@ class ServeClient:
     async def metrics(self):
         return (await self.request("GET", "/metrics"))[1]
 
+    async def slo(self):
+        return (await self.request("GET", "/slo"))[1]
+
+    async def debug_traces(self):
+        return (await self.request("GET", "/debug/traces"))[1]
+
+    async def debug_trace(self, trace_id, **kwargs):
+        return await self.request("GET", "/debug/traces/%s" % trace_id,
+                                  **kwargs)
+
     async def delete_tenant(self, tenant_id, **kwargs):
         return await self.request("DELETE", "/tenants/%s" % tenant_id,
                                   **kwargs)

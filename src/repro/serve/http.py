@@ -22,11 +22,20 @@ Routes::
     POST   /tenants                    create_tenant
     GET    /status                     service status
     GET    /metrics                    Prometheus exposition (all tenants)
+    GET    /slo                        per-tenant SLO standing
+    GET    /debug/traces               summaries of the trace ring
+    GET    /debug/traces/{trace_id}    one stitched request trace
     POST   /tenants/{id}/advise        one-shot advise
     POST   /tenants/{id}/trace         feed_trace_chunk
     GET    /tenants/{id}/status        tenant status
     GET    /tenants/{id}/events        tenant event log
     DELETE /tenants/{id}               delete_tenant
+
+Request tracing: the routes that do real work (create, advise, feed)
+mint a :class:`~repro.serve.tracing.RequestTrace` at admission and pass
+it down; the handler wraps response serialization in its own span and
+finalizes the trace — success or error — so every traced request lands
+in the debug ring and the access log exactly once.
 
 During a drain the listener stops accepting new connections; responses
 for work already admitted still flow out over their open sockets.
@@ -35,9 +44,7 @@ for work already admitted still flow out over their open sockets.
 import asyncio
 import json
 
-from repro.errors import ReproError
-from repro.serve.scheduler import AdmissionError, TenantGoneError
-from repro.serve.service import ServiceDrainingError, UnknownTenantError
+from repro.serve.service import status_for
 
 #: Request bodies above this are refused outright (64 MiB).
 MAX_BODY = 64 << 20
@@ -56,18 +63,6 @@ class _HttpError(Exception):
     def __init__(self, status, message):
         super().__init__(message)
         self.status = status
-
-
-def _status_for(error):
-    if isinstance(error, AdmissionError):
-        return 429
-    if isinstance(error, (TenantGoneError, UnknownTenantError)):
-        return 404
-    if isinstance(error, ServiceDrainingError):
-        return 503
-    if isinstance(error, (ReproError, ValueError, KeyError)):
-        return 400
-    return 500
 
 
 async def _read_request(reader):
@@ -177,14 +172,17 @@ class HttpFrontend:
                     break
                 method, path, headers, body = request
                 keep_alive = headers.get("connection", "").lower() != "close"
+                trace = {}
                 try:
-                    status, payload = await self._route(method, path, body)
+                    status, payload = await self._route(method, path, body,
+                                                        trace)
                 except _HttpError as error:
                     status, payload = error.status, {"error": str(error)}
                 except Exception as error:  # noqa: BLE001 — mapped to a code
-                    status = _status_for(error)
+                    status = status_for(error)
                     payload = {"error": "%s" % error,
                                "kind": type(error).__name__}
+                rtrace = trace.get("rtrace")
                 if isinstance(payload, str):
                     data = payload.encode()
                     head = (
@@ -197,6 +195,15 @@ class HttpFrontend:
                            "keep-alive" if keep_alive else "close")
                     ).encode("latin-1")
                     writer.write(head + data)
+                elif rtrace is not None:
+                    span = rtrace.start("response.serialize")
+                    data = _response(status, payload, keep_alive)
+                    rtrace.finish(span, bytes=len(data))
+                    error_text = (payload.get("error")
+                                  if status >= 400
+                                  and isinstance(payload, dict) else None)
+                    self.service.end_trace(rtrace, status, error=error_text)
+                    writer.write(data)
                 else:
                     writer.write(_response(status, payload, keep_alive))
                 await writer.drain()
@@ -217,8 +224,13 @@ class HttpFrontend:
 
     # -- routing --------------------------------------------------------
 
-    async def _route(self, method, path, body):
+    async def _route(self, method, path, body, trace=None):
+        """Dispatch one request.  ``trace`` (a dict) receives the
+        request's :class:`RequestTrace` under ``"rtrace"`` as soon as
+        one is minted, so the handler can finalize it even when the
+        route body raises."""
         service = self.service
+        trace = trace if trace is not None else {}
         path = path.split("?", 1)[0]
         segments = [s for s in path.split("/") if s]
 
@@ -229,11 +241,22 @@ class HttpFrontend:
             return 200, service.status()
         if segments == ["metrics"] and method == "GET":
             return 200, service.metrics_text()
+        if segments == ["slo"] and method == "GET":
+            return 200, service.slo_report()
+        if segments[0] == "debug" and len(segments) >= 2 \
+                and segments[1] == "traces" and method == "GET":
+            if len(segments) == 2:
+                return 200, service.debug_traces()
+            if len(segments) == 3:
+                return 200, service.debug_trace(segments[2])
         if segments[0] == "tenants":
             if len(segments) == 1:
                 if method != "POST":
                     raise _HttpError(405, "POST /tenants")
-                return 200, await service.create_tenant(_json_body(body))
+                rtrace = service.begin_trace("create_tenant")
+                trace["rtrace"] = rtrace
+                return 200, await service.create_tenant(_json_body(body),
+                                                        rtrace=rtrace)
             tenant_id = segments[1]
             if len(segments) == 2:
                 if method == "DELETE":
@@ -245,8 +268,11 @@ class HttpFrontend:
             if len(segments) == 3:
                 if action == "advise" and method == "POST":
                     payload = _json_body(body)
+                    rtrace = service.begin_trace("advise",
+                                                 tenant=tenant_id)
+                    trace["rtrace"] = rtrace
                     return 200, await service.advise(
-                        tenant_id, payload.get("options")
+                        tenant_id, payload.get("options"), rtrace=rtrace
                     )
                 if action == "trace" and method == "POST":
                     payload = _json_body(body)
@@ -257,8 +283,10 @@ class HttpFrontend:
                             400, "trace body must be a record list or "
                                  "{\"records\": [...]}"
                         )
+                    rtrace = service.begin_trace("feed", tenant=tenant_id)
+                    trace["rtrace"] = rtrace
                     return 200, await service.feed_trace_chunk(
-                        tenant_id, entries
+                        tenant_id, entries, rtrace=rtrace
                     )
                 if action == "status" and method == "GET":
                     return 200, service.tenant_status(tenant_id)

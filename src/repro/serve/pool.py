@@ -19,6 +19,7 @@ correct).
 
 import asyncio
 import functools
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -28,6 +29,7 @@ from repro.core.regularize import regularize
 from repro.core.solver import SolveResult, solve
 from repro.core.watchdog import solve_with_watchdog
 from repro.errors import ReproError
+from repro.obs import Instrumentation
 
 
 class PoolCrashError(ReproError):
@@ -38,14 +40,46 @@ class PoolCrashError(ReproError):
 # Job entry points (must be module-level: workers import them by name)
 # ----------------------------------------------------------------------
 
+def _worker_obs(options, job_name):
+    """Live instrumentation for a traced job, or ``(None, None)``.
+
+    A job is traced when its options carry a ``trace_ctx`` dict (the
+    wire form of :class:`~repro.obs.TraceContext`).  The worker then
+    records its whole pipeline under a root span tagged with the trace
+    id and its OS pid, and ships the span tree + counters back with the
+    result so the parent can stitch them into the request trace.
+    """
+    ctx = options.get("trace_ctx") if isinstance(options, dict) else None
+    if not ctx:
+        return None, None
+    obs = Instrumentation.on()
+    root = obs.tracer.start(job_name, trace_id=ctx["trace_id"],
+                            pid=os.getpid())
+    return obs, root
+
+
+def _obs_payload(obs, root, ctx):
+    """Serialize a traced worker's spans + metrics for the result dict."""
+    obs.tracer.finish(root)
+    return {
+        "trace_id": ctx["trace_id"],
+        "pid": os.getpid(),
+        "spans": obs.tracer.to_records(),
+        "metrics": obs.metrics.to_records(),
+    }
+
+
 def advise_job(problem, options):
     """One-shot advise: the full Figure-4 pipeline, in a worker.
 
     Returns ``{"payload": AdvisorResult.to_payload(), "solver_time_s"}``
     — the same JSON shape ``repro.cli advise --json`` prints, plus the
     worker-measured wall time the fair scheduler charges the tenant.
+    Traced jobs (``options["trace_ctx"]``) additionally carry an
+    ``"obs"`` payload with the worker's span tree and counters.
     """
     started = time.perf_counter()
+    obs, root = _worker_obs(options, "worker.advise")
     result = LayoutAdvisor(
         problem,
         regular=bool(options.get("regular", False)),
@@ -53,11 +87,16 @@ def advise_job(problem, options):
         method=options.get("method", "auto"),
         seed=int(options.get("seed", 0)),
         solve_budget_s=options.get("solve_budget_s"),
+        obs=obs,
     ).recommend()
-    return {
+    out = {
         "payload": result.to_payload(),
+        "rung": result.watchdog_rung,
         "solver_time_s": time.perf_counter() - started,
     }
+    if obs is not None:
+        out["obs"] = _obs_payload(obs, root, options["trace_ctx"])
+    return out
 
 
 def resolve_job(problem, initial_matrix, options):
@@ -70,6 +109,7 @@ def resolve_job(problem, initial_matrix, options):
     import numpy as np
 
     started = time.perf_counter()
+    obs, root = _worker_obs(options, "worker.resolve")
     initial = problem.make_layout(np.asarray(initial_matrix, dtype=float))
     budget = options.get("solve_budget_s")
     method = options.get("method", "auto")
@@ -79,18 +119,18 @@ def resolve_job(problem, initial_matrix, options):
     if budget is not None:
         watchdog = solve_with_watchdog(
             problem, initial=initial, warm_start=True, budget_s=budget,
-            method=method, restarts=restarts,
+            method=method, restarts=restarts, obs=obs,
         )
         result = watchdog.result
         rung = watchdog.rung
         degraded = watchdog.degraded
     else:
         result = solve(problem, initial=initial, warm_start=True,
-                       method=method, restarts=restarts)
+                       method=method, restarts=restarts, obs=obs)
     layout = result.layout
     if options.get("regular"):
         layout = regularize(problem, layout)
-    return {
+    out = {
         "matrix": [[float(f) for f in row] for row in layout.matrix],
         "objective": float(result.objective),
         "method": result.method,
@@ -98,6 +138,9 @@ def resolve_job(problem, initial_matrix, options):
         "degraded": degraded,
         "solver_time_s": time.perf_counter() - started,
     }
+    if obs is not None:
+        out["obs"] = _obs_payload(obs, root, options["trace_ctx"])
+    return out
 
 
 def rebuild_solve_result(problem, out):

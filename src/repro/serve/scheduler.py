@@ -41,14 +41,18 @@ class TenantGoneError(ReproError):
 
 
 class _Job:
-    __slots__ = ("key", "fn", "args", "future", "enqueued_s")
+    __slots__ = ("key", "fn", "args", "future", "enqueued_s", "rtrace",
+                 "queue_span")
 
-    def __init__(self, key, fn, args, future):
+    def __init__(self, key, fn, args, future, rtrace=None):
         self.key = key
         self.fn = fn
         self.args = args
         self.future = future
         self.enqueued_s = time.perf_counter()
+        self.rtrace = rtrace
+        self.queue_span = (rtrace.start("scheduler.queue", tenant=key)
+                           if rtrace is not None else None)
 
 
 class FairScheduler:
@@ -141,6 +145,9 @@ class FairScheduler:
         while queue:
             job = queue.popleft()
             self.pending -= 1
+            if job.queue_span is not None:
+                job.rtrace.finish(job.queue_span,
+                                  error=type(error).__name__)
             if not job.future.done():
                 job.future.set_exception(error)
 
@@ -148,13 +155,19 @@ class FairScheduler:
     # Submission
     # ------------------------------------------------------------------
 
-    async def submit(self, key, fn, *args, preadmitted=False):
+    async def submit(self, key, fn, *args, preadmitted=False, rtrace=None):
         """Queue ``fn(*args)`` for tenant ``key``; await its result.
 
         Raises :class:`AdmissionError` when the global bound is hit and
         the job is not ``preadmitted`` (follow-up work of an already
         admitted request bypasses admission — shedding it would waste
         work the service committed to).
+
+        ``rtrace`` (a :class:`~repro.serve.tracing.RequestTrace`) makes
+        the job part of that request's distributed trace: the queue
+        wait and pool dispatch become spans, the worker result's obs
+        payload is grafted under the dispatch span, and the trace's
+        ``queue_wait_s`` / ``solve_s`` / ``rung`` slots are filled.
         """
         if key not in self._queues:
             raise TenantGoneError("unknown tenant %r" % key)
@@ -167,7 +180,8 @@ class FairScheduler:
                 % self.pending
             )
         job = _Job(key, fn, args,
-                   asyncio.get_running_loop().create_future())
+                   asyncio.get_running_loop().create_future(),
+                   rtrace=rtrace)
         self._queues[key].append(job)
         self.pending += 1
         self._gauge()
@@ -217,12 +231,48 @@ class FairScheduler:
             self.metrics.histogram(
                 "repro_serve_queue_wait_seconds"
             ).observe(started - job.enqueued_s)
+        rtrace = job.rtrace
+        dispatch_span = None
+        args = job.args
+        if rtrace is not None:
+            rtrace.queue_wait_s = started - job.enqueued_s
+            rtrace.finish(job.queue_span,
+                          wait_s=round(rtrace.queue_wait_s, 6))
+            dispatch_span = rtrace.start(
+                "pool.dispatch",
+                job=getattr(job.fn, "__name__", str(job.fn)),
+                generation=self.pool.generation,
+            )
+            # By convention the job's last positional argument is its
+            # options dict; a copy carries the picklable trace context
+            # into the worker process.
+            if args and isinstance(args[-1], dict):
+                traced = dict(args[-1])
+                traced["trace_ctx"] = rtrace.worker_context(dispatch_span)
+                args = args[:-1] + (traced,)
         try:
-            result = await self.pool.run(job.fn, *job.args)
+            result = await self.pool.run(job.fn, *args)
             error = None
         except BaseException as exc:  # noqa: BLE001 — forwarded to caller
             result, error = None, exc
         elapsed = time.perf_counter() - started
+        if dispatch_span is not None:
+            if error is not None:
+                dispatch_span.set_tag("error", type(error).__name__)
+            rtrace.finish(dispatch_span)
+            if isinstance(result, dict):
+                rtrace.solve_s = float(result.get("solver_time_s", elapsed))
+                rung = result.get("rung")
+                if rung:
+                    rtrace.rung = rung
+                    dispatch_span.set_tag("rung", rung)
+                # Stitch the worker's span tree under the dispatch span
+                # (anchored at result arrival) and fold its counters
+                # into the service registry; the obs payload must not
+                # leak into the HTTP response body.
+                rtrace.graft(result.pop("obs", None), parent=dispatch_span,
+                             end_at=dispatch_span.end_s,
+                             metrics=self.metrics)
         # Charge the worker-measured solver time when the job reports
         # one (it excludes result-transfer overhead); fall back to the
         # dispatch-to-completion wall time.

@@ -43,10 +43,14 @@ from concurrent.futures import ThreadPoolExecutor
 from repro.errors import ReproError
 from repro.obs import Instrumentation
 from repro.obs.export import prometheus_text_multi
+from repro.obs.slo import SloEngine, SloObjective
 from repro.online.controller import ControllerConfig
 from repro.serve.pool import SolverPool, advise_job, resolve_job
-from repro.serve.scheduler import FairScheduler
+from repro.serve.scheduler import (AdmissionError, FairScheduler,
+                                   TenantGoneError)
 from repro.serve.tenant import Tenant, records_from_payload
+from repro.serve.tracing import DEFAULT_RING, AccessLog, RequestTrace, \
+    TraceRing
 
 _TENANT_ID = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
 
@@ -60,8 +64,26 @@ class UnknownTenantError(ReproError):
     """No such tenant (HTTP 404)."""
 
 
+class UnknownTraceError(ReproError):
+    """No such trace in the debug ring (HTTP 404)."""
+
+
 class ServiceDrainingError(ReproError):
     """The service is draining and takes no new work (HTTP 503)."""
+
+
+def status_for(error):
+    """Map a service-layer exception onto an HTTP status code."""
+    if isinstance(error, AdmissionError):
+        return 429
+    if isinstance(error, (TenantGoneError, UnknownTenantError,
+                          UnknownTraceError)):
+        return 404
+    if isinstance(error, ServiceDrainingError):
+        return 503
+    if isinstance(error, (ReproError, ValueError, KeyError)):
+        return 400
+    return 500
 
 
 @dataclasses.dataclass
@@ -76,6 +98,17 @@ class ServeConfig:
         feed_threads: Worker threads applying trace chunks.
         state_dir: Root for per-tenant state (migration journals);
             ``None`` disables journaling.
+        trace_requests: Record a stitched cross-process trace per
+            external request (``False`` disables request tracing;
+            solver jobs then run uninstrumented).
+        trace_ring: How many finished request traces the
+            ``/debug/traces`` ring retains.
+        access_log: Path for the JSONL access log (one line per
+            request: trace_id, tenant, status, queue_wait_s, solve_s,
+            rung); ``None`` disables it.
+        slo: Default per-tenant SLO objective overrides
+            (``{"p50_s", "p99_s", "slo_target", "window"}``); tenants
+            may override at create time via their payload's ``slo``.
     """
 
     host: str = "127.0.0.1"
@@ -85,6 +118,10 @@ class ServeConfig:
     max_pending: int = 64
     feed_threads: int = 4
     state_dir: str = None
+    trace_requests: bool = True
+    trace_ring: int = DEFAULT_RING
+    access_log: str = None
+    slo: dict = None
 
 
 class AdvisorService:
@@ -106,8 +143,46 @@ class AdvisorService:
             max_workers=max(1, int(self.config.feed_threads)),
             thread_name_prefix="repro-serve-feed",
         )
+        self.slo = SloEngine(SloObjective.from_payload(self.config.slo))
+        self.traces = TraceRing(self.config.trace_ring)
+        self.access_log = (AccessLog(self.config.access_log)
+                           if self.config.access_log else None)
         self._loop = None
         self._seq = 0
+
+    # ------------------------------------------------------------------
+    # Request tracing
+    # ------------------------------------------------------------------
+
+    def begin_trace(self, route, tenant=None):
+        """A :class:`RequestTrace` for one external request, or None
+        when request tracing is disabled."""
+        if not self.config.trace_requests:
+            return None
+        return RequestTrace(route, tenant=tenant)
+
+    def end_trace(self, rtrace, status=200, error=None):
+        """Finalize a request trace: close the root span, publish to
+        the debug ring and access log, and feed the SLO engine.
+        Idempotent — the first close wins, so a service method that
+        owns its trace and the HTTP layer can both call this safely."""
+        if rtrace is None or rtrace.closed:
+            return
+        rtrace.close(status, error=error)
+        self.traces.add(rtrace)
+        if self.access_log is not None:
+            entry = rtrace.meta()
+            entry.pop("type", None)
+            self.access_log.write(entry)
+        if rtrace.route == "advise" and rtrace.tenant is not None:
+            # Client errors (4xx: unknown tenant, bad options) are not
+            # the service failing the tenant's objective; shed load
+            # (429) likewise consumes no error budget here — it shows
+            # up in the rejected counter instead.
+            code = rtrace.status if rtrace.status is not None else 500
+            if code < 400 or code >= 500:
+                self.slo.observe(rtrace.tenant, rtrace.duration_s or 0.0,
+                                 error=code >= 500)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -134,6 +209,8 @@ class AdvisorService:
         for tenant in self.tenants.values():
             tenant.suspend()
         await loop.run_in_executor(None, self.pool.shutdown)
+        if self.access_log is not None:
+            self.access_log.close()
 
     # ------------------------------------------------------------------
     # Tenant lifecycle
@@ -181,17 +258,40 @@ class AdvisorService:
             tenant = self._tenant(tenant_id)
             options = self._advise_options(tenant.config,
                                            {"regular": False})
+            # The feed thread parked the active request's trace on the
+            # tenant (under its lock) before entering the control loop;
+            # the re-solve job joins that trace.
             future = asyncio.run_coroutine_threadsafe(
                 self.scheduler.submit(tenant_id, resolve_job, problem,
                                       initial_matrix, options,
-                                      preadmitted=True),
+                                      preadmitted=True,
+                                      rtrace=tenant.active_rtrace),
                 self._loop,
             )
             return future.result()
         return run
 
-    async def create_tenant(self, payload):
-        """Admit a tenant; returns its id, layout, and resume count."""
+    async def create_tenant(self, payload, rtrace=None):
+        """Admit a tenant; returns its id, layout, and resume count.
+
+        Like :meth:`advise`, the service owns the request trace when
+        called without ``rtrace`` (tests, embedded use); the HTTP layer
+        passes one in and finalizes it after serialization.
+        """
+        owned = rtrace is None
+        if owned:
+            rtrace = self.begin_trace("create_tenant")
+        try:
+            response = await self._create_tenant(payload, rtrace)
+        except BaseException as error:
+            if owned:
+                self.end_trace(rtrace, status_for(error), error=error)
+            raise
+        if owned:
+            self.end_trace(rtrace)
+        return response
+
+    async def _create_tenant(self, payload, rtrace):
         self._check_open()
         if not isinstance(payload, dict):
             raise ReproError("create_tenant needs a 'problem' description")
@@ -227,7 +327,13 @@ class AdvisorService:
         problem = load_problem(payload["problem"])
         config = self._controller_config(payload.get("controller"),
                                          tenant_id)
+        objective = SloObjective.from_payload(
+            payload.get("slo"), default=self.slo.default_objective
+        )
         weight = float(payload.get("weight", 1.0))
+        if rtrace is not None:
+            rtrace.tenant = tenant_id
+            rtrace.root.set_tag("tenant", tenant_id)
         self.scheduler.register(tenant_id, weight=weight)
         try:
             if "layout" in payload:
@@ -235,7 +341,7 @@ class AdvisorService:
             else:
                 out = await self.scheduler.submit(
                     tenant_id, advise_job, problem,
-                    self._advise_options(config),
+                    self._advise_options(config), rtrace=rtrace,
                 )
                 layout = self._explicit_layout(problem,
                                                out["payload"]["layout"])
@@ -247,13 +353,18 @@ class AdvisorService:
                         weight=weight, solve_fn=self._solve_fn(tenant_id))
         resumed = self._resume_journals(tenant)
         self.tenants[tenant_id] = tenant
+        self.slo.register(tenant_id, objective)
         self.metrics.counter("repro_serve_tenants_created_total").inc()
         self.metrics.gauge("repro_serve_tenants").set(len(self.tenants))
-        return {
+        response = {
             "tenant": tenant_id,
             "layout": tenant.controller.layout.fractions_by_name(),
             "resumed_migrations": resumed,
+            "slo": objective.to_dict(),
         }
+        if rtrace is not None:
+            response["trace_id"] = rtrace.trace_id
+        return response
 
     @staticmethod
     def _explicit_layout(problem, fractions):
@@ -302,6 +413,7 @@ class AdvisorService:
         tenant.deleted = True
         del self.tenants[tenant_id]
         self.scheduler.forget(tenant_id)
+        self.slo.forget(tenant_id)
         tenant.suspend()
         self.metrics.gauge("repro_serve_tenants").set(len(self.tenants))
         return {"tenant": tenant_id, "deleted": True}
@@ -310,32 +422,72 @@ class AdvisorService:
     # Serving
     # ------------------------------------------------------------------
 
-    async def advise(self, tenant_id, options=None):
-        """One-shot advise for a tenant's problem on the shared pool."""
+    async def advise(self, tenant_id, options=None, rtrace=None):
+        """One-shot advise for a tenant's problem on the shared pool.
+
+        Called without ``rtrace`` (tests, embedded use) the service
+        owns the request trace end to end; the HTTP layer passes one in
+        and finalizes it itself after serializing the response.
+        """
         self._check_open()
-        tenant = self._tenant(tenant_id)
-        merged = self._advise_options(tenant.config, options)
-        started = time.perf_counter()
-        out = await self.scheduler.submit(tenant_id, advise_job,
-                                          tenant.problem, merged)
-        tenant.advises += 1
-        self.metrics.histogram("repro_serve_advise_seconds").observe(
-            time.perf_counter() - started
-        )
-        return {
+        owned = rtrace is None
+        if owned:
+            rtrace = self.begin_trace("advise", tenant=tenant_id)
+        try:
+            admission = (rtrace.start("admission.wait")
+                         if rtrace is not None else None)
+            tenant = self._tenant(tenant_id)
+            merged = self._advise_options(tenant.config, options)
+            if admission is not None:
+                rtrace.finish(admission)
+            started = time.perf_counter()
+            out = await self.scheduler.submit(tenant_id, advise_job,
+                                              tenant.problem, merged,
+                                              rtrace=rtrace)
+            tenant.advises += 1
+            self.metrics.histogram("repro_serve_advise_seconds").observe(
+                time.perf_counter() - started
+            )
+        except BaseException as error:
+            if owned:
+                self.end_trace(rtrace, status_for(error), error=error)
+            raise
+        response = {
             "tenant": tenant_id,
             "solver_time_s": out["solver_time_s"],
             **out["payload"],
         }
+        if rtrace is not None:
+            response["trace_id"] = rtrace.trace_id
+        if owned:
+            self.end_trace(rtrace)
+        return response
 
-    async def feed_trace_chunk(self, tenant_id, entries):
+    async def feed_trace_chunk(self, tenant_id, entries, rtrace=None):
         """Stream completion records into the tenant's control loop."""
         self._check_open()
-        tenant = self._tenant(tenant_id)
-        records = records_from_payload(entries)
-        self.metrics.counter("repro_serve_records_total").inc(len(records))
-        loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(self._feeds, tenant.feed, records)
+        owned = rtrace is None
+        if owned:
+            rtrace = self.begin_trace("feed", tenant=tenant_id)
+        try:
+            tenant = self._tenant(tenant_id)
+            records = records_from_payload(entries)
+            self.metrics.counter("repro_serve_records_total").inc(
+                len(records)
+            )
+            loop = asyncio.get_running_loop()
+            result = await loop.run_in_executor(self._feeds, tenant.feed,
+                                                records, rtrace)
+        except BaseException as error:
+            if owned:
+                self.end_trace(rtrace, status_for(error), error=error)
+            raise
+        if rtrace is not None:
+            result = dict(result)
+            result["trace_id"] = rtrace.trace_id
+        if owned:
+            self.end_trace(rtrace)
+        return result
 
     # ------------------------------------------------------------------
     # Introspection
@@ -359,7 +511,42 @@ class AdvisorService:
                 "processes": self.pool.use_processes,
                 "generation": self.pool.generation,
             },
+            "tracing": {
+                "enabled": bool(self.config.trace_requests),
+                "ring": len(self.traces),
+                "ring_capacity": self.traces.capacity,
+                "access_log": (self.access_log.path
+                               if self.access_log is not None else None),
+            },
+            "slo": self.slo.snapshot_all(),
         }
+
+    def slo_report(self):
+        """The ``GET /slo`` payload: every tenant's SLO standing."""
+        return {
+            "default_objective": self.slo.default_objective.to_dict(),
+            "tenants": self.slo.snapshot_all(),
+        }
+
+    def debug_traces(self):
+        """Summaries of the traces currently held in the debug ring."""
+        summaries = []
+        for rtrace in self.traces.traces():
+            entry = rtrace.meta()
+            entry.pop("type", None)
+            summaries.append(entry)
+        return {"capacity": self.traces.capacity, "traces": summaries}
+
+    def debug_trace(self, trace_id):
+        """One stitched request trace, spans and all (HTTP 404 when it
+        has aged out of the ring or never existed)."""
+        rtrace = self.traces.get(str(trace_id))
+        if rtrace is None:
+            raise UnknownTraceError(
+                "no trace %r in the debug ring (capacity %d)"
+                % (trace_id, self.traces.capacity)
+            )
+        return rtrace.to_payload()
 
     def tenant_status(self, tenant_id):
         tenant = self._tenant(tenant_id)
@@ -377,6 +564,7 @@ class AdvisorService:
     def metrics_text(self):
         """The whole service as one Prometheus exposition document:
         the service registry plus every tenant's, labelled."""
+        self.slo.export_to(self.metrics)
         sections = [({}, self.metrics)]
         for tenant_id, tenant in sorted(self.tenants.items()):
             sections.append(({"tenant": tenant_id}, tenant.obs.metrics))

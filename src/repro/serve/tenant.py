@@ -256,10 +256,14 @@ class Tenant:
         self.advises = 0
         self.last_time = None
         self.deleted = False
+        #: The request trace of the feed currently holding the lock;
+        #: the service's ``solve_fn`` reads it so a re-solve triggered
+        #: by this chunk joins the same distributed trace.
+        self.active_rtrace = None
 
     # ------------------------------------------------------------------
 
-    def feed(self, records):
+    def feed(self, records, rtrace=None):
         """Apply one trace chunk: observe records, run due checks, pace
         any in-flight migration.  Blocking; call from a worker thread.
 
@@ -269,29 +273,39 @@ class Tenant:
         single call.
         """
         with self.lock:
-            records = sorted(records, key=lambda r: r.finish_time)
-            controller = self.controller
-            if records:
-                if (self.last_time is not None
-                        and records[0].finish_time < self.last_time):
-                    raise ReproError(
-                        "trace chunk goes back in time (%.3f < %.3f)"
-                        % (records[0].finish_time, self.last_time)
-                    )
-                if self._next_check is None:
-                    self._next_check = (records[0].finish_time
-                                        + self.config.check_interval_s)
-                for record in records:
-                    while record.finish_time >= self._next_check:
-                        controller.pump_migration(self._next_check)
-                        controller.check(self._next_check)
-                        self._next_check += self.config.check_interval_s
-                    controller.monitor.observe(record)
-                controller.pump_migration(records[-1].finish_time)
-                self.last_time = records[-1].finish_time
-                self.records_fed += len(records)
-                self.chunks_fed += 1
-            return self.status()
+            span = (rtrace.start("tenant.feed", tenant=self.tenant_id,
+                                 records=len(records))
+                    if rtrace is not None else None)
+            self.active_rtrace = rtrace
+            try:
+                records = sorted(records, key=lambda r: r.finish_time)
+                controller = self.controller
+                if records:
+                    if (self.last_time is not None
+                            and records[0].finish_time < self.last_time):
+                        raise ReproError(
+                            "trace chunk goes back in time (%.3f < %.3f)"
+                            % (records[0].finish_time, self.last_time)
+                        )
+                    if self._next_check is None:
+                        self._next_check = (records[0].finish_time
+                                            + self.config.check_interval_s)
+                    for record in records:
+                        while record.finish_time >= self._next_check:
+                            controller.pump_migration(self._next_check)
+                            controller.check(self._next_check)
+                            self._next_check += self.config.check_interval_s
+                        controller.monitor.observe(record)
+                    controller.pump_migration(records[-1].finish_time)
+                    self.last_time = records[-1].finish_time
+                    self.records_fed += len(records)
+                    self.chunks_fed += 1
+                return self.status()
+            finally:
+                self.active_rtrace = None
+                if span is not None:
+                    rtrace.finish(span,
+                                  resolves=self.controller.resolves)
 
     def status(self):
         """JSON-safe snapshot of the tenant's serving state."""

@@ -1,0 +1,237 @@
+"""Per-request distributed traces for the serving layer.
+
+One external request — an advise, a trace-chunk feed, a tenant create —
+gets one :class:`RequestTrace`: a private live tracer whose root span
+covers the whole request, a :class:`~repro.obs.TraceContext` that rides
+into solver-pool jobs as a plain dict, and slots for the breakdown the
+access log and the SLO engine need (queue wait, solve time, watchdog
+rung).  Keeping the tracer per-request means the hot serving path never
+contends on one shared span list, and a finished trace is a
+self-contained artifact: the ring buffer and ``/debug/traces/<id>`` can
+hand it out without touching live service state.
+
+Threading: the HTTP handler and the scheduler touch a request's trace
+from the event loop; feed work touches it from a tenant worker thread —
+but never concurrently for the *same* request (the handler awaits the
+feed).  All serve-layer spans are started detached with explicit
+parents, so the tracer's parent stack is never shared across threads.
+
+Worker processes stamp spans with their own monotonic clocks;
+:meth:`RequestTrace.graft` anchors each remote tree so its last
+finished span lands at the parent-observed arrival time (see
+:meth:`repro.obs.trace.Tracer.graft_records` for the skew rules).
+"""
+
+import json
+import os
+import threading
+import time
+from collections import deque
+
+from repro.obs import Instrumentation, TraceContext
+
+#: Default capacity of the debug trace ring.
+DEFAULT_RING = 64
+
+
+class RequestTrace:
+    """The stitched cross-process trace of one request.
+
+    Args:
+        route: Short route label (``"advise"``, ``"feed"``, ...).
+        tenant: Tenant id, when the route has one.
+    """
+
+    def __init__(self, route, tenant=None):
+        self.obs = Instrumentation.on()
+        self.tracer = self.obs.tracer
+        self.ctx = TraceContext.mint()
+        self.trace_id = self.ctx.trace_id
+        self.route = str(route)
+        self.tenant = tenant
+        self.status = None
+        self.error = None
+        self.queue_wait_s = None
+        self.solve_s = None
+        self.rung = None
+        self.worker_pids = set()
+        self.started_unix = time.time()
+        self._closed = False
+        tags = {"trace_id": self.trace_id, "route": self.route,
+                "pid": os.getpid()}
+        if tenant is not None:
+            tags["tenant"] = tenant
+        self.root = self.tracer.start("request", parent=False,
+                                      detached=True, **tags)
+
+    # -- span recording (detached, explicit parents) --------------------
+
+    def start(self, name, parent=None, **tags):
+        """Open a detached span under ``parent`` (the root by default)."""
+        return self.tracer.start(
+            name, parent=parent if parent is not None else self.root,
+            detached=True, **tags,
+        )
+
+    def finish(self, span, **tags):
+        return self.tracer.finish(span, **tags)
+
+    def event(self, name, **tags):
+        span = self.start(name, **tags)
+        span.end_s = span.start_s
+        return span
+
+    # -- cross-process propagation --------------------------------------
+
+    def worker_context(self, span):
+        """The picklable context a worker acting under ``span`` carries."""
+        return self.ctx.child(span).to_dict()
+
+    def graft(self, obs_payload, parent=None, end_at=None, metrics=None):
+        """Stitch a worker's serialized obs payload into this trace.
+
+        ``obs_payload`` is the ``{"trace_id", "pid", "spans", "metrics"}``
+        dict a pool job attaches to its result.  Remote spans land under
+        ``parent`` (default: the root), skew-anchored at ``end_at``;
+        batch roots are tagged with the worker pid.  Worker counters
+        merge into ``metrics`` (e.g. the service registry) when given.
+        """
+        if not obs_payload:
+            return []
+        spans = self.tracer.graft_records(
+            obs_payload.get("spans", ()),
+            parent=parent if parent is not None else self.root,
+            end_at=end_at,
+        )
+        pid = obs_payload.get("pid")
+        if pid is not None:
+            self.worker_pids.add(int(pid))
+            attach_id = (parent if parent is not None
+                         else self.root).span_id
+            for span in spans:
+                if span.parent_id == attach_id:
+                    span.set_tag("pid", pid)
+        if metrics is not None and getattr(metrics, "enabled", False):
+            records = obs_payload.get("metrics")
+            if records:
+                metrics.merge_records(records)
+        return spans
+
+    # -- completion -----------------------------------------------------
+
+    def close(self, status=200, error=None):
+        """Finish the root span; idempotent (first close wins)."""
+        if self._closed:
+            return self
+        self._closed = True
+        self.status = int(status)
+        if error is not None:
+            self.error = str(error)
+            self.root.set_tag("error", self.error)
+        self.root.set_tag("status", self.status)
+        self.tracer.finish(self.root)
+        return self
+
+    @property
+    def closed(self):
+        return self._closed
+
+    @property
+    def duration_s(self):
+        return self.root.duration_s
+
+    # -- serialization --------------------------------------------------
+
+    def meta(self):
+        """The request-summary record (the access-log line's payload)."""
+        duration = self.root.duration_s
+        return {
+            "type": "request",
+            "trace_id": self.trace_id,
+            "route": self.route,
+            "tenant": self.tenant,
+            "status": self.status,
+            "error": self.error,
+            "unix_time": round(self.started_unix, 6),
+            "duration_s": (round(duration, 6) if duration is not None
+                           else None),
+            "queue_wait_s": (round(self.queue_wait_s, 6)
+                             if self.queue_wait_s is not None else None),
+            "solve_s": (round(self.solve_s, 6)
+                        if self.solve_s is not None else None),
+            "rung": self.rung,
+            "worker_pids": sorted(self.worker_pids),
+        }
+
+    def to_records(self):
+        """JSONL records: one ``request`` meta line plus every span."""
+        return [self.meta()] + self.tracer.to_records()
+
+    def to_payload(self):
+        """The ``/debug/traces/<id>`` response body."""
+        payload = self.meta()
+        payload.pop("type", None)
+        payload["spans"] = self.tracer.to_records()
+        return payload
+
+
+class TraceRing:
+    """Bounded, thread-safe ring of the last N finished request traces."""
+
+    def __init__(self, capacity=DEFAULT_RING):
+        self.capacity = max(1, int(capacity))
+        self._ring = deque(maxlen=self.capacity)
+        self._lock = threading.Lock()
+
+    def add(self, rtrace):
+        with self._lock:
+            self._ring.append(rtrace)
+
+    def get(self, trace_id):
+        """The trace with this id, or None (capacity is small; a linear
+        scan beats maintaining an eviction-synced index)."""
+        with self._lock:
+            for rtrace in reversed(self._ring):
+                if rtrace.trace_id == trace_id:
+                    return rtrace
+        return None
+
+    def traces(self):
+        """Newest-first snapshot of the ring."""
+        with self._lock:
+            return list(reversed(self._ring))
+
+    def __len__(self):
+        with self._lock:
+            return len(self._ring)
+
+
+class AccessLog:
+    """Append-only JSONL access log, one line per finished request.
+
+    Lines are written whole under a lock and flushed immediately, so a
+    tail -f (or the CI artifact collector) always sees complete JSON.
+    """
+
+    def __init__(self, path):
+        self.path = str(path)
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._handle = open(self.path, "a")
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def write(self, entry):
+        line = json.dumps(entry) + "\n"
+        with self._lock:
+            if self._closed:
+                return
+            self._handle.write(line)
+            self._handle.flush()
+
+    def close(self):
+        with self._lock:
+            if not self._closed:
+                self._closed = True
+                self._handle.close()

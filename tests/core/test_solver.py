@@ -421,7 +421,7 @@ def test_pool_failure_falls_back_to_serial(monkeypatch):
 
 
 def _suicidal_attempt(problem, start_layout, method, attempt_seed,
-                      max_iter):
+                      max_iter, capture=False):
     """Worker entry that dies the way an OOM-killed worker does.
 
     Module-level so the pool can pickle it by reference; only pool

@@ -13,9 +13,12 @@ import re
 import pytest
 
 from repro.obs import Instrumentation
+from repro.errors import ReproError
 from repro.obs.export import (
     TRACE_FORMAT,
     prometheus_text,
+    prometheus_text_multi,
+    read_request_trace,
     read_trace,
     trace_records,
     write_prometheus,
@@ -204,3 +207,88 @@ def test_read_trace_without_meta_line(tmp_path):
     assert trace.meta == {}
     assert trace.metrics.get("c").value == 1
     assert trace.spans == []
+
+
+def test_prometheus_nonfinite_values_use_strict_tokens():
+    # Strict exposition parsers reject Python's repr spellings
+    # (``inf`` / ``-inf`` / ``nan``); only +Inf / -Inf / NaN are legal.
+    registry = MetricsRegistry()
+    registry.gauge("g_pos").set(float("inf"))
+    registry.gauge("g_neg").set(float("-inf"))
+    registry.gauge("g_nan").set(float("nan"))
+    text = prometheus_text(registry)
+    assert "g_pos +Inf" in text
+    assert "g_neg -Inf" in text
+    assert "g_nan NaN" in text
+    for bad in ("inf\n", "-inf\n", "nan\n"):
+        assert bad not in text
+    types, samples = parse_exposition(text)
+    values = {name: value for name, _, value in samples}
+    assert values["g_pos"] == float("inf")
+    assert values["g_neg"] == float("-inf")
+    assert values["g_nan"] != values["g_nan"]
+
+
+def test_prometheus_multi_tenant_sections_escape_and_group():
+    service = MetricsRegistry()
+    service.counter("repro_requests_total", route="advise").inc(3)
+    tenant = MetricsRegistry()
+    tenant.counter("repro_requests_total", route="advise").inc(2)
+    text = prometheus_text_multi([
+        ({}, service),
+        ({"tenant": 'evil"name\\with\nnewline'}, tenant),
+    ])
+    # One TYPE header even though two sections emit the metric.
+    assert text.count("# TYPE repro_requests_total counter") == 1
+    types, samples = parse_exposition(text)
+    tenant_labels = [labels for _, labels, _ in samples if "tenant" in labels]
+    assert tenant_labels == [
+        {"route": "advise", "tenant": 'evil\\"name\\\\with\\nnewline'}
+    ]
+
+
+def test_read_request_trace_debug_payload(tmp_path):
+    payload = {
+        "trace_id": "feed1234", "route": "advise", "status": 200,
+        "duration_s": 0.5, "worker_pids": [7],
+        "spans": [
+            {"type": "span", "id": 1, "name": "request",
+             "start_s": 0.0, "end_s": 0.5},
+            {"type": "span", "id": 2, "name": "pool.dispatch",
+             "parent": 1, "start_s": 0.1, "end_s": 0.4},
+        ],
+    }
+    path = tmp_path / "trace.json"
+    path.write_text(json.dumps(payload))
+    trace = read_request_trace(str(path))
+    assert trace.meta["trace_id"] == "feed1234"
+    assert "spans" not in trace.meta
+    roots, children = trace.tracer.tree()
+    assert [s.name for s in roots] == ["request"]
+    assert [s.name for s in children[roots[0].span_id]] == ["pool.dispatch"]
+
+
+def test_read_request_trace_jsonl_records(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    path.write_text("\n".join([
+        json.dumps({"type": "request", "trace_id": "aa", "status": 200}),
+        json.dumps({"type": "span", "id": 1, "name": "request",
+                    "start_s": 0.0}),
+    ]) + "\n")
+    trace = read_request_trace(str(path))
+    assert trace.meta["trace_id"] == "aa"
+    assert [s.name for s in trace.spans] == ["request"]
+    # The request span was still open at capture time.
+    assert trace.spans[0].duration_s is None
+
+
+def test_read_request_trace_rejects_non_trace_file(tmp_path):
+    path = tmp_path / "nope.jsonl"
+    path.write_text(json.dumps({"type": "span", "id": 1, "name": "x",
+                                "start_s": 0.0}) + "\n")
+    with pytest.raises(ReproError, match="no request record"):
+        read_request_trace(str(path))
+    garbage = tmp_path / "garbage.txt"
+    garbage.write_text("this is not json\n")
+    with pytest.raises(ReproError, match="not a request-trace record"):
+        read_request_trace(str(garbage))

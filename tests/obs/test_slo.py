@@ -1,0 +1,182 @@
+"""Tests for the per-tenant SLO engine: objectives, windows, burn rates.
+
+The burn-rate math is checked against hand-computed values for the
+standard definition ``breach_rate / (1 - slo_target)`` — 1.0 means the
+error budget burns exactly at the allowed pace, N means N times too
+fast — and the sliding window is checked to actually slide (old
+breaches age out, totals do not).
+"""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import DEFAULT_WINDOW, SloEngine, SloObjective
+
+
+# -- objectives ---------------------------------------------------------
+
+def test_objective_defaults_and_dict_round_trip():
+    objective = SloObjective()
+    assert objective.window == DEFAULT_WINDOW
+    again = SloObjective(**objective.to_dict())
+    assert again.to_dict() == objective.to_dict()
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"p50_s": 0.0},
+    {"p99_s": -1.0},
+    {"p50_s": 10.0, "p99_s": 1.0},
+    {"slo_target": 0.0},
+    {"slo_target": 1.0},
+    {"window": 0},
+])
+def test_objective_rejects_bad_targets(kwargs):
+    with pytest.raises(ValueError):
+        SloObjective(**kwargs)
+
+
+def test_from_payload_fills_from_default_and_rejects_unknown():
+    default = SloObjective(p50_s=0.5, p99_s=2.0, slo_target=0.9, window=8)
+    assert SloObjective.from_payload(None, default=default) is default
+    merged = SloObjective.from_payload({"p99_s": 4.0}, default=default)
+    assert merged.p50_s == 0.5
+    assert merged.p99_s == 4.0
+    assert merged.window == 8
+    with pytest.raises(ValueError, match="unknown slo field"):
+        SloObjective.from_payload({"p99": 4.0}, default=default)
+    with pytest.raises(ValueError, match="must be an object"):
+        SloObjective.from_payload([1, 2])
+
+
+# -- engine ingestion and math ------------------------------------------
+
+def test_observe_auto_registers_under_default_objective():
+    engine = SloEngine(SloObjective(p99_s=1.0, slo_target=0.9))
+    assert len(engine) == 0
+    assert engine.observe("t1", 0.5) is False      # under target
+    assert engine.observe("t1", 2.0) is True       # breach
+    assert len(engine) == 1
+    assert engine.objective_for("t1").p99_s == 1.0
+
+
+def test_burn_rate_matches_hand_computation():
+    # slo_target 0.9 → allowed breach fraction 0.1.  2 breaches in 10
+    # requests is a 0.2 breach rate → burn 2.0.
+    engine = SloEngine(SloObjective(p99_s=1.0, slo_target=0.9, window=10))
+    for _ in range(8):
+        engine.observe("t", 0.1)
+    engine.observe("t", 5.0)
+    engine.observe("t", 5.0)
+    snap = engine.snapshot("t")
+    assert snap["window_requests"] == 10
+    assert snap["breaches"] == 2
+    assert snap["attainment"] == pytest.approx(0.8)
+    assert snap["attained"] is False
+    assert snap["burn_rate"] == pytest.approx(2.0)
+    assert snap["error_budget_remaining"] == pytest.approx(0.0)
+
+
+def test_errors_always_count_as_breaches():
+    engine = SloEngine(SloObjective(p99_s=10.0, slo_target=0.5, window=4))
+    engine.observe("t", 0.01, error=True)          # fast failure
+    snap = engine.snapshot("t")
+    assert snap["breaches"] == 1
+    assert snap["errors"] == 1
+    assert snap["total_errors"] == 1
+
+
+def test_window_slides_but_totals_accumulate():
+    engine = SloEngine(SloObjective(p99_s=1.0, slo_target=0.9, window=4))
+    for _ in range(4):
+        engine.observe("t", 9.0)                   # all breaches
+    assert engine.snapshot("t")["burn_rate"] == pytest.approx(10.0)
+    for _ in range(4):
+        engine.observe("t", 0.1)                   # breaches age out
+    snap = engine.snapshot("t")
+    assert snap["breaches"] == 0
+    assert snap["burn_rate"] == 0.0
+    assert snap["attainment"] == 1.0
+    assert snap["attained"] is True
+    # Lifetime totals remember what the window forgot, and the worst
+    # burn rate is a high-water mark.
+    assert snap["total_requests"] == 8
+    assert snap["total_breaches"] == 4
+    assert snap["worst_burn_rate"] == pytest.approx(10.0)
+    assert snap["error_budget_remaining"] == pytest.approx(1.0)
+
+
+def test_window_quantiles_and_p50_flag():
+    engine = SloEngine(SloObjective(p50_s=0.2, p99_s=10.0, slo_target=0.9,
+                                    window=100))
+    for index in range(100):
+        engine.observe("t", (index + 1) / 100.0)   # 0.01 .. 1.00
+    snap = engine.snapshot("t")
+    assert snap["p50_s"] == pytest.approx(0.50)
+    assert snap["p99_s"] == pytest.approx(0.99)
+    assert snap["p50_met"] is False                # 0.50 > 0.2 target
+
+
+def test_register_is_idempotent_until_objective_changes():
+    engine = SloEngine()
+    tight = SloObjective(p99_s=1.0, slo_target=0.9, window=4)
+    engine.register("t", tight)
+    engine.observe("t", 5.0)
+    # Same objective: the window survives.
+    engine.register("t", SloObjective(p99_s=1.0, slo_target=0.9, window=4))
+    assert engine.snapshot("t")["breaches"] == 1
+    # Changed objective: the window restarts under the new terms.
+    engine.register("t", SloObjective(p99_s=8.0, slo_target=0.9, window=4))
+    snap = engine.snapshot("t")
+    assert snap["window_requests"] == 0
+    assert snap["objective"]["p99_s"] == 8.0
+
+
+def test_forget_and_unknown_snapshots():
+    engine = SloEngine()
+    engine.observe("t", 0.1)
+    engine.forget("t")
+    assert engine.snapshot("t") is None
+    assert engine.objective_for("t") is None
+    assert engine.snapshot_all() == {}
+    assert len(engine) == 0
+
+
+def test_export_to_mirrors_standing_as_gauges():
+    engine = SloEngine(SloObjective(p99_s=2.0, slo_target=0.9, window=10))
+    engine.observe("a", 0.1)
+    engine.observe("b", 9.0)
+    registry = engine.export_to(MetricsRegistry())
+    assert registry.get("repro_slo_attainment_ratio", tenant="a").value \
+        == pytest.approx(1.0)
+    assert registry.get("repro_slo_burn_rate", tenant="b").value \
+        == pytest.approx(10.0)
+    assert registry.get("repro_slo_objective_p99_seconds",
+                        tenant="a").value == pytest.approx(2.0)
+    assert registry.get("repro_slo_error_budget_remaining",
+                        tenant="b").value == pytest.approx(0.0)
+
+
+def test_engine_is_thread_safe_under_concurrent_observe():
+    engine = SloEngine(SloObjective(p99_s=1.0, slo_target=0.9, window=64))
+    errors = []
+
+    def hammer(tenant_id):
+        try:
+            for _ in range(500):
+                engine.observe(tenant_id, 0.1)
+                engine.snapshot(tenant_id)
+        except Exception as error:  # noqa: BLE001 — surfaced below
+            errors.append(error)
+
+    threads = [threading.Thread(target=hammer, args=("t%d" % i,))
+               for i in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    report = engine.snapshot_all()
+    assert len(report) == 4
+    assert all(snap["total_requests"] == 500 for snap in report.values())

@@ -9,6 +9,7 @@ from repro.obs.trace import (
     NULL_TRACER,
     NullTracer,
     Span,
+    TraceContext,
     Tracer,
     json_default,
 )
@@ -200,3 +201,91 @@ def test_null_tracer_singleton_span_is_inert():
     assert span is NULL_TRACER.start("y")
     span.set_tag("k", "v")
     assert span.tags == {}
+
+
+# -- cross-process contexts and grafting --------------------------------
+
+def test_trace_context_mint_child_round_trip(tracer):
+    ctx = TraceContext.mint()
+    assert len(ctx.trace_id) == 16
+    assert ctx.parent_span_id is None
+    assert ctx.to_dict() == {"trace_id": ctx.trace_id}
+
+    span = tracer.start("pool.dispatch")
+    child = ctx.child(span)
+    assert child.trace_id == ctx.trace_id
+    assert child.parent_span_id == span.span_id
+    wire = child.to_dict()
+    assert wire == {"trace_id": ctx.trace_id, "parent": span.span_id}
+    back = TraceContext.from_dict(json.loads(json.dumps(wire)))
+    assert back.trace_id == child.trace_id
+    assert back.parent_span_id == child.parent_span_id
+
+
+def test_mint_produces_unique_trace_ids():
+    ids = {TraceContext.mint().trace_id for _ in range(64)}
+    assert len(ids) == 64
+
+
+def _remote_records():
+    """A worker-side tree stamped by an unrelated clock epoch."""
+    remote = Tracer(clock=FakeClock(start=5000.0))
+    root = remote.start("worker.advise")
+    inner = remote.start("advise.solve")
+    remote.finish(inner)
+    remote.finish(root)
+    return remote.to_records()
+
+
+def test_graft_remaps_ids_and_attaches_under_parent(tracer):
+    local = tracer.start("pool.dispatch")
+    tracer.finish(local)
+    grafted = tracer.graft_records(_remote_records(), parent=local)
+    assert [s.name for s in grafted] == ["worker.advise", "advise.solve"]
+    root, inner = grafted
+    # Batch root hangs under the local parent; internal link preserved.
+    assert root.parent_id == local.span_id
+    assert inner.parent_id == root.span_id
+    # Remapped ids continue the local sequence — no collisions.
+    ids = [s.span_id for s in tracer.spans]
+    assert len(ids) == len(set(ids))
+    roots, children = tracer.tree()
+    assert [s.name for s in roots] == ["pool.dispatch"]
+
+
+def test_graft_end_at_shifts_remote_tree_onto_local_clock(tracer):
+    local = tracer.start("pool.dispatch")   # 100 → 101
+    tracer.finish(local)
+    grafted = tracer.graft_records(_remote_records(), parent=local,
+                                   end_at=local.end_s)
+    root, inner = grafted
+    # Latest remote finish lands exactly at end_at; relative structure
+    # inside the worker (1s inner inside 3s root) is preserved.
+    assert max(s.end_s for s in grafted) == pytest.approx(local.end_s)
+    assert root.duration_s == pytest.approx(3.0)
+    assert inner.duration_s == pytest.approx(1.0)
+    assert inner.start_s > root.start_s
+    # Worker-epoch timestamps (~5000) are gone from the local timeline.
+    assert all(s.start_s < 200.0 for s in grafted)
+
+
+def test_graft_keeps_unfinished_remote_spans_open(tracer):
+    remote = Tracer(clock=FakeClock(start=9000.0))
+    root = remote.start("worker.advise")
+    remote.finish(root)
+    remote.start("advise.solve")            # never finished (crash)
+    grafted = tracer.graft_records(remote.to_records(), end_at=50.0)
+    by_name = {s.name: s for s in grafted}
+    assert by_name["worker.advise"].end_s == pytest.approx(50.0)
+    assert by_name["advise.solve"].end_s is None
+    assert by_name["advise.solve"].duration_s is None
+    assert "…running" in tracer.render_tree()
+
+
+def test_graft_without_parent_or_records(tracer):
+    assert tracer.graft_records([]) == []
+    assert tracer.graft_records([{"type": "metric"}]) == []
+    grafted = tracer.graft_records(_remote_records())
+    # No parent: batch roots become local roots.
+    assert grafted[0].parent_id is None
+    assert NULL_TRACER.graft_records(_remote_records()) == []

@@ -451,3 +451,62 @@ def test_replay_online_metrics_trace(online_problem_file, tmp_path,
     text = capsys.readouterr().out
     assert "online controller" in text
     assert "simulator (per target)" in text
+
+
+def test_report_request_trace_renders_stitched_tree(tmp_path, capsys):
+    # The JSON shape of GET /debug/traces/{id}: summary + spans.
+    payload = {
+        "trace_id": "cafe0123", "route": "advise", "tenant": "t1",
+        "status": 200, "duration_s": 0.2, "queue_wait_s": 0.01,
+        "solve_s": 0.15, "rung": "portfolio", "worker_pids": [999],
+        "spans": [
+            {"type": "span", "id": 1, "name": "request",
+             "start_s": 0.0, "end_s": 0.2},
+            {"type": "span", "id": 2, "name": "scheduler.queue",
+             "parent": 1, "start_s": 0.0, "end_s": 0.01},
+            {"type": "span", "id": 3, "name": "pool.dispatch",
+             "parent": 1, "start_s": 0.01, "end_s": 0.18},
+            {"type": "span", "id": 4, "name": "worker.advise",
+             "parent": 3, "start_s": 0.02, "end_s": 0.17,
+             "tags": {"pid": 999}},
+            {"type": "span", "id": 5, "name": "advise.solve",
+             "parent": 4, "start_s": 0.03},
+        ],
+    }
+    path = tmp_path / "trace.json"
+    path.write_text(json.dumps(payload))
+    assert main(["report", str(path), "--request-trace"]) == 0
+    text = capsys.readouterr().out
+    assert "request cafe0123" in text
+    assert "rung" in text and "portfolio" in text
+    assert "queue wait" in text and "solve" in text
+    assert "1 local + 1 worker (pid 999)" in text
+    for name in ("request", "scheduler.queue", "pool.dispatch",
+                 "worker.advise"):
+        assert name in text
+    assert "pid=999" in text
+    # The solve span was still open when the ring captured the trace.
+    assert "…running" in text
+    # Full depth by default: the level-4 span is visible.
+    assert "advise.solve" in text
+
+
+def test_report_request_trace_reads_jsonl_records(tmp_path, capsys):
+    path = tmp_path / "trace.jsonl"
+    path.write_text("\n".join([
+        json.dumps({"type": "request", "trace_id": "aa", "route": "feed",
+                    "status": 200, "duration_s": 0.1}),
+        json.dumps({"type": "span", "id": 1, "name": "request",
+                    "start_s": 0.0, "end_s": 0.1}),
+    ]) + "\n")
+    assert main(["report", str(path), "--request-trace"]) == 0
+    text = capsys.readouterr().out
+    assert "request aa" in text
+    assert "feed" in text
+
+
+def test_report_request_trace_rejects_ordinary_trace(tmp_path, capsys):
+    path = tmp_path / "plain.jsonl"
+    path.write_text(json.dumps({"type": "meta", "format": 1}) + "\n")
+    assert main(["report", str(path), "--request-trace"]) == 1
+    assert "no request record" in capsys.readouterr().err
