@@ -36,7 +36,9 @@ Usage::
         [--interval S] [--events out.jsonl] [--metrics out.jsonl|out.prom]
     python -m repro.cli report out.jsonl [--tree] [--request-trace]
     python -m repro.cli serve [--port P] [--workers N] [--state-dir DIR]
-        [--access-log FILE] [--trace-ring N] [--no-request-traces]
+        [--snapshot-every N] [--request-timeout S]
+        [--default-deadline-ms MS] [--access-log FILE] [--trace-ring N]
+        [--no-request-traces]
     python -m repro.cli scenarios list
     python -m repro.cli scenarios validate FILE [FILE ...]
     python -m repro.cli experiments run matrix.yaml [--workers N]
@@ -383,6 +385,11 @@ def serve(args):
         trace_ring=(args.trace_ring if args.trace_ring is not None
                     else _DEFAULT_RING),
         access_log=args.access_log,
+        snapshot_every=args.snapshot_every,
+        request_timeout_s=args.request_timeout,
+        default_deadline_s=(args.default_deadline_ms / 1000.0
+                            if args.default_deadline_ms is not None
+                            else None),
     )
 
     async def run():
@@ -632,8 +639,22 @@ def main(argv=None):
     serve_parser.add_argument("--feed-threads", type=int, default=4,
                               help="worker threads applying trace chunks")
     serve_parser.add_argument("--state-dir", default=None,
-                              help="per-tenant state root (migration "
-                                   "journals; enables drain-resume)")
+                              help="per-tenant state root (WAL, snapshots, "
+                                   "migration journals; enables crash "
+                                   "recovery and drain-resume)")
+    serve_parser.add_argument("--snapshot-every", type=int, default=16,
+                              help="compacting snapshot every N trace "
+                                   "chunks per tenant (default 16; 0 "
+                                   "disables periodic snapshots)")
+    serve_parser.add_argument("--request-timeout", type=float, default=30.0,
+                              help="seconds a started request may take to "
+                                   "arrive whole before 408 (slowloris "
+                                   "guard; default 30)")
+    serve_parser.add_argument("--default-deadline-ms", type=float,
+                              default=None,
+                              help="deadline stamped on solver work when "
+                                   "the request has no X-Deadline-Ms "
+                                   "header (default: none)")
     serve_parser.add_argument("--access-log", default=None, metavar="FILE",
                               help="append one JSONL line per traced "
                                    "request (trace id, tenant, status, "

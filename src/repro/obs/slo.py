@@ -161,6 +161,41 @@ class SloEngine:
         with self._lock:
             self._tenants.pop(tenant_id, None)
 
+    # -- durability (serving-layer snapshots) ---------------------------
+
+    def persist_state(self, tenant_id):
+        """JSON-safe high-water marks for one tenant (None if unknown).
+
+        The sliding window itself is deliberately not persisted — after
+        a restart the window restarts empty — but the lifetime totals
+        and the worst observed burn rate survive, so a crash cannot
+        launder a tenant's SLO history.
+        """
+        with self._lock:
+            state = self._tenants.get(tenant_id)
+            if state is None:
+                return None
+            return {
+                "total": state.total,
+                "total_breaches": state.total_breaches,
+                "total_errors": state.total_errors,
+                "worst_burn_rate": state.worst_burn_rate,
+            }
+
+    def restore(self, tenant_id, objective=None, state=None):
+        """Re-register a tenant and restore its high-water marks."""
+        objective = self.register(tenant_id, objective)
+        if state:
+            with self._lock:
+                tenant = self._tenants[tenant_id]
+                tenant.total = int(state.get("total", 0))
+                tenant.total_breaches = int(state.get("total_breaches", 0))
+                tenant.total_errors = int(state.get("total_errors", 0))
+                tenant.worst_burn_rate = float(
+                    state.get("worst_burn_rate", 0.0)
+                )
+        return objective
+
     def objective_for(self, tenant_id):
         with self._lock:
             state = self._tenants.get(tenant_id)

@@ -249,6 +249,75 @@ class WorkloadMonitor:
             return 0.0
         return stats.total / self._weight
 
+    # ------------------------------------------------------------------
+    # Durability (serving-layer snapshots)
+    # ------------------------------------------------------------------
+
+    def to_state(self):
+        """JSON-safe digest of the whole estimation state.
+
+        Captures the decayed aggregates, the open-window accumulators,
+        and the per-object activity windows — everything
+        :meth:`restore_state` needs to resume estimation exactly where
+        a crashed process left off.
+        """
+        objects = {}
+        for name, stats in self._stats.items():
+            objects[name] = {
+                "reads": stats.reads, "writes": stats.writes,
+                "read_bytes": stats.read_bytes,
+                "write_bytes": stats.write_bytes, "runs": stats.runs,
+                "cur_reads": stats.cur_reads,
+                "cur_writes": stats.cur_writes,
+                "cur_read_bytes": stats.cur_read_bytes,
+                "cur_write_bytes": stats.cur_write_bytes,
+                "cur_runs": stats.cur_runs,
+                "last_end": stats._last_end,
+            }
+        return {
+            "window_s": self.window_s,
+            "halflife_s": self.halflife_s,
+            "window": self._window,
+            "weight": self._weight,
+            "observed": self.observed,
+            "objects": objects,
+            "active": {name: sorted(windows)
+                       for name, windows in self._active.items()},
+        }
+
+    def restore_state(self, state):
+        """Load a :meth:`to_state` digest into this monitor.
+
+        Tolerant of a digest taken under different tuning (the current
+        window/half-life stay in force); a None/empty digest is a
+        no-op, so recovery from a pre-durability snapshot still works.
+        """
+        if not state:
+            return self
+        self._window = state.get("window")
+        self._weight = float(state.get("weight", 0.0))
+        self.observed = int(state.get("observed", 0))
+        self._stats = defaultdict(_DecayedObjectStats)
+        for name, values in (state.get("objects") or {}).items():
+            stats = self._stats[name]
+            stats.reads = float(values.get("reads", 0.0))
+            stats.writes = float(values.get("writes", 0.0))
+            stats.read_bytes = float(values.get("read_bytes", 0.0))
+            stats.write_bytes = float(values.get("write_bytes", 0.0))
+            stats.runs = float(values.get("runs", 0.0))
+            stats.cur_reads = int(values.get("cur_reads", 0))
+            stats.cur_writes = int(values.get("cur_writes", 0))
+            stats.cur_read_bytes = int(values.get("cur_read_bytes", 0))
+            stats.cur_write_bytes = int(values.get("cur_write_bytes", 0))
+            stats.cur_runs = int(values.get("cur_runs", 0))
+            stats._last_end = values.get("last_end")
+        self._active = defaultdict(OrderedDict)
+        for name, windows in (state.get("active") or {}).items():
+            active = self._active[name]
+            for window in sorted(windows)[-self.overlap_windows:]:
+                active[int(window)] = True
+        return self
+
 
 def replay_into(monitor, records):
     """Feed an iterable of completion records through a monitor in

@@ -5,10 +5,27 @@ closed-loop load-generator tenant needs: requests on a connection are
 serialized, responses arrive in order, and reconnection is automatic
 when the server closes the socket.  This is a test/bench tool, not a
 general HTTP client; it speaks only the service's own subset.
+
+Retry policy (the part worth being careful about):
+
+* a **send-phase** failure — the connection dies before the request is
+  fully written — means the server closed a stale keep-alive socket
+  between requests and never saw this request; any method gets one
+  immediate reconnect-and-resend, exactly the old behavior;
+* a **receive-phase** failure — the connection dies after the request
+  went out, including mid-body (a short read inside the response) —
+  means the server *may have executed* the request.  Only requests that
+  are safe to repeat are retried: ``GET``s, and mutations carrying an
+  ``Idempotency-Key`` (the service replays the recorded response
+  instead of re-executing).  Everything else surfaces the error.
+* retries back off exponentially with jitter, capped, and honor a
+  ``Retry-After`` header when the optional ``retry_statuses`` list asks
+  for status-based retries (429 admission sheds, 503 deadline sheds).
 """
 
 import asyncio
 import json
+import random
 
 from repro.errors import ReproError
 
@@ -24,12 +41,31 @@ class ServeHttpError(ReproError):
         super().__init__("HTTP %d: %s" % (status, message))
 
 
-class ServeClient:
-    """One keep-alive connection to a serve frontend."""
+#: Connection-level failures a retry can address.
+_CONNECTION_ERRORS = (ConnectionError, BrokenPipeError,
+                      ConnectionResetError, asyncio.IncompleteReadError)
 
-    def __init__(self, host, port):
+
+class ServeClient:
+    """One keep-alive connection to a serve frontend.
+
+    Args:
+        host / port: The frontend's listen address.
+        retries: Retry budget for *safe* requests (GETs and keyed
+            mutations) after connection failures or retryable statuses.
+        backoff_s / backoff_cap_s: Exponential backoff base and cap.
+        jitter: Random fraction added to each backoff (0.25 = up to
+            +25%), decorrelating a fleet of retrying clients.
+    """
+
+    def __init__(self, host, port, retries=2, backoff_s=0.05,
+                 backoff_cap_s=2.0, jitter=0.25):
         self.host = host
         self.port = int(port)
+        self.retries = int(retries)
+        self.backoff_s = float(backoff_s)
+        self.backoff_cap_s = float(backoff_cap_s)
+        self.jitter = float(jitter)
         self._reader = None
         self._writer = None
         self._lock = asyncio.Lock()
@@ -48,38 +84,81 @@ class ServeClient:
                 pass
             self._reader = self._writer = None
 
-    async def request(self, method, path, body=None, raise_for_status=True):
+    def _backoff(self, attempt, retry_after=None):
+        delay = min(self.backoff_cap_s,
+                    self.backoff_s * (2 ** (attempt - 1)))
+        delay *= 1.0 + self.jitter * random.random()
+        if retry_after is not None:
+            delay = max(delay, float(retry_after))
+        return delay
+
+    async def request(self, method, path, body=None, raise_for_status=True,
+                      idempotency_key=None, deadline_ms=None,
+                      retries=None, retry_statuses=()):
         """One request/response; returns ``(status, payload)``.
 
         ``payload`` is parsed JSON for JSON responses, raw text
         otherwise (``GET /metrics``).  Non-2xx raises
         :class:`ServeHttpError` unless ``raise_for_status=False``.
+
+        ``idempotency_key`` / ``deadline_ms`` become the
+        ``Idempotency-Key`` and ``X-Deadline-Ms`` headers; the key also
+        marks the request safe to retry after a mid-response
+        connection death.  ``retry_statuses`` (e.g. ``(429, 503)``)
+        additionally retries those response codes — for safe requests
+        only — honoring the server's ``Retry-After``.
         """
         data = b"" if body is None else json.dumps(body).encode()
+        extra = ""
+        if idempotency_key is not None:
+            extra += "Idempotency-Key: %s\r\n" % idempotency_key
+        if deadline_ms is not None:
+            extra += "X-Deadline-Ms: %d\r\n" % int(deadline_ms)
         head = (
             "%s %s HTTP/1.1\r\n"
             "Host: %s:%d\r\n"
             "Content-Type: application/json\r\n"
             "Content-Length: %d\r\n"
+            "%s"
             "Connection: keep-alive\r\n\r\n"
-            % (method, path, self.host, self.port, len(data))
+            % (method, path, self.host, self.port, len(data), extra)
         ).encode("latin-1")
+        budget = self.retries if retries is None else int(retries)
+        safe = method == "GET" or idempotency_key is not None
+        attempt = 0
+        resend_grace = True    # one free resend for a stale keep-alive
         async with self._lock:
-            for attempt in (0, 1):
+            while True:
                 if self._writer is None:
                     await self._connect()
+                sent = False
                 try:
                     self._writer.write(head + data)
                     await self._writer.drain()
-                    status, payload = await self._read_response()
-                    break
-                except (ConnectionResetError, BrokenPipeError,
-                        asyncio.IncompleteReadError):
-                    # The server closed the keep-alive socket between
-                    # requests; reconnect once and retry.
+                    sent = True
+                    status, payload, headers = await self._read_response()
+                except _CONNECTION_ERRORS:
                     await self.close()
-                    if attempt:
-                        raise
+                    if not sent and resend_grace:
+                        # The server closed the idle keep-alive socket
+                        # between requests; it never saw this request,
+                        # so an immediate resend is safe for any method.
+                        resend_grace = False
+                        continue
+                    # The request may have executed server-side; only
+                    # requests that are safe to repeat get retried.
+                    if safe and attempt < budget:
+                        attempt += 1
+                        await asyncio.sleep(self._backoff(attempt))
+                        continue
+                    raise
+                if status in retry_statuses and safe and attempt < budget:
+                    attempt += 1
+                    await asyncio.sleep(self._backoff(
+                        attempt, headers.get("retry-after")
+                    ))
+                    continue
+                break
         if raise_for_status and status >= 400:
             raise ServeHttpError(status, payload)
         return status, payload
@@ -98,8 +177,8 @@ class ServeClient:
         if headers.get("connection", "").lower() == "close":
             await self.close()
         if headers.get("content-type", "").startswith("application/json"):
-            return status, json.loads(body) if body else {}
-        return status, body.decode()
+            return status, json.loads(body) if body else {}, headers
+        return status, body.decode(), headers
 
     # -- convenience wrappers -------------------------------------------
 

@@ -11,11 +11,20 @@ map onto status codes by exception type:
 :class:`~repro.serve.scheduler.AdmissionError`    429
 :class:`~repro.serve.scheduler.TenantGoneError`,
 :class:`~repro.serve.service.UnknownTenantError`  404
-:class:`~repro.serve.service.ServiceDrainingError` 503
+:class:`~repro.serve.service.ServiceDrainingError`,
+:class:`~repro.serve.pool.DeadlineError`           503
 other :class:`~repro.errors.ReproError`,
 ``ValueError`` / ``KeyError`` (bad input)          400
 anything else                                      500
 ===============================================  ====
+
+Shed responses (429/503) carry a ``Retry-After`` header.  A request
+that stalls mid-transfer after its first byte is dropped with 408
+(slowloris guard; idle keep-alive connections may wait forever).
+Mutating routes honor an ``Idempotency-Key`` header — a retried key
+replays the recorded response, flagged ``"replayed": true`` — and
+``X-Deadline-Ms`` mints a request deadline at admission that follows
+the job through the scheduler and into the solver pool.
 
 Routes::
 
@@ -44,7 +53,7 @@ for work already admitted still flow out over their open sockets.
 import asyncio
 import json
 
-from repro.serve.service import status_for
+from repro.serve.service import retry_after_for, status_for
 
 #: Request bodies above this are refused outright (64 MiB).
 MAX_BODY = 64 << 20
@@ -53,9 +62,9 @@ MAX_HEADER = 64 << 10
 
 _REASONS = {
     200: "OK", 400: "Bad Request", 404: "Not Found",
-    405: "Method Not Allowed", 413: "Payload Too Large",
-    429: "Too Many Requests", 500: "Internal Server Error",
-    503: "Service Unavailable",
+    405: "Method Not Allowed", 408: "Request Timeout",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
 }
 
 
@@ -65,14 +74,32 @@ class _HttpError(Exception):
         self.status = status
 
 
-async def _read_request(reader):
+async def _read_request(reader, timeout=None):
     """Parse one request; returns (method, path, headers, body) or None
-    at a clean end of stream."""
+    at a clean end of stream.
+
+    ``timeout`` is the slowloris guard: an *idle* keep-alive connection
+    may wait forever for its next request, but once the first byte
+    lands the rest of the request must arrive within ``timeout``
+    seconds or the request fails with 408.
+    """
     try:
-        head = await reader.readuntil(b"\r\n\r\n")
-    except asyncio.IncompleteReadError as error:
-        if not error.partial:
-            return None
+        first = await reader.readexactly(1)
+    except asyncio.IncompleteReadError:
+        return None
+    if timeout is None:
+        return await _read_rest(reader, first)
+    try:
+        return await asyncio.wait_for(_read_rest(reader, first), timeout)
+    except asyncio.TimeoutError:
+        raise _HttpError(408, "request not received whole within %.1fs"
+                         % timeout) from None
+
+
+async def _read_rest(reader, first):
+    try:
+        head = first + await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError:
         raise _HttpError(400, "truncated request head") from None
     except asyncio.LimitOverrunError:
         raise _HttpError(413, "header block too large") from None
@@ -101,15 +128,18 @@ async def _read_request(reader):
     return method, path, headers, body
 
 
-def _response(status, payload, keep_alive):
+def _response(status, payload, keep_alive, extra_headers=None):
     body = json.dumps(payload).encode()
+    extra = "".join("%s: %s\r\n" % (name, value) for name, value in
+                    (extra_headers or {}).items())
     head = (
         "HTTP/1.1 %d %s\r\n"
         "Content-Type: application/json\r\n"
         "Content-Length: %d\r\n"
+        "%s"
         "Connection: %s\r\n"
         "\r\n" % (status, _REASONS.get(status, "Unknown"), len(body),
-                  "keep-alive" if keep_alive else "close")
+                  extra, "keep-alive" if keep_alive else "close")
     )
     return head.encode("latin-1") + body
 
@@ -159,10 +189,11 @@ class HttpFrontend:
     # -- connection handling --------------------------------------------
 
     async def _handle(self, reader, writer):
+        timeout = self.service.config.request_timeout_s
         try:
             while True:
                 try:
-                    request = await _read_request(reader)
+                    request = await _read_request(reader, timeout=timeout)
                 except _HttpError as error:
                     writer.write(_response(error.status,
                                            {"error": str(error)}, False))
@@ -173,15 +204,19 @@ class HttpFrontend:
                 method, path, headers, body = request
                 keep_alive = headers.get("connection", "").lower() != "close"
                 trace = {}
+                extra_headers = {}
                 try:
                     status, payload = await self._route(method, path, body,
-                                                        trace)
+                                                        headers, trace)
                 except _HttpError as error:
                     status, payload = error.status, {"error": str(error)}
                 except Exception as error:  # noqa: BLE001 — mapped to a code
                     status = status_for(error)
                     payload = {"error": "%s" % error,
                                "kind": type(error).__name__}
+                    retry_after = retry_after_for(error)
+                    if retry_after is not None:
+                        extra_headers["Retry-After"] = "%d" % retry_after
                 rtrace = trace.get("rtrace")
                 if isinstance(payload, str):
                     data = payload.encode()
@@ -197,7 +232,8 @@ class HttpFrontend:
                     writer.write(head + data)
                 elif rtrace is not None:
                     span = rtrace.start("response.serialize")
-                    data = _response(status, payload, keep_alive)
+                    data = _response(status, payload, keep_alive,
+                                     extra_headers)
                     rtrace.finish(span, bytes=len(data))
                     error_text = (payload.get("error")
                                   if status >= 400
@@ -205,7 +241,8 @@ class HttpFrontend:
                     self.service.end_trace(rtrace, status, error=error_text)
                     writer.write(data)
                 else:
-                    writer.write(_response(status, payload, keep_alive))
+                    writer.write(_response(status, payload, keep_alive,
+                                           extra_headers))
                 await writer.drain()
                 if not keep_alive:
                     break
@@ -224,13 +261,15 @@ class HttpFrontend:
 
     # -- routing --------------------------------------------------------
 
-    async def _route(self, method, path, body, trace=None):
+    async def _route(self, method, path, body, headers=None, trace=None):
         """Dispatch one request.  ``trace`` (a dict) receives the
         request's :class:`RequestTrace` under ``"rtrace"`` as soon as
         one is minted, so the handler can finalize it even when the
         route body raises."""
         service = self.service
         trace = trace if trace is not None else {}
+        headers = headers or {}
+        idem_key = headers.get("idempotency-key")
         path = path.split("?", 1)[0]
         segments = [s for s in path.split("/") if s]
 
@@ -255,12 +294,17 @@ class HttpFrontend:
                     raise _HttpError(405, "POST /tenants")
                 rtrace = service.begin_trace("create_tenant")
                 trace["rtrace"] = rtrace
-                return 200, await service.create_tenant(_json_body(body),
-                                                        rtrace=rtrace)
+                return 200, await service.create_tenant(
+                    _json_body(body), rtrace=rtrace,
+                    deadline=service.deadline_from(headers),
+                    idempotency_key=idem_key,
+                )
             tenant_id = segments[1]
             if len(segments) == 2:
                 if method == "DELETE":
-                    return 200, await service.delete_tenant(tenant_id)
+                    return 200, await service.delete_tenant(
+                        tenant_id, idempotency_key=idem_key
+                    )
                 if method == "GET":
                     return 200, service.tenant_status(tenant_id)
                 raise _HttpError(405, "GET or DELETE /tenants/{id}")
@@ -272,7 +316,8 @@ class HttpFrontend:
                                                  tenant=tenant_id)
                     trace["rtrace"] = rtrace
                     return 200, await service.advise(
-                        tenant_id, payload.get("options"), rtrace=rtrace
+                        tenant_id, payload.get("options"), rtrace=rtrace,
+                        deadline=service.deadline_from(headers),
                     )
                 if action == "trace" and method == "POST":
                     payload = _json_body(body)
@@ -286,7 +331,8 @@ class HttpFrontend:
                     rtrace = service.begin_trace("feed", tenant=tenant_id)
                     trace["rtrace"] = rtrace
                     return 200, await service.feed_trace_chunk(
-                        tenant_id, entries, rtrace=rtrace
+                        tenant_id, entries, rtrace=rtrace,
+                        idempotency_key=idem_key,
                     )
                 if action == "status" and method == "GET":
                     return 200, service.tenant_status(tenant_id)

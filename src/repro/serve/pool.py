@@ -36,6 +36,48 @@ class PoolCrashError(ReproError):
     """The worker executing this job died; the pool was rebuilt."""
 
 
+class DeadlineError(ReproError):
+    """The request's deadline expired before its work ran (HTTP 503).
+
+    Raised at admission when the deadline is already in the past, by
+    the fair scheduler when a queued job's deadline lapses before
+    dispatch (the job is shed without wasting a worker), and by a pool
+    job that finds its wall-clock deadline gone on entry."""
+
+
+def _deadline_guard(options, job_name):
+    """Shed a job whose wall-clock deadline already passed.
+
+    Deadlines cross the process boundary as ``options["deadline_unix"]``
+    (wall clock — monotonic clocks do not travel between processes);
+    returns the remaining seconds, or None when the job carries no
+    deadline.  The scheduler already clamps ``solve_budget_s`` to the
+    remaining *monotonic* deadline at dispatch; this guard catches the
+    executor's own queueing delay on a saturated pool.
+    """
+    deadline = (options.get("deadline_unix")
+                if isinstance(options, dict) else None)
+    if deadline is None:
+        return None
+    remaining = float(deadline) - time.time()
+    if remaining <= 0:
+        raise DeadlineError(
+            "deadline expired before %s started; retry later" % job_name
+        )
+    return remaining
+
+
+def _clamped_budget(options, remaining):
+    """The watchdog budget honoring both the caller and the deadline."""
+    budget = options.get("solve_budget_s") if isinstance(options, dict) \
+        else None
+    if remaining is None:
+        return budget
+    if budget is None:
+        return remaining
+    return min(float(budget), remaining)
+
+
 # ----------------------------------------------------------------------
 # Job entry points (must be module-level: workers import them by name)
 # ----------------------------------------------------------------------
@@ -79,6 +121,7 @@ def advise_job(problem, options):
     ``"obs"`` payload with the worker's span tree and counters.
     """
     started = time.perf_counter()
+    remaining = _deadline_guard(options, "advise")
     obs, root = _worker_obs(options, "worker.advise")
     result = LayoutAdvisor(
         problem,
@@ -86,7 +129,7 @@ def advise_job(problem, options):
         restarts=int(options.get("restarts", 1)),
         method=options.get("method", "auto"),
         seed=int(options.get("seed", 0)),
-        solve_budget_s=options.get("solve_budget_s"),
+        solve_budget_s=_clamped_budget(options, remaining),
         obs=obs,
     ).recommend()
     out = {
@@ -109,9 +152,10 @@ def resolve_job(problem, initial_matrix, options):
     import numpy as np
 
     started = time.perf_counter()
+    remaining = _deadline_guard(options, "resolve")
     obs, root = _worker_obs(options, "worker.resolve")
     initial = problem.make_layout(np.asarray(initial_matrix, dtype=float))
-    budget = options.get("solve_budget_s")
+    budget = _clamped_budget(options, remaining)
     method = options.get("method", "auto")
     restarts = int(options.get("restarts", 1))
     rung = ""

@@ -30,6 +30,7 @@ import time
 from collections import deque
 
 from repro.errors import ReproError
+from repro.serve.pool import DeadlineError
 
 
 class AdmissionError(ReproError):
@@ -42,17 +43,24 @@ class TenantGoneError(ReproError):
 
 class _Job:
     __slots__ = ("key", "fn", "args", "future", "enqueued_s", "rtrace",
-                 "queue_span")
+                 "queue_span", "deadline")
 
-    def __init__(self, key, fn, args, future, rtrace=None):
+    def __init__(self, key, fn, args, future, rtrace=None, deadline=None):
         self.key = key
         self.fn = fn
         self.args = args
         self.future = future
         self.enqueued_s = time.perf_counter()
         self.rtrace = rtrace
+        self.deadline = deadline  # absolute time.perf_counter() seconds
         self.queue_span = (rtrace.start("scheduler.queue", tenant=key)
                            if rtrace is not None else None)
+
+    def remaining_s(self):
+        """Seconds until this job's deadline (None = no deadline)."""
+        if self.deadline is None:
+            return None
+        return float(self.deadline) - time.perf_counter()
 
 
 class FairScheduler:
@@ -83,6 +91,7 @@ class FairScheduler:
         self.inflight = 0
         self.rejected = 0
         self.completed = 0
+        self.deadline_shed = 0
         self._wake = asyncio.Event()
         self._task = None
         self._stopped = False
@@ -155,7 +164,8 @@ class FairScheduler:
     # Submission
     # ------------------------------------------------------------------
 
-    async def submit(self, key, fn, *args, preadmitted=False, rtrace=None):
+    async def submit(self, key, fn, *args, preadmitted=False, rtrace=None,
+                     deadline=None):
         """Queue ``fn(*args)`` for tenant ``key``; await its result.
 
         Raises :class:`AdmissionError` when the global bound is hit and
@@ -168,9 +178,22 @@ class FairScheduler:
         wait and pool dispatch become spans, the worker result's obs
         payload is grafted under the dispatch span, and the trace's
         ``queue_wait_s`` / ``solve_s`` / ``rung`` slots are filled.
+
+        ``deadline`` (absolute ``time.perf_counter()`` seconds) sheds
+        the job with :class:`~repro.serve.pool.DeadlineError` — at
+        submit when already expired, at dispatch when its queue wait
+        ate the whole budget (no worker is wasted on a dead request),
+        and clamps the solver watchdog budget to whatever deadline
+        remains at dispatch.
         """
         if key not in self._queues:
             raise TenantGoneError("unknown tenant %r" % key)
+        if deadline is not None and time.perf_counter() >= deadline:
+            self.deadline_shed += 1
+            self._count_deadline_shed("submit")
+            raise DeadlineError(
+                "deadline expired before admission; retry later"
+            )
         if not preadmitted and self.pending >= self.max_pending:
             self.rejected += 1
             if self.metrics is not None:
@@ -181,7 +204,7 @@ class FairScheduler:
             )
         job = _Job(key, fn, args,
                    asyncio.get_running_loop().create_future(),
-                   rtrace=rtrace)
+                   rtrace=rtrace, deadline=deadline)
         self._queues[key].append(job)
         self.pending += 1
         self._gauge()
@@ -216,6 +239,22 @@ class FairScheduler:
                     break
                 job = self._queues[key].popleft()
                 self.pending -= 1
+                remaining = job.remaining_s()
+                if remaining is not None and remaining <= 0:
+                    # Expired while queued: shed before it wastes a
+                    # worker slot (503 + Retry-After at the HTTP layer).
+                    self.deadline_shed += 1
+                    self._count_deadline_shed("queue")
+                    if job.queue_span is not None:
+                        job.rtrace.finish(job.queue_span,
+                                          error="DeadlineError")
+                    if not job.future.done():
+                        job.future.set_exception(DeadlineError(
+                            "deadline expired after %.3fs in queue; "
+                            "retry later"
+                            % (time.perf_counter() - job.enqueued_s)
+                        ))
+                    continue
                 self.inflight += 1
                 dispatched += 1
                 self._vclock = max(self._vclock,
@@ -243,13 +282,27 @@ class FairScheduler:
                 job=getattr(job.fn, "__name__", str(job.fn)),
                 generation=self.pool.generation,
             )
-            # By convention the job's last positional argument is its
-            # options dict; a copy carries the picklable trace context
-            # into the worker process.
-            if args and isinstance(args[-1], dict):
-                traced = dict(args[-1])
-                traced["trace_ctx"] = rtrace.worker_context(dispatch_span)
-                args = args[:-1] + (traced,)
+        # By convention the job's last positional argument is its
+        # options dict; a copy carries the picklable trace context and
+        # the remaining deadline into the worker process.
+        remaining = job.remaining_s()
+        if args and isinstance(args[-1], dict) \
+                and (dispatch_span is not None or remaining is not None):
+            options = dict(args[-1])
+            if dispatch_span is not None:
+                options["trace_ctx"] = rtrace.worker_context(dispatch_span)
+            if remaining is not None:
+                remaining = max(0.0, remaining)
+                # The watchdog budget never exceeds what is left of the
+                # request's deadline; a job with no budget of its own
+                # inherits the deadline as one.
+                budget = options.get("solve_budget_s")
+                options["solve_budget_s"] = (
+                    remaining if budget is None
+                    else min(float(budget), remaining)
+                )
+                options["deadline_unix"] = time.time() + remaining
+            args = args[:-1] + (options,)
         try:
             result = await self.pool.run(job.fn, *args)
             error = None
@@ -304,6 +357,11 @@ class FairScheduler:
     def _gauge(self):
         if self.metrics is not None:
             self.metrics.gauge("repro_serve_queue_depth").set(self.pending)
+
+    def _count_deadline_shed(self, stage):
+        if self.metrics is not None:
+            self.metrics.counter("repro_serve_deadline_shed_total",
+                                 stage=stage).inc()
 
     # ------------------------------------------------------------------
     # Accounting

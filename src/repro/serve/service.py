@@ -45,7 +45,10 @@ from repro.obs import Instrumentation
 from repro.obs.export import prometheus_text_multi
 from repro.obs.slo import SloEngine, SloObjective
 from repro.online.controller import ControllerConfig
-from repro.serve.pool import SolverPool, advise_job, resolve_job
+from repro.serve.durability import TenantWAL, recover_state_dir, \
+    write_snapshot
+from repro.serve.pool import DeadlineError, SolverPool, advise_job, \
+    resolve_job
 from repro.serve.scheduler import (AdmissionError, FairScheduler,
                                    TenantGoneError)
 from repro.serve.tenant import Tenant, records_from_payload
@@ -79,11 +82,24 @@ def status_for(error):
     if isinstance(error, (TenantGoneError, UnknownTenantError,
                           UnknownTraceError)):
         return 404
-    if isinstance(error, ServiceDrainingError):
+    if isinstance(error, (ServiceDrainingError, DeadlineError)):
         return 503
     if isinstance(error, (ReproError, ValueError, KeyError)):
         return 400
     return 500
+
+
+def retry_after_for(error):
+    """Whole seconds for a ``Retry-After`` header, or None.
+
+    Shed load (admission full, deadline expired, draining) is
+    retryable by construction; everything else is not.
+    """
+    if isinstance(error, (AdmissionError, DeadlineError)):
+        return 1
+    if isinstance(error, ServiceDrainingError):
+        return 5
+    return None
 
 
 @dataclasses.dataclass
@@ -96,8 +112,19 @@ class ServeConfig:
         use_processes: ``False`` runs solver jobs on threads (tests).
         max_pending: Admission bound on queued solver jobs.
         feed_threads: Worker threads applying trace chunks.
-        state_dir: Root for per-tenant state (migration journals);
-            ``None`` disables journaling.
+        state_dir: Root for per-tenant state (migration journals, the
+            write-ahead log, and snapshots); ``None`` disables all
+            durability.
+        snapshot_every: Take a compacting snapshot of a tenant every
+            this many applied trace chunks (0 disables periodic
+            snapshots; one is still written at drain and after
+            recovery).
+        request_timeout_s: Kill a connection whose request does not
+            arrive whole within this window once its first byte lands
+            (HTTP 408 — slowloris guard).  ``None`` disables it.
+        default_deadline_s: Deadline stamped on advise/create solver
+            work when the request carries no ``X-Deadline-Ms`` header;
+            ``None`` means no deadline unless the client asks.
         trace_requests: Record a stitched cross-process trace per
             external request (``False`` disables request tracing;
             solver jobs then run uninstrumented).
@@ -118,6 +145,9 @@ class ServeConfig:
     max_pending: int = 64
     feed_threads: int = 4
     state_dir: str = None
+    snapshot_every: int = 16
+    request_timeout_s: float = 30.0
+    default_deadline_s: float = None
     trace_requests: bool = True
     trace_ring: int = DEFAULT_RING
     access_log: str = None
@@ -149,6 +179,11 @@ class AdvisorService:
                            if self.config.access_log else None)
         self._loop = None
         self._seq = 0
+        #: Idempotency-Key → {tenant, route, response} replay cache
+        #: (WAL-backed; rebuilt by recovery).
+        self._idem = {}
+        #: Summary of the last startup recovery (None before one ran).
+        self.recovery = None
 
     # ------------------------------------------------------------------
     # Request tracing
@@ -191,6 +226,10 @@ class AdvisorService:
     async def start(self):
         self._loop = asyncio.get_running_loop()
         self.scheduler.start()
+        if self.config.state_dir is not None:
+            # Recovery is pure bookkeeping (no pool work) but fsyncs
+            # fresh snapshots; keep that off the event loop.
+            await self._loop.run_in_executor(None, self.recover)
         return self
 
     async def drain(self):
@@ -208,6 +247,12 @@ class AdvisorService:
         await self.scheduler.stop()
         for tenant in self.tenants.values():
             tenant.suspend()
+            # A parting snapshot makes the next boot's replay trivial;
+            # the suspended journal (if any) stays uncommitted on disk
+            # for the successor to resume.
+            self._snapshot_tenant(tenant)
+            if tenant.wal is not None:
+                tenant.wal.close()
         await loop.run_in_executor(None, self.pool.shutdown)
         if self.access_log is not None:
             self.access_log.close()
@@ -271,7 +316,8 @@ class AdvisorService:
             return future.result()
         return run
 
-    async def create_tenant(self, payload, rtrace=None):
+    async def create_tenant(self, payload, rtrace=None, deadline=None,
+                            idempotency_key=None):
         """Admit a tenant; returns its id, layout, and resume count.
 
         Like :meth:`advise`, the service owns the request trace when
@@ -282,7 +328,9 @@ class AdvisorService:
         if owned:
             rtrace = self.begin_trace("create_tenant")
         try:
-            response = await self._create_tenant(payload, rtrace)
+            response = await self._create_tenant(payload, rtrace,
+                                                 deadline,
+                                                 idempotency_key)
         except BaseException as error:
             if owned:
                 self.end_trace(rtrace, status_for(error), error=error)
@@ -291,8 +339,12 @@ class AdvisorService:
             self.end_trace(rtrace)
         return response
 
-    async def _create_tenant(self, payload, rtrace):
+    async def _create_tenant(self, payload, rtrace, deadline=None,
+                             idempotency_key=None):
         self._check_open()
+        replayed = self._idempotent_replay(idempotency_key)
+        if replayed is not None:
+            return replayed
         if not isinstance(payload, dict):
             raise ReproError("create_tenant needs a 'problem' description")
         if "scenario" in payload:
@@ -342,6 +394,7 @@ class AdvisorService:
                 out = await self.scheduler.submit(
                     tenant_id, advise_job, problem,
                     self._advise_options(config), rtrace=rtrace,
+                    deadline=deadline,
                 )
                 layout = self._explicit_layout(problem,
                                                out["payload"]["layout"])
@@ -350,7 +403,10 @@ class AdvisorService:
             raise
 
         tenant = Tenant(tenant_id, problem, layout, config=config,
-                        weight=weight, solve_fn=self._solve_fn(tenant_id))
+                        weight=weight, solve_fn=self._solve_fn(tenant_id),
+                        problem_payload=payload["problem"],
+                        controller_overrides=payload.get("controller"))
+        self._attach_wal(tenant, objective)
         resumed = self._resume_journals(tenant)
         self.tenants[tenant_id] = tenant
         self.slo.register(tenant_id, objective)
@@ -362,6 +418,8 @@ class AdvisorService:
             "resumed_migrations": resumed,
             "slo": objective.to_dict(),
         }
+        self._record_idempotency(idempotency_key, tenant_id,
+                                 "create_tenant", response)
         if rtrace is not None:
             response["trace_id"] = rtrace.trace_id
         return response
@@ -408,26 +466,286 @@ class AdvisorService:
             ).inc(resumed)
         return resumed
 
-    async def delete_tenant(self, tenant_id):
+    # ------------------------------------------------------------------
+    # Durability: WAL, snapshots, recovery
+    # ------------------------------------------------------------------
+
+    def _attach_wal(self, tenant, objective):
+        """Open the tenant's WAL and make its creation durable."""
+        if self.config.state_dir is None:
+            return None
+        directory = os.path.join(self.config.state_dir, tenant.tenant_id)
+        wal = TenantWAL.resume(directory)
+        tenant.attach_wal(wal, snapshot_every=self.config.snapshot_every,
+                          snapshot_fn=self._snapshot_tenant)
+        wal.append(
+            "create", tenant_id=tenant.tenant_id,
+            problem=tenant.problem_payload,
+            controller=tenant.controller_overrides,
+            weight=tenant.weight, slo=objective.to_dict(),
+            layout={name: [float(f) for f in row] for name, row in
+                    tenant.controller.layout.fractions_by_name().items()},
+            journal_seq=tenant.controller._journal_seq,
+        )
+        return wal
+
+    def _snapshot_tenant(self, tenant):
+        """Write one compacting snapshot and truncate the tenant's WAL.
+
+        Runs on whichever thread triggered it (the feed thread for
+        periodic snapshots, the recovery thread at boot, the event loop
+        at drain) — the write is atomic and the WAL seq counter is the
+        coordination point, so no extra locking is needed beyond the
+        callers' existing serialization.
+        """
+        wal = tenant.wal
+        if wal is None:
+            return None
+        tenant_id = tenant.tenant_id
+        state = tenant.persist_state()
+        objective = self.slo.objective_for(tenant_id)
+        if objective is not None:
+            state["slo"] = objective.to_dict()
+        state["slo_state"] = self.slo.persist_state(tenant_id)
+        state["idempotency"] = {
+            key: {"route": entry.get("route"),
+                  "response": entry.get("response")}
+            for key, entry in list(self._idem.items())
+            if entry.get("tenant") == tenant_id
+            and entry.get("route") != "delete_tenant"
+        }
+        state["wal_seq"] = wal.seq
+        path = write_snapshot(wal.directory, state)
+        wal.compact(wal.seq)
+        self.metrics.counter("repro_serve_snapshots_total").inc()
+        return path
+
+    def recover(self):
+        """Rebuild every tenant from ``state_dir`` (called at startup).
+
+        Replays snapshot + WAL per tenant, reconciles migration
+        journals (committed-but-unswapped journals are adopted without
+        re-copying; uncommitted ones are resumed exactly once), restores
+        SLO high-water marks and the idempotency cache, then writes a
+        fresh snapshot so the *next* recovery starts from here.  One
+        corrupt tenant is reported and skipped, never fatal.
+        """
+        started = time.perf_counter()
+        span = self.obs.tracer.start("service.recover")
+        states, errors = recover_state_dir(self.config.state_dir)
+        errors = [(directory, error) for directory, error in errors]
+        recovered = resumed = adopted = 0
+        skipped_lines = 0
+        for state in states:
+            try:
+                tenant_resumed, tenant_adopted = \
+                    self._recover_tenant(state)
+            except Exception as error:  # noqa: BLE001 — isolated
+                errors.append((str(state.get("tenant_id")), error))
+                continue
+            recovered += 1
+            resumed += tenant_resumed
+            adopted += tenant_adopted
+            skipped_lines += int(state.get("wal_skipped") or 0)
+        elapsed = time.perf_counter() - started
+        self.recovery = {
+            "recovered_tenants": recovered,
+            "resumed_migrations": resumed,
+            "adopted_swaps": adopted,
+            "wal_skipped_lines": skipped_lines,
+            "errors": [[str(where), "%s" % error]
+                       for where, error in errors],
+            "elapsed_s": round(elapsed, 6),
+        }
+        self.metrics.gauge("repro_recovery_tenants").set(recovered)
+        self.metrics.gauge("repro_recovery_seconds").set(elapsed)
+        self.metrics.gauge("repro_recovery_resumed_migrations").set(
+            resumed)
+        self.metrics.gauge("repro_recovery_adopted_swaps").set(adopted)
+        self.metrics.gauge("repro_recovery_wal_skipped_lines").set(
+            skipped_lines)
+        self.metrics.gauge("repro_recovery_errors").set(len(errors))
+        self.obs.tracer.finish(span, tenants=recovered, resumed=resumed,
+                               adopted=adopted, errors=len(errors))
+        return self.recovery
+
+    def _recover_tenant(self, state):
+        """One tenant's state dict → a live, registered tenant."""
+        from repro.cli import load_problem
+
+        tenant_id = state["tenant_id"]
+        problem = load_problem(state["problem"])
+        config = self._controller_config(state.get("controller"),
+                                         tenant_id)
+        layout = self._explicit_layout(problem, state["layout"])
+        weight = float(state.get("weight", 1.0))
+        objective = SloObjective.from_payload(
+            state.get("slo"), default=self.slo.default_objective
+        )
+        self.scheduler.register(tenant_id, weight=weight)
+        tenant = Tenant(tenant_id, problem, layout, config=config,
+                        weight=weight, solve_fn=self._solve_fn(tenant_id),
+                        problem_payload=state["problem"],
+                        controller_overrides=state.get("controller"))
+        tenant.restore(state)
+        wal = TenantWAL(os.path.join(self.config.state_dir, tenant_id),
+                        start_seq=state["wal_seq"])
+        tenant.attach_wal(wal,
+                          snapshot_every=self.config.snapshot_every,
+                          snapshot_fn=self._snapshot_tenant)
+        resumed, adopted = self._reconcile_journals(tenant)
+        self.tenants[tenant_id] = tenant
+        self.slo.restore(tenant_id, objective, state.get("slo_state"))
+        for key, entry in (state.get("idempotency") or {}).items():
+            self._idem.setdefault(key, {
+                "tenant": tenant_id, "route": entry.get("route"),
+                "response": entry.get("response") or {},
+            })
+        self.metrics.gauge("repro_serve_wal_skipped_lines",
+                           tenant=tenant_id).set(tenant.wal_skipped)
+        if resumed:
+            self.metrics.counter(
+                "repro_serve_migrations_resumed_total"
+            ).inc(resumed)
+        match = re.match(r"^tenant-(\d+)$", tenant_id)
+        if match:
+            self._seq = max(self._seq, int(match.group(1)))
+        self.metrics.gauge("repro_serve_tenants").set(len(self.tenants))
+        # Fold everything just replayed into a fresh snapshot: the next
+        # crash recovers from *here*, and journal reconciliation (the
+        # swapped-journal list above all) is never repeated.
+        self._snapshot_tenant(tenant)
+        return resumed, adopted
+
+    def _reconcile_journals(self, tenant):
+        """Recovery-time journal sweep; returns (resumed, adopted).
+
+        Three cases per journal: committed and already in the WAL's
+        swapped list — nothing to do; committed but never swapped in
+        the WAL (crash between journal commit and WAL append) — adopt
+        the layout without re-copying and write the missing swap record
+        now; uncommitted — resume, which finishes the tail chunks,
+        commits, installs, and WALs the swap, exactly once.
+        """
+        journal_dir = tenant.config.journal_dir
+        if journal_dir is None or not os.path.isdir(journal_dir):
+            return 0, 0
+        from repro.faults.journal import MigrationJournal
+
+        resumed = adopted = 0
+        now = tenant.last_time if tenant.last_time is not None else 0.0
+        for name in sorted(os.listdir(journal_dir)):
+            match = re.match(r"migration-(\d+)\.jsonl$", name)
+            if not match:
+                continue
+            tenant.controller._journal_seq = max(
+                tenant.controller._journal_seq, int(match.group(1))
+            )
+            path = os.path.join(journal_dir, name)
+            if MigrationJournal.load(path).committed:
+                if name in tenant._swapped_journals:
+                    continue
+                tenant.controller.adopt_committed_swap(path, now=now)
+                tenant.record_swap(name)
+                adopted += 1
+            else:
+                tenant.controller.resume_migration(path)
+                resumed += 1
+        return resumed, adopted
+
+    # ------------------------------------------------------------------
+    # Idempotency and deadlines
+    # ------------------------------------------------------------------
+
+    def _idempotent_replay(self, key):
+        """The recorded response for a seen Idempotency-Key, or None."""
+        if not key:
+            return None
+        entry = self._idem.get(key)
+        if entry is None:
+            return None
+        self.metrics.counter("repro_serve_idempotent_replays_total").inc()
+        response = dict(entry.get("response") or {})
+        response["replayed"] = True
+        return response
+
+    def _record_idempotency(self, key, tenant_id, route, response):
+        """WAL + cache one keyed mutation's response for replay."""
+        if not key:
+            return
+        safe = {k: v for k, v in response.items() if k != "trace_id"}
+        tenant = self.tenants.get(tenant_id)
+        if tenant is not None and tenant.wal is not None:
+            tenant.wal.append("idem", key=str(key), route=route,
+                              response=safe)
+        self._idem[str(key)] = {"tenant": tenant_id, "route": route,
+                                "response": safe}
+
+    def deadline_from(self, headers=None, deadline_ms=None):
+        """Mint an absolute request deadline at admission, or None.
+
+        Precedence: an explicit ``deadline_ms``, then the request's
+        ``X-Deadline-Ms`` header, then the service default.
+        """
+        if deadline_ms is None and headers:
+            raw = headers.get("x-deadline-ms")
+            if raw is not None:
+                try:
+                    deadline_ms = float(raw)
+                except ValueError:
+                    raise ReproError(
+                        "X-Deadline-Ms must be a number, got %r" % raw
+                    ) from None
+        if deadline_ms is not None:
+            seconds = float(deadline_ms) / 1000.0
+        elif self.config.default_deadline_s is not None:
+            seconds = float(self.config.default_deadline_s)
+        else:
+            return None
+        if seconds <= 0:
+            raise ReproError("deadline must be positive")
+        return time.perf_counter() + seconds
+
+    async def delete_tenant(self, tenant_id, idempotency_key=None):
+        replayed = self._idempotent_replay(idempotency_key)
+        if replayed is not None:
+            return replayed
         tenant = self._tenant(tenant_id)
         tenant.deleted = True
         del self.tenants[tenant_id]
         self.scheduler.forget(tenant_id)
         self.slo.forget(tenant_id)
         tenant.suspend()
+        if tenant.wal is not None:
+            tenant.wal.append("delete", tenant_id=tenant_id)
+            tenant.wal.close()
         self.metrics.gauge("repro_serve_tenants").set(len(self.tenants))
-        return {"tenant": tenant_id, "deleted": True}
+        response = {"tenant": tenant_id, "deleted": True}
+        if idempotency_key:
+            # In-memory only: the tenant's WAL ends with its delete
+            # record, so a replay after a *restart* answers 404 instead
+            # — an acceptable answer to "delete something gone".
+            self._idem[idempotency_key] = {
+                "tenant": tenant_id, "route": "delete_tenant",
+                "response": dict(response),
+            }
+        return response
 
     # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
 
-    async def advise(self, tenant_id, options=None, rtrace=None):
+    async def advise(self, tenant_id, options=None, rtrace=None,
+                     deadline=None):
         """One-shot advise for a tenant's problem on the shared pool.
 
         Called without ``rtrace`` (tests, embedded use) the service
         owns the request trace end to end; the HTTP layer passes one in
         and finalizes it itself after serializing the response.
+
+        ``deadline`` (absolute ``time.perf_counter()`` seconds, as
+        minted by :meth:`deadline_from`) sheds the solver job once
+        expired and clamps its watchdog budget to whatever remains.
         """
         self._check_open()
         owned = rtrace is None
@@ -443,7 +761,8 @@ class AdvisorService:
             started = time.perf_counter()
             out = await self.scheduler.submit(tenant_id, advise_job,
                                               tenant.problem, merged,
-                                              rtrace=rtrace)
+                                              rtrace=rtrace,
+                                              deadline=deadline)
             tenant.advises += 1
             self.metrics.histogram("repro_serve_advise_seconds").observe(
                 time.perf_counter() - started
@@ -463,9 +782,18 @@ class AdvisorService:
             self.end_trace(rtrace)
         return response
 
-    async def feed_trace_chunk(self, tenant_id, entries, rtrace=None):
-        """Stream completion records into the tenant's control loop."""
+    async def feed_trace_chunk(self, tenant_id, entries, rtrace=None,
+                               idempotency_key=None):
+        """Stream completion records into the tenant's control loop.
+
+        With an ``idempotency_key``, a retried chunk (client saw the
+        connection die mid-response) replays the recorded response
+        instead of advancing the tenant's clock twice.
+        """
         self._check_open()
+        replayed = self._idempotent_replay(idempotency_key)
+        if replayed is not None:
+            return replayed
         owned = rtrace is None
         if owned:
             rtrace = self.begin_trace("feed", tenant=tenant_id)
@@ -482,6 +810,8 @@ class AdvisorService:
             if owned:
                 self.end_trace(rtrace, status_for(error), error=error)
             raise
+        self._record_idempotency(idempotency_key, tenant_id, "feed",
+                                 result)
         if rtrace is not None:
             result = dict(result)
             result["trace_id"] = rtrace.trace_id
@@ -504,7 +834,19 @@ class AdvisorService:
                 "inflight": scheduler.inflight,
                 "completed": scheduler.completed,
                 "rejected": scheduler.rejected,
+                "deadline_shed": scheduler.deadline_shed,
                 "max_pending": scheduler.max_pending,
+            },
+            "durability": {
+                "state_dir": self.config.state_dir,
+                "snapshot_every": self.config.snapshot_every,
+                "wal_skipped_lines": {
+                    tenant_id: tenant.wal_skipped
+                    for tenant_id, tenant in sorted(self.tenants.items())
+                    if tenant.wal_skipped
+                },
+                "idempotency_keys": len(self._idem),
+                "recovery": self.recovery,
             },
             "pool": {
                 "workers": self.pool.max_workers,
@@ -555,6 +897,9 @@ class AdvisorService:
             self.scheduler.served_seconds(tenant_id), 6
         )
         status["jobs_done"] = self.scheduler.jobs_done(tenant_id)
+        if tenant.wal is not None:
+            status["wal_seq"] = tenant.wal.seq
+            status["wal_skipped"] = tenant.wal_skipped
         return status
 
     def tenant_events(self, tenant_id):

@@ -25,7 +25,9 @@ incrementally, chunk by chunk, holding the clock between HTTP requests.
 
 import os
 import threading
+from dataclasses import asdict
 
+from repro.core.layout import Layout
 from repro.core.migration import plan_migration
 from repro.errors import ReproError
 from repro.faults.journal import MigrationJournal
@@ -33,6 +35,7 @@ from repro.obs import Instrumentation
 from repro.online.controller import ControllerConfig, OnlineController
 from repro.serve.pool import rebuild_solve_result
 from repro.storage.request import CompletionRecord
+from repro.workload.spec import ObjectWorkload
 from repro.workload.trace_io import _FIELDS
 
 #: Trace-chunk record fields a client may omit, with their defaults.
@@ -108,6 +111,11 @@ class ServedController(OnlineController):
     def __init__(self, *args, solve_fn=None, **kwargs):
         self._solve_fn = solve_fn
         self._served = None    # {"started": t, "cost_s": s} while in flight
+        #: Called with the journal basename right after a migration's
+        #: placement swap installs — the tenant's WAL hook.  The swap's
+        #: own durable effect (the journal commit record) always
+        #: precedes this call; that ordering is the recovery contract.
+        self.on_swap = None
         super().__init__(*args, **kwargs)
 
     # -- solver routing -------------------------------------------------
@@ -186,6 +194,8 @@ class ServedController(OnlineController):
         self.migrating = False
         super()._install(pending, now, bytes_moved=pending.plan_bytes,
                          elapsed_s=state["cost_s"], virtual=True)
+        if self.on_swap is not None:
+            self.on_swap(os.path.basename(journal.path))
         return True
 
     def suspend_migration(self):
@@ -210,6 +220,36 @@ class ServedController(OnlineController):
                 journal.record_chunk(index)
             journal.record_commit()
             journal.close()
+            if self.on_swap is not None:
+                self.on_swap(os.path.basename(str(journal_path)))
+        return journal
+
+    def adopt_committed_swap(self, journal_path, now=0.0):
+        """Apply a committed journal's layout without re-copying.
+
+        Recovery calls this for a journal whose commit record landed but
+        whose ``swap`` line never reached the WAL (the crash hit the gap
+        between the two).  The copy already happened; only the in-memory
+        placement and drift baseline need to catch up to it.
+        """
+        journal = MigrationJournal.load(journal_path)
+        meta = journal.meta or {}
+        if not meta.get("layout"):
+            return journal
+        layout = self._aligned(Layout(
+            [meta["layout"][obj] for obj in meta["objects"]],
+            meta["objects"], meta["targets"],
+        ))
+        fitted = [ObjectWorkload(**spec) for spec in meta.get("fitted", [])]
+        if not fitted:
+            fitted = list(self.solved_workloads)
+        now = max(float(now), float(meta.get("accepted_at", 0.0)))
+        self.layout = layout
+        self.solved_workloads = fitted
+        self.detector.rebase(fitted,
+                             float(meta.get("predicted_util", 0.0)), now)
+        self.log.emit(now, "adopt-swap",
+                      journal=os.path.basename(str(journal_path)))
         return journal
 
 
@@ -231,9 +271,15 @@ class Tenant:
     """
 
     def __init__(self, tenant_id, problem, initial_layout, config=None,
-                 weight=1.0, solve_fn=None):
+                 weight=1.0, solve_fn=None, problem_payload=None,
+                 controller_overrides=None):
         self.tenant_id = str(tenant_id)
         self.problem = problem
+        #: Raw create-time payloads, kept verbatim for the WAL create
+        #: record and for snapshots — recovery reparses them through the
+        #: same ``load_problem`` / ``ControllerConfig`` path as create.
+        self.problem_payload = problem_payload
+        self.controller_overrides = dict(controller_overrides or {})
         self.weight = float(weight)
         self.obs = Instrumentation.on()
         self.config = config or ControllerConfig()
@@ -256,6 +302,12 @@ class Tenant:
         self.advises = 0
         self.last_time = None
         self.deleted = False
+        #: Durability (attached by the service when a state_dir is set).
+        self.wal = None
+        self.wal_skipped = 0
+        self.snapshot_every = 0
+        self._snapshot_fn = None
+        self._swapped_journals = []
         #: The request trace of the feed currently holding the lock;
         #: the service's ``solve_fn`` reads it so a re-solve triggered
         #: by this chunk joins the same distributed trace.
@@ -300,6 +352,23 @@ class Tenant:
                     self.last_time = records[-1].finish_time
                     self.records_fed += len(records)
                     self.chunks_fed += 1
+                    if self.wal is not None:
+                        # The chunk's side effects (clock, counters, any
+                        # swap pumped above — whose own record already
+                        # landed via on_swap) become durable before the
+                        # client sees the response.
+                        self.wal.append(
+                            "feed", clock_s=self.last_time,
+                            next_check=self._next_check,
+                            records_fed=self.records_fed,
+                            chunks_fed=self.chunks_fed,
+                            resolves=controller.resolves,
+                        )
+                        if (self._snapshot_fn is not None
+                                and self.snapshot_every > 0
+                                and self.chunks_fed % self.snapshot_every
+                                == 0):
+                            self._snapshot_fn(self)
                 return self.status()
             finally:
                 self.active_rtrace = None
@@ -329,3 +398,96 @@ class Tenant:
         """Drain hook: leave any in-flight migration journaled on disk."""
         with self.lock:
             return self.controller.suspend_migration()
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+
+    def attach_wal(self, wal, snapshot_every=0, snapshot_fn=None):
+        """Wire a :class:`~repro.serve.durability.TenantWAL` in.
+
+        ``snapshot_fn`` (called with this tenant every ``snapshot_every``
+        chunks, on the feed thread under the tenant lock) is the
+        service's compacting-snapshot hook — the service owns it because
+        a snapshot also folds in SLO state and the idempotency cache.
+        """
+        self.wal = wal
+        self.snapshot_every = int(snapshot_every)
+        self._snapshot_fn = snapshot_fn
+        self.controller.on_swap = self.record_swap
+        return self
+
+    def record_swap(self, journal_name):
+        """WAL a completed placement swap (idempotent per journal)."""
+        if journal_name in self._swapped_journals:
+            return
+        self._swapped_journals.append(journal_name)
+        if self.wal is not None:
+            controller = self.controller
+            self.wal.append(
+                "swap", journal=journal_name,
+                journal_seq=controller._journal_seq,
+                resolves=controller.resolves,
+                layout={name: [float(f) for f in row] for name, row in
+                        controller.layout.fractions_by_name().items()},
+            )
+
+    def persist_state(self):
+        """The snapshot core: everything the tenant itself can vouch
+        for (the service adds SLO state, idempotency, and ``wal_seq``).
+
+        Call under the tenant lock (or before the tenant serves
+        traffic) — snapshots taken mid-feed would tear the clock.
+        """
+        controller = self.controller
+        return {
+            "tenant_id": self.tenant_id,
+            "problem": self.problem_payload,
+            "controller": self.controller_overrides,
+            "weight": self.weight,
+            "layout": {name: [float(f) for f in row] for name, row in
+                       controller.layout.fractions_by_name().items()},
+            "clock_s": self.last_time,
+            "next_check": self._next_check,
+            "records_fed": self.records_fed,
+            "chunks_fed": self.chunks_fed,
+            "advises": self.advises,
+            "resolves": controller.resolves,
+            "monitor": controller.monitor.to_state(),
+            "solved": [asdict(w) for w in controller.solved_workloads],
+            "journal_seq": controller._journal_seq,
+            "swapped_journals": list(self._swapped_journals),
+            "snapshot_skipped": self.wal_skipped,
+        }
+
+    def restore(self, state):
+        """Load a replayed state dict (see
+        :func:`~repro.serve.durability.load_tenant_state`) into this
+        freshly-constructed tenant; call before it serves traffic."""
+        controller = self.controller
+        self.last_time = state.get("clock_s")
+        self._next_check = state.get("next_check")
+        self.records_fed = int(state.get("records_fed") or 0)
+        self.chunks_fed = int(state.get("chunks_fed") or 0)
+        self.advises = int(state.get("advises") or 0)
+        controller.resolves = int(state.get("resolves") or 0)
+        controller.monitor.restore_state(state.get("monitor"))
+        solved = state.get("solved")
+        if solved:
+            controller.solved_workloads = [
+                ObjectWorkload(**spec) for spec in solved
+            ]
+        now = self.last_time if self.last_time is not None else 0.0
+        solved_util = controller._predicted_util(
+            controller.solved_workloads, controller.layout
+        )
+        controller.detector.rebase(controller.solved_workloads,
+                                   solved_util, now)
+        controller._journal_seq = int(state.get("journal_seq") or 0)
+        self._swapped_journals = list(state.get("swapped_journals") or [])
+        self.wal_skipped = int(state.get("wal_skipped") or 0)
+        controller.log.emit(now, "recovered",
+                            chunks_fed=self.chunks_fed,
+                            records_fed=self.records_fed,
+                            resolves=controller.resolves)
+        return self

@@ -1,0 +1,188 @@
+"""Request-deadline tests: admission shedding, queue shedding before
+dispatch, watchdog-budget clamping, and the 503 + Retry-After surface.
+
+The regression this file pins: a request whose deadline expires while
+queued must be shed *before* a worker picks it up (no solver time spent
+on a dead request), and a job that does run never gets a watchdog
+budget larger than its remaining deadline.
+"""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.errors import ReproError
+from repro.serve.http import HttpFrontend
+from repro.serve.pool import DeadlineError, _deadline_guard
+from repro.serve.service import retry_after_for
+
+from tests.serve.conftest import (CONTROLLER, LAYOUT, PROBLEM,
+                                  make_service)
+
+
+def _payload(tenant_id="t1"):
+    return {"tenant_id": tenant_id, "problem": PROBLEM, "layout": LAYOUT,
+            "controller": CONTROLLER}
+
+
+def _echo_options(options):
+    return options
+
+
+def test_expired_deadline_is_shed_at_submit():
+    async def scenario():
+        service = make_service()
+        await service.start()
+        try:
+            await service.create_tenant(_payload())
+            with pytest.raises(DeadlineError):
+                await service.scheduler.submit(
+                    "t1", _echo_options, {},
+                    deadline=time.perf_counter() - 0.001,
+                )
+            assert service.scheduler.deadline_shed == 1
+            assert service.status()["queue"]["deadline_shed"] == 1
+        finally:
+            await service.drain()
+
+    asyncio.run(scenario())
+
+
+def test_queued_job_expiring_is_shed_before_dispatch():
+    async def scenario():
+        service = make_service(workers=1)
+        await service.start()
+        try:
+            await service.create_tenant(_payload())
+            completed_before = service.status()["queue"]["completed"]
+            # The only worker is busy for longer than the deadline.
+            blocker = asyncio.ensure_future(service.scheduler.submit(
+                "t1", time.sleep, 0.4, preadmitted=True
+            ))
+            await asyncio.sleep(0.05)
+            doomed = asyncio.ensure_future(service.scheduler.submit(
+                "t1", _echo_options, {},
+                deadline=time.perf_counter() + 0.1,
+            ))
+            with pytest.raises(DeadlineError):
+                await doomed
+            await blocker
+            # Only the blocker completed: the doomed job never reached
+            # a worker.
+            status = service.status()
+            assert status["queue"]["completed"] == completed_before + 1
+            assert status["queue"]["deadline_shed"] == 1
+        finally:
+            await service.drain()
+
+    asyncio.run(scenario())
+
+
+def test_watchdog_budget_is_clamped_to_remaining_deadline():
+    async def scenario():
+        service = make_service()
+        await service.start()
+        try:
+            await service.create_tenant(_payload())
+            before = time.perf_counter()
+            options = await service.scheduler.submit(
+                "t1", _echo_options, {"solve_budget_s": 99.0},
+                deadline=before + 0.5,
+            )
+            # The worker-side options carry a budget no larger than the
+            # deadline's remainder, and the wall-clock deadline for the
+            # in-worker guard.
+            assert options["solve_budget_s"] <= 0.5
+            assert options["solve_budget_s"] > 0.0
+            assert options["deadline_unix"] >= time.time() - 1.0
+
+            # Without an explicit budget the remaining deadline IS the
+            # budget.
+            options = await service.scheduler.submit(
+                "t1", _echo_options, {},
+                deadline=time.perf_counter() + 0.5,
+            )
+            assert 0.0 < options["solve_budget_s"] <= 0.5
+        finally:
+            await service.drain()
+
+    asyncio.run(scenario())
+
+
+def test_deadline_guard_sheds_expired_jobs_in_the_worker():
+    with pytest.raises(DeadlineError):
+        _deadline_guard({"deadline_unix": time.time() - 1.0}, "advise")
+    remaining = _deadline_guard({"deadline_unix": time.time() + 5.0},
+                                "advise")
+    assert 4.0 < remaining <= 5.0
+    assert _deadline_guard({}, "advise") is None
+
+
+def test_deadline_from_header_and_default():
+    service = make_service()
+    deadline = service.deadline_from(headers={"x-deadline-ms": "250"})
+    assert 0.0 < deadline - time.perf_counter() <= 0.25
+    assert service.deadline_from(headers={}) is None
+    with pytest.raises(ReproError):
+        service.deadline_from(headers={"x-deadline-ms": "soon"})
+    with pytest.raises(ReproError):
+        service.deadline_from(headers={"x-deadline-ms": "-5"})
+
+    service = make_service(default_deadline_s=1.5)
+    deadline = service.deadline_from(headers={})
+    assert 0.0 < deadline - time.perf_counter() <= 1.5
+
+
+def test_http_deadline_shed_maps_to_503_with_retry_after():
+    async def scenario():
+        frontend = HttpFrontend(make_service(workers=1))
+        await frontend.start()
+        try:
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", frontend.port)
+            body = __import__("json").dumps(_payload()).encode()
+            writer.write(
+                b"POST /tenants HTTP/1.1\r\nHost: x\r\n"
+                b"Content-Length: %d\r\n\r\n" % len(body) + body)
+            await writer.drain()
+            head = await reader.readuntil(b"\r\n\r\n")
+            assert b" 200 " in head.split(b"\r\n", 1)[0]
+            length = int([h.split(b":")[1] for h in head.split(b"\r\n")
+                          if h.lower().startswith(b"content-length")][0])
+            await reader.readexactly(length)
+
+            # Saturate the only worker, then advise with a deadline the
+            # queue wait is guaranteed to eat.
+            blocker = asyncio.ensure_future(
+                frontend.service.scheduler.submit(
+                    "t1", time.sleep, 0.6, preadmitted=True))
+            await asyncio.sleep(0.05)
+            writer.write(
+                b"POST /tenants/t1/advise HTTP/1.1\r\nHost: x\r\n"
+                b"X-Deadline-Ms: 100\r\n"
+                b"Content-Length: 2\r\n\r\n{}")
+            await writer.drain()
+            head = await reader.readuntil(b"\r\n\r\n")
+            status_line, _, rest = head.partition(b"\r\n")
+            assert b" 503 " in status_line, head
+            headers = {line.split(b":", 1)[0].strip().lower():
+                       line.split(b":", 1)[1].strip()
+                       for line in rest.split(b"\r\n") if b":" in line}
+            assert headers[b"retry-after"] == b"1"
+            writer.close()
+            await blocker
+        finally:
+            await frontend.stop()
+
+    asyncio.run(scenario())
+
+
+def test_retry_after_mapping():
+    from repro.serve.scheduler import AdmissionError
+    from repro.serve.service import ServiceDrainingError
+
+    assert retry_after_for(DeadlineError("x")) == 1
+    assert retry_after_for(AdmissionError("x")) == 1
+    assert retry_after_for(ServiceDrainingError("x")) == 5
+    assert retry_after_for(ReproError("x")) is None

@@ -57,13 +57,17 @@ def test_drain_journals_migration_and_next_incarnation_resumes(tmp_path):
 
     async def second_incarnation():
         frontend = HttpFrontend(make_service(state_dir=state))
-        await frontend.start()
+        await frontend.start()  # startup recovery rebuilds t1 from its WAL
         client = ServeClient("127.0.0.1", frontend.port)
-        made = await client.create_tenant(_create_body())
-        assert made["resumed_migrations"] == 1
+        status = await client.status()
+        recovery = status["durability"]["recovery"]
+        assert recovery["recovered_tenants"] == 1
+        assert recovery["resumed_migrations"] == 1
+        assert recovery["errors"] == []
         # The resumed migration installed the journaled target layout:
         # the hot object is no longer pinned to d0.
-        assert made["layout"]["b"][1] > 0.1
+        tenant = await client.tenant_status("t1")
+        assert tenant["layout"]["b"][1] > 0.1
         await client.close()
         await frontend.stop()
 

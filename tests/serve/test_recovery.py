@@ -1,0 +1,395 @@
+"""Crash-recovery tests: the service's startup ``recover()`` path.
+
+The in-process tests restart a service over the same state directory
+(drain → new incarnation) and pin the recovery semantics: tenants come
+back with their counters, layouts, SLO standing, and idempotency cache;
+suspended migrations finish exactly once.  The chaos-marked test does
+it the honest way — SIGKILL of a real server subprocess mid-work, no
+drain, and the next incarnation must still recover everything.
+"""
+
+import asyncio
+import glob
+import json
+import os
+import select
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.serve.client import ServeClient
+from repro.serve.http import HttpFrontend
+
+from tests.serve.conftest import (CONTROLLER, LAYOUT, PROBLEM, hot_chunk,
+                                  make_service)
+
+#: Copy estimate slow enough that a migration accepted mid-trace is
+#: still in flight when the incarnation dies.
+SLOW_COPY = {**CONTROLLER, "transfer_bps": 256 * 1024}
+
+
+def _payload(tenant_id="t1", controller=CONTROLLER, **extra):
+    body = {"tenant_id": tenant_id, "problem": PROBLEM, "layout": LAYOUT,
+            "controller": controller}
+    body.update(extra)
+    return body
+
+
+def test_restart_recovers_counters_layout_and_slo(tmp_path):
+    state = str(tmp_path / "state")
+
+    async def first():
+        service = make_service(state_dir=state)
+        await service.start()
+        try:
+            await service.create_tenant(_payload())
+            await service.advise("t1")
+            fed = await service.feed_trace_chunk("t1", hot_chunk(0.0, 10.0))
+            return fed, service.tenant_status("t1")
+        finally:
+            await service.drain()
+
+    fed, before = asyncio.run(first())
+    assert fed["records_fed"] > 0
+
+    async def second():
+        service = make_service(state_dir=state)
+        await service.start()
+        try:
+            recovery = service.recovery
+            after = service.tenant_status("t1")
+            slo = service.slo.snapshot("t1")
+            return recovery, after, slo
+        finally:
+            await service.drain()
+
+    recovery, after, slo = asyncio.run(second())
+    assert recovery["recovered_tenants"] == 1
+    assert recovery["errors"] == []
+    assert after["records_fed"] == before["records_fed"]
+    assert after["chunks_fed"] == before["chunks_fed"]
+    assert after["resolves"] == before["resolves"]
+    assert after["layout"] == before["layout"]
+    assert after["wal_seq"] > 0
+    # The SLO window's lifetime high-water marks survived the restart.
+    assert slo["total_requests"] > 0
+
+
+def test_suspended_migration_resumes_exactly_once(tmp_path):
+    state = str(tmp_path / "state")
+
+    async def first():
+        service = make_service(state_dir=state)
+        await service.start()
+        try:
+            await service.create_tenant(_payload(controller=SLOW_COPY))
+            fed = await service.feed_trace_chunk("t1", hot_chunk(0.0, 10.0))
+            assert fed["migrating"], "expected an in-flight migration"
+        finally:
+            await service.drain()
+
+    asyncio.run(first())
+
+    async def incarnation():
+        service = make_service(state_dir=state)
+        await service.start()
+        try:
+            return service.recovery
+        finally:
+            await service.drain()
+
+    second = asyncio.run(incarnation())
+    assert second["recovered_tenants"] == 1
+    assert second["resumed_migrations"] == 1
+    # The post-recovery snapshot folds the swap in: a third incarnation
+    # has nothing left to resume — the migration ran exactly once.
+    third = asyncio.run(incarnation())
+    assert third["recovered_tenants"] == 1
+    assert third["resumed_migrations"] == 0
+    assert third["adopted_swaps"] == 0
+    journal, = glob.glob(os.path.join(state, "t1", "migration-*.jsonl"))
+    commits = sum(1 for line in open(journal)
+                  if json.loads(line)["kind"] == "commit")
+    assert commits == 1
+
+
+def test_committed_swap_missing_from_wal_is_adopted(tmp_path):
+    """Crash in the journal-commit → WAL-swap gap: recovery adopts the
+    committed layout without re-copying and backfills the swap record."""
+    state = str(tmp_path / "state")
+
+    async def first():
+        service = make_service(state_dir=state)
+        await service.start()
+        try:
+            await service.create_tenant(_payload())
+            fed = await service.feed_trace_chunk("t1", hot_chunk(0.0, 12.0))
+            assert fed["resolves"] >= 1 and not fed["migrating"]
+            return service.tenant_status("t1")["layout"]
+        finally:
+            await service.drain()
+
+    swapped_layout = asyncio.run(first())
+
+    # Rewind durable state to just before the swap reached the WAL:
+    # keep the committed journal but replace snapshots + WAL with what
+    # existed right after the create — exactly what a crash inside the
+    # journal-commit → WAL-swap gap leaves behind.
+    tenant_dir = os.path.join(state, "t1")
+    for snapshot in glob.glob(os.path.join(tenant_dir, "snapshot-*.json")):
+        os.remove(snapshot)
+    with open(os.path.join(tenant_dir, "wal.jsonl"), "w") as handle:
+        handle.write(json.dumps({
+            "seq": 1, "kind": "create", "v": 1, "tenant_id": "t1",
+            "problem": PROBLEM, "controller": CONTROLLER, "weight": 1.0,
+            "slo": None, "layout": LAYOUT, "journal_seq": 0,
+        }) + "\n")
+
+    async def second():
+        service = make_service(state_dir=state)
+        await service.start()
+        try:
+            return service.recovery, service.tenant_status("t1")["layout"]
+        finally:
+            await service.drain()
+
+    recovery, layout = asyncio.run(second())
+    assert recovery["recovered_tenants"] == 1
+    assert recovery["resumed_migrations"] == 0
+    assert recovery["adopted_swaps"] == 1
+    assert layout == swapped_layout
+    journal, = glob.glob(os.path.join(tenant_dir, "migration-*.jsonl"))
+    commits = sum(1 for line in open(journal)
+                  if json.loads(line)["kind"] == "commit")
+    assert commits == 1, "adoption must not re-run the migration"
+
+
+def test_idempotency_cache_survives_restart(tmp_path):
+    state = str(tmp_path / "state")
+
+    async def first():
+        service = make_service(state_dir=state)
+        await service.start()
+        try:
+            made = await service.create_tenant(
+                _payload(), idempotency_key="create-t1")
+            again = await service.create_tenant(
+                _payload(), idempotency_key="create-t1")
+            assert again["replayed"] and again["tenant"] == made["tenant"]
+            fed = await service.feed_trace_chunk(
+                "t1", hot_chunk(0.0, 4.0), idempotency_key="chunk-0")
+            replay = await service.feed_trace_chunk(
+                "t1", hot_chunk(0.0, 4.0), idempotency_key="chunk-0")
+            assert replay["replayed"]
+            assert replay["records_fed"] == fed["records_fed"]
+        finally:
+            await service.drain()
+
+    asyncio.run(first())
+
+    async def second():
+        service = make_service(state_dir=state)
+        await service.start()
+        try:
+            made = await service.create_tenant(
+                _payload(), idempotency_key="create-t1")
+            assert made["replayed"], "key must survive the restart"
+            replay = await service.feed_trace_chunk(
+                "t1", hot_chunk(0.0, 4.0), idempotency_key="chunk-0")
+            assert replay["replayed"]
+            status = service.tenant_status("t1")
+            assert status["chunks_fed"] == 1, "the chunk applied once"
+        finally:
+            await service.drain()
+
+    asyncio.run(second())
+
+
+def test_deleted_tenant_stays_deleted_after_restart(tmp_path):
+    state = str(tmp_path / "state")
+
+    async def first():
+        service = make_service(state_dir=state)
+        await service.start()
+        try:
+            await service.create_tenant(_payload())
+            await service.delete_tenant("t1")
+        finally:
+            await service.drain()
+
+    asyncio.run(first())
+
+    async def second():
+        service = make_service(state_dir=state)
+        await service.start()
+        try:
+            return service.recovery, dict(service.tenants)
+        finally:
+            await service.drain()
+
+    recovery, tenants = asyncio.run(second())
+    assert recovery["recovered_tenants"] == 0
+    assert tenants == {}
+
+
+def test_wal_skipped_lines_surface_in_status(tmp_path):
+    state = str(tmp_path / "state")
+
+    async def first():
+        service = make_service(state_dir=state)
+        await service.start()
+        try:
+            await service.create_tenant(_payload())
+            await service.feed_trace_chunk("t1", hot_chunk(0.0, 4.0))
+        finally:
+            await service.drain()
+
+    asyncio.run(first())
+
+    # Simulate a disk fault corrupting a *middle* WAL line: a garbage
+    # line followed by a valid post-snapshot record.  (A garbage final
+    # line would be the torn-write case, which is silently dropped.)
+    tenant_dir = os.path.join(state, "t1")
+    snapshot = json.load(open(sorted(glob.glob(
+        os.path.join(tenant_dir, "snapshot-*.json")))[-1]))
+    with open(os.path.join(tenant_dir, "wal.jsonl"), "w") as handle:
+        handle.write("corrupted-by-a-disk-fault\n")
+        handle.write(json.dumps({
+            "seq": snapshot["wal_seq"] + 1, "kind": "feed", "v": 1,
+            "clock_s": snapshot["clock_s"],
+            "records_fed": snapshot["records_fed"],
+            "chunks_fed": snapshot["chunks_fed"],
+            "resolves": snapshot["resolves"],
+        }) + "\n")
+
+    async def second():
+        service = make_service(state_dir=state)
+        await service.start()
+        try:
+            return service.status()
+        finally:
+            await service.drain()
+
+    status = asyncio.run(second())
+    durability = status["durability"]
+    assert durability["recovery"]["wal_skipped_lines"] == 1
+    assert durability["wal_skipped_lines"] == {"t1": 1}
+
+
+# ----------------------------------------------------------------------
+# The honest version: SIGKILL a real server, no drain
+# ----------------------------------------------------------------------
+
+def _read_lines_until(stream, predicate, timeout_s):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        ready, _, _ = select.select([stream], [], [], 0.25)
+        if not ready:
+            continue
+        line = stream.readline()
+        if not line:
+            break
+        if predicate(line):
+            return line
+    raise AssertionError("server never printed the expected line")
+
+
+def _spawn_serve(state_dir):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        ["src"] + env.get("PYTHONPATH", "").split(os.pathsep)
+    ).rstrip(os.pathsep)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+         "--workers", "2", "--threads", "--feed-threads", "2",
+         "--snapshot-every", "4", "--state-dir", state_dir],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True,
+        env=env, cwd="/root/repo",
+    )
+    banner = _read_lines_until(
+        proc.stdout, lambda line: "serving on http://" in line, 30.0
+    )
+    port = int(banner.split("http://", 1)[1].split()[0].rsplit(":", 1)[1])
+    return proc, port
+
+
+@pytest.mark.chaos
+def test_sigkill_mid_migration_recovers_exactly_once(tmp_path):
+    state = str(tmp_path / "state")
+    proc, port = _spawn_serve(state)
+    try:
+        async def populate():
+            client = ServeClient("127.0.0.1", port)
+            try:
+                for tenant_id in ("t1", "t2"):
+                    await client.create_tenant(
+                        _payload(tenant_id, controller=SLOW_COPY))
+                migrating = 0
+                for tenant_id in ("t1", "t2"):
+                    _, fed = await client.feed(tenant_id,
+                                               hot_chunk(0.0, 10.0))
+                    migrating += 1 if fed["migrating"] else 0
+                return migrating
+            finally:
+                await client.close()
+
+        migrating = asyncio.run(populate())
+        assert migrating == 2
+        proc.kill()  # SIGKILL: no drain, no atexit
+        proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30)
+        proc.stdout.close()
+
+    proc, port = _spawn_serve(state)
+    try:
+        async def inspect():
+            client = ServeClient("127.0.0.1", port)
+            try:
+                status = await client.status()
+                _, answer = await client.advise("t1")
+                return status["durability"]["recovery"], answer
+            finally:
+                await client.close()
+
+        recovery, answer = asyncio.run(inspect())
+        assert recovery["recovered_tenants"] == 2
+        assert recovery["resumed_migrations"] + \
+            recovery["adopted_swaps"] >= 2
+        assert recovery["errors"] == []
+        assert answer["tenant"] == "t1" and "layout" in answer
+        proc.send_signal(signal.SIGTERM)
+        proc.wait(timeout=30)
+        assert proc.returncode == 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30)
+        proc.stdout.close()
+
+    # Exactly once: every journal carries a single commit record, and a
+    # third incarnation finds nothing left to resume.
+    for journal in glob.glob(os.path.join(state, "*",
+                                          "migration-*.jsonl")):
+        commits = sum(1 for line in open(journal)
+                      if json.loads(line).get("kind") == "commit")
+        assert commits <= 1, journal
+
+    async def third():
+        frontend = HttpFrontend(make_service(state_dir=state))
+        await frontend.start()
+        client = ServeClient("127.0.0.1", frontend.port)
+        try:
+            return (await client.status())["durability"]["recovery"]
+        finally:
+            await client.close()
+            await frontend.stop()
+
+    recovery = asyncio.run(third())
+    assert recovery["recovered_tenants"] == 2
+    assert recovery["resumed_migrations"] == 0

@@ -1,0 +1,284 @@
+"""Connection-robustness tests: the client's retry policy against a
+scripted flaky server, and the frontend's slow-request (slowloris)
+guard.
+
+The retry-policy contract under test:
+
+* send-phase connection death (the server closed a stale keep-alive
+  before the request went out) → one free resend, any method;
+* receive-phase death — including mid-body — retries only *safe*
+  requests: GETs and mutations carrying an ``Idempotency-Key``;
+* ``retry_statuses`` retries those codes for safe requests, honoring
+  the server's ``Retry-After``.
+"""
+
+import asyncio
+import json
+import time
+
+import pytest
+
+from repro.serve.client import ServeClient, ServeHttpError
+from repro.serve.http import HttpFrontend
+
+from tests.serve.conftest import (CONTROLLER, LAYOUT, PROBLEM,
+                                  make_service)
+
+
+class FlakyServer:
+    """An HTTP/1.1 stub that misbehaves on cue.
+
+    ``behaviors`` is consumed one entry per request received:
+    ``"ok"`` (full 200), ``"mid-body"`` (headers + half the body, then
+    connection abort), or ``("status", code, retry_after)``.
+    """
+
+    def __init__(self, behaviors):
+        self.behaviors = list(behaviors)
+        self.requests = 0
+        self.server = None
+        self.port = None
+
+    async def start(self):
+        self.server = await asyncio.start_server(
+            self._handle, "127.0.0.1", 0)
+        self.port = self.server.sockets[0].getsockname()[1]
+        return self
+
+    async def stop(self):
+        self.server.close()
+        await self.server.wait_closed()
+
+    async def _handle(self, reader, writer):
+        try:
+            while True:
+                try:
+                    head = await reader.readuntil(b"\r\n\r\n")
+                except (asyncio.IncompleteReadError,
+                        ConnectionResetError):
+                    return
+                length = 0
+                for line in head.split(b"\r\n"):
+                    if line.lower().startswith(b"content-length:"):
+                        length = int(line.split(b":", 1)[1])
+                if length:
+                    await reader.readexactly(length)
+                self.requests += 1
+                behavior = (self.behaviors.pop(0)
+                            if self.behaviors else "ok")
+                body = json.dumps({"ok": True,
+                                   "served": self.requests}).encode()
+                if behavior == "ok":
+                    writer.write(self._head(200, len(body)) + body)
+                    await writer.drain()
+                elif behavior == "mid-body":
+                    writer.write(self._head(200, len(body))
+                                 + body[: len(body) // 2])
+                    await writer.drain()
+                    writer.transport.abort()  # mid-body connection death
+                    return
+                else:
+                    _, code, retry_after = behavior
+                    extra = (b"Retry-After: %d\r\n" % retry_after
+                             if retry_after is not None else b"")
+                    writer.write(self._head(code, len(body), extra)
+                                 + body)
+                    await writer.drain()
+        finally:
+            writer.close()
+
+    @staticmethod
+    def _head(code, length, extra=b""):
+        return (b"HTTP/1.1 %d X\r\nContent-Type: application/json\r\n"
+                b"Content-Length: %d\r\n" % (code, length)
+                + extra + b"Connection: keep-alive\r\n\r\n")
+
+
+def test_mid_body_death_is_not_retried_without_a_key():
+    async def scenario():
+        server = await FlakyServer(["mid-body", "ok"]).start()
+        client = ServeClient("127.0.0.1", server.port, retries=2,
+                             backoff_s=0.01)
+        try:
+            with pytest.raises((ConnectionError,
+                                asyncio.IncompleteReadError)):
+                await client.request("POST", "/x", {"n": 1})
+            # The server may have executed the request: exactly one
+            # attempt reached it.
+            assert server.requests == 1
+        finally:
+            await client.close()
+            await server.stop()
+
+    asyncio.run(scenario())
+
+
+def test_mid_body_death_retries_keyed_mutations():
+    async def scenario():
+        server = await FlakyServer(["mid-body", "ok"]).start()
+        client = ServeClient("127.0.0.1", server.port, retries=2,
+                             backoff_s=0.01)
+        try:
+            status, payload = await client.request(
+                "POST", "/x", {"n": 1}, idempotency_key="k1")
+            assert status == 200 and payload["ok"]
+            assert server.requests == 2
+        finally:
+            await client.close()
+            await server.stop()
+
+    asyncio.run(scenario())
+
+
+def test_mid_body_death_retries_gets():
+    async def scenario():
+        server = await FlakyServer(["mid-body", "ok"]).start()
+        client = ServeClient("127.0.0.1", server.port, retries=2,
+                             backoff_s=0.01)
+        try:
+            status, payload = await client.request("GET", "/x")
+            assert status == 200 and payload["ok"]
+            assert server.requests == 2
+        finally:
+            await client.close()
+            await server.stop()
+
+    asyncio.run(scenario())
+
+
+def test_stale_keepalive_close_gets_one_free_resend():
+    async def scenario():
+        server = await FlakyServer(["ok", "ok"]).start()
+        client = ServeClient("127.0.0.1", server.port, retries=0)
+        try:
+            await client.request("POST", "/x", {"n": 1})
+            # The server silently dropped the idle connection; the next
+            # write fails in the send phase, which is safe to resend
+            # for any method — the server never saw the request.
+            client._writer.transport.abort()
+            await asyncio.sleep(0.01)
+            status, payload = await client.request("POST", "/x", {"n": 2})
+            assert status == 200 and payload["ok"]
+            assert server.requests == 2
+        finally:
+            await client.close()
+            await server.stop()
+
+    asyncio.run(scenario())
+
+
+def test_retry_statuses_honor_retry_after_for_safe_requests():
+    async def scenario():
+        server = await FlakyServer([("status", 503, 0), "ok"]).start()
+        client = ServeClient("127.0.0.1", server.port, retries=2,
+                             backoff_s=0.01)
+        try:
+            status, payload = await client.request(
+                "POST", "/x", {"n": 1}, idempotency_key="k1",
+                retry_statuses=(503,))
+            assert status == 200 and payload["ok"]
+            assert server.requests == 2
+        finally:
+            await client.close()
+            await server.stop()
+
+    asyncio.run(scenario())
+
+
+def test_retry_statuses_refuse_unkeyed_mutations():
+    async def scenario():
+        server = await FlakyServer([("status", 503, 0), "ok"]).start()
+        client = ServeClient("127.0.0.1", server.port, retries=2,
+                             backoff_s=0.01)
+        try:
+            with pytest.raises(ServeHttpError) as error:
+                await client.request("POST", "/x", {"n": 1},
+                                     retry_statuses=(503,))
+            assert error.value.status == 503
+            assert server.requests == 1
+        finally:
+            await client.close()
+            await server.stop()
+
+    asyncio.run(scenario())
+
+
+def test_backoff_grows_exponentially_and_caps():
+    client = ServeClient("127.0.0.1", 1, backoff_s=0.1, backoff_cap_s=0.5,
+                         jitter=0.0)
+    assert client._backoff(1) == pytest.approx(0.1)
+    assert client._backoff(2) == pytest.approx(0.2)
+    assert client._backoff(3) == pytest.approx(0.4)
+    assert client._backoff(4) == pytest.approx(0.5), "capped"
+    assert client._backoff(1, retry_after="2") == pytest.approx(2.0)
+
+
+# ----------------------------------------------------------------------
+# Slow-request guard (the slowloris defense)
+# ----------------------------------------------------------------------
+
+def _create_body(tenant_id="t1"):
+    return {"tenant_id": tenant_id, "problem": PROBLEM, "layout": LAYOUT,
+            "controller": CONTROLLER}
+
+
+def test_slow_request_times_out_with_408():
+    async def scenario():
+        frontend = HttpFrontend(make_service(request_timeout_s=0.2))
+        await frontend.start()
+        try:
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", frontend.port)
+            # First byte arrives, then the request trickles... and stops.
+            writer.write(b"POST /tenants HT")
+            await writer.drain()
+            head = await asyncio.wait_for(reader.readuntil(b"\r\n\r\n"),
+                                          timeout=5.0)
+            assert b" 408 " in head.split(b"\r\n", 1)[0]
+            writer.close()
+        finally:
+            await frontend.stop()
+
+    asyncio.run(scenario())
+
+
+def test_idle_keepalive_is_not_timed_out():
+    async def scenario():
+        frontend = HttpFrontend(make_service(request_timeout_s=0.2))
+        await frontend.start()
+        client = ServeClient("127.0.0.1", frontend.port)
+        try:
+            await client.create_tenant(_create_body())
+            # Idle far longer than the request timeout: the guard only
+            # clocks requests that have *started* (first byte seen), so
+            # the connection must still be usable.
+            await asyncio.sleep(0.5)
+            status = await client.status()
+            assert status["tenants"] == 1
+        finally:
+            await client.close()
+            await frontend.stop()
+
+    asyncio.run(scenario())
+
+
+def test_http_idempotency_key_replays_mutations():
+    async def scenario():
+        frontend = HttpFrontend(make_service())
+        await frontend.start()
+        client = ServeClient("127.0.0.1", frontend.port)
+        try:
+            made = await client.create_tenant(_create_body(),
+                                              idempotency_key="c1")
+            assert "replayed" not in made
+            again = await client.create_tenant(_create_body(),
+                                               idempotency_key="c1")
+            assert again["replayed"] and again["tenant"] == made["tenant"]
+            status = await client.status()
+            assert status["tenants"] == 1
+            assert status["durability"]["idempotency_keys"] == 1
+        finally:
+            await client.close()
+            await frontend.stop()
+
+    asyncio.run(scenario())
